@@ -1,0 +1,85 @@
+// Command experiments regenerates the paper's tables and figures from the
+// simulator.
+//
+// Usage:
+//
+//	experiments -exp fig5|fig6|table1|table2|analysis|hol|window|lazy|threshold|all
+//	experiments -exp fig5 -quick   # fewer sizes, faster
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/exp"
+	"repro/internal/taxonomy"
+	"repro/internal/units"
+)
+
+func main() {
+	which := flag.String("exp", "all", "experiment: fig5, fig6, table1, table2, analysis, hol, window, lazy, threshold, all")
+	quick := flag.Bool("quick", false, "use a reduced size sweep for the figures")
+	csv := flag.Bool("csv", false, "emit figures as CSV instead of tables")
+	flag.Parse()
+
+	sizes := exp.DefaultSizes()
+	if *quick {
+		sizes = []units.Size{4 * units.KB, 16 * units.KB, 64 * units.KB, 256 * units.KB}
+	}
+
+	run := func(name string) {
+		switch name {
+		case "fig5":
+			fig := exp.Figure5(sizes)
+			if *csv {
+				fmt.Print(fig.CSV())
+			} else {
+				fmt.Println(fig.Format())
+			}
+		case "fig6":
+			fig := exp.Figure6(sizes)
+			if *csv {
+				fmt.Print(fig.CSV())
+			} else {
+				fmt.Println(fig.Format())
+			}
+		case "table1":
+			fmt.Println(taxonomy.Format())
+		case "table2":
+			fmt.Println(exp.FormatTable2(exp.MeasureTable2()))
+		case "analysis":
+			fmt.Println("Section 7.3 analytic estimates (Alpha 3000/400, 32KB packets):")
+			for _, e := range analysis.PaperTable() {
+				fmt.Println("  " + e.String())
+			}
+			fmt.Println()
+		case "hol":
+			rs := []exp.HOLResult{
+				exp.RunHOL(2, 20000, 1),
+				exp.RunHOL(8, 20000, 2),
+				exp.RunHOL(32, 20000, 3),
+			}
+			fmt.Println(exp.FormatHOL(rs))
+		case "window":
+			fmt.Println(exp.FormatWindowSweep(exp.RunWindowSweep(nil)))
+		case "lazy":
+			fmt.Println(exp.FormatLazyPin(exp.RunLazyPinAblation()))
+		case "threshold":
+			fmt.Println(exp.FormatThreshold(exp.RunThresholdAblation(nil)))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+
+	if *which == "all" {
+		for _, name := range []string{"table1", "table2", "analysis", "hol", "window", "lazy", "threshold", "fig5", "fig6"} {
+			fmt.Printf("=== %s ===\n", name)
+			run(name)
+		}
+		return
+	}
+	run(*which)
+}

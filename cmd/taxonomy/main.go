@@ -1,0 +1,33 @@
+// Command taxonomy prints the Table 1 host-interface taxonomy: the
+// data-touching operations each combination of API semantics, checksum
+// placement, and adaptor architecture requires on transmit, with its
+// classification.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/taxonomy"
+)
+
+func main() {
+	fmt.Print(taxonomy.Format())
+	fmt.Println()
+	fmt.Println("Classes:")
+	counts := map[taxonomy.Class]int{}
+	for _, c := range taxonomy.All() {
+		counts[c.Class]++
+	}
+	for _, cl := range []taxonomy.Class{taxonomy.SingleCopy, taxonomy.CopyPlusRead, taxonomy.TwoCopy} {
+		fmt.Printf("  %-12v %d configurations\n", cl, counts[cl])
+	}
+	fmt.Println()
+	cab := taxonomy.Derive(taxonomy.Config{
+		API: taxonomy.APICopy, Csum: taxonomy.CsumHeader,
+		Buf: taxonomy.BufOutboard, Move: taxonomy.MoveDMACsum,
+	})
+	fmt.Printf("The CAB (copy API, header checksum, outboard buffering, DMA+csum): %v → %v\n",
+		cab.Ops, cab.Class)
+	fmt.Println("\nReceive path (mirror of Table 1; checksum placement is immaterial on receive):")
+	fmt.Print(taxonomy.FormatReceive())
+}

@@ -1,0 +1,132 @@
+// Command ttcp runs one simulated bulk transfer between two hosts and
+// reports throughput, utilization, and efficiency — the simulated analogue
+// of the ttcp runs behind Figures 5 and 6.
+//
+// Usage:
+//
+//	ttcp [-mode single|unmodified|raw] [-size 64K] [-total 16M]
+//	     [-machine alpha400|alpha300] [-window 512K] [-lazy]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/socket"
+	"repro/internal/ttcp"
+	"repro/internal/units"
+	"repro/internal/wire"
+)
+
+// parseSize accepts 64K / 4M / 512 style sizes.
+func parseSize(s string) (units.Size, error) {
+	mult := units.Size(1)
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = units.KB, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = units.MB, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	return units.Size(n) * mult, nil
+}
+
+func main() {
+	mode := flag.String("mode", "single", "stack: single, unmodified, raw")
+	proto := flag.String("proto", "tcp", "transport: tcp, udp")
+	sizeS := flag.String("size", "64K", "read/write size")
+	totalS := flag.String("total", "16M", "bytes to transfer")
+	windowS := flag.String("window", "512K", "TCP window / socket buffer")
+	machine := flag.String("machine", "alpha400", "host model: alpha400, alpha300")
+	lazy := flag.Bool("lazy", false, "enable the lazy-unpin buffer cache")
+	flag.Parse()
+
+	size, err := parseSize(*sizeS)
+	die(err)
+	total, err := parseSize(*totalS)
+	die(err)
+	window, err := parseSize(*windowS)
+	die(err)
+
+	mach := cost.Alpha400
+	if *machine == "alpha300" {
+		mach = cost.Alpha300
+	}
+
+	tb := core.NewTestbed(1)
+	params := ttcp.Params{
+		Total: total, RWSize: size, Window: window,
+		WithUtil: true, WithBackground: true,
+	}
+
+	var res ttcp.Result
+	if *proto == "udp" && *mode != "raw" {
+		m := socket.ModeSingleCopy
+		if *mode == "unmodified" {
+			m = socket.ModeUnmodified
+		}
+		a := tb.AddHost(core.HostConfig{Name: "snd", Addr: wire.Addr(0x0a000001),
+			Mach: mach(), Mode: m, CABNode: 1, LazyUnpin: *lazy})
+		b := tb.AddHost(core.HostConfig{Name: "rcv", Addr: wire.Addr(0x0a000002),
+			Mach: mach(), Mode: m, CABNode: 2, LazyUnpin: *lazy})
+		tb.RouteCAB(a, b)
+		ur := ttcp.RunUDP(tb, a, b, params)
+		fmt.Printf("ttcp -u (%s stack, %s, %v datagrams)\n", *mode, mach().Name, size)
+		fmt.Printf("  sent %v, received %v (loss %.2f%%) in %v\n",
+			ur.Sent, ur.Received, 100*ur.LossFraction, ur.Elapsed)
+		fmt.Printf("  throughput   %.1f Mb/s\n", ur.Throughput.Mbit())
+		fmt.Printf("  sender       util %.2f  efficiency %.1f Mb/s\n",
+			ur.Snd.Utilization, ur.Snd.Efficiency.Mbit())
+		fmt.Printf("  receiver     util %.2f  efficiency %.1f Mb/s\n",
+			ur.Rcv.Utilization, ur.Rcv.Efficiency.Mbit())
+		return
+	}
+	if *mode == "raw" {
+		a := tb.AddHost(core.HostConfig{Name: "snd", Addr: wire.Addr(0x0a000001),
+			Mach: mach(), CABNode: 1, NoDriver: true})
+		b := tb.AddHost(core.HostConfig{Name: "rcv", Addr: wire.Addr(0x0a000002),
+			Mach: mach(), CABNode: 2, NoDriver: true})
+		res = ttcp.RunRaw(tb, a, b, params)
+	} else {
+		m := socket.ModeSingleCopy
+		if *mode == "unmodified" {
+			m = socket.ModeUnmodified
+		}
+		a := tb.AddHost(core.HostConfig{Name: "snd", Addr: wire.Addr(0x0a000001),
+			Mach: mach(), Mode: m, CABNode: 1, LazyUnpin: *lazy})
+		b := tb.AddHost(core.HostConfig{Name: "rcv", Addr: wire.Addr(0x0a000002),
+			Mach: mach(), Mode: m, CABNode: 2, LazyUnpin: *lazy})
+		tb.RouteCAB(a, b)
+		res = ttcp.Run(tb, a, b, params)
+	}
+
+	fmt.Printf("ttcp (%s stack, %s, %v writes, %v window)\n",
+		*mode, mach().Name, size, window)
+	fmt.Printf("  transferred  %v in %v\n", res.Bytes, res.Elapsed)
+	fmt.Printf("  throughput   %.1f Mb/s\n", res.Throughput.Mbit())
+	fmt.Printf("  sender       util %.2f (true %.2f)  efficiency %.1f Mb/s\n",
+		res.Snd.Utilization, res.Snd.TrueUtilization, res.Snd.Efficiency.Mbit())
+	fmt.Printf("  receiver     util %.2f (true %.2f)  efficiency %.1f Mb/s\n",
+		res.Rcv.Utilization, res.Rcv.TrueUtilization, res.Rcv.Efficiency.Mbit())
+	fmt.Printf("  sender CPU breakdown:\n")
+	for _, cat := range []string{"copy", "csum", "vm", "proto", "driver", "intr", "syscall", "app"} {
+		if d, ok := res.Snd.Breakdown[cat]; ok {
+			fmt.Printf("    %-8s %v\n", cat, d)
+		}
+	}
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ttcp:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,88 @@
+// Quickstart: two simulated hosts connected by a HIPPI switch, each with a
+// CAB adaptor running the single-copy stack. A client writes 4 MB through
+// a Berkeley socket (copy semantics); the data is DMAed once — directly
+// from the pinned user buffer into CAB network memory, checksummed by
+// hardware on the way — and received the same way on the other side.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/socket"
+	"repro/internal/units"
+	"repro/internal/wire"
+)
+
+const (
+	addrA = wire.Addr(0x0a000001)
+	addrB = wire.Addr(0x0a000002)
+	port  = 5001
+)
+
+func main() {
+	// Build the testbed: a HIPPI switch with two Alpha-class hosts.
+	tb := core.NewTestbed(42)
+	a := tb.AddHost(core.HostConfig{
+		Name: "alpha-a", Addr: addrA, Mode: socket.ModeSingleCopy, CABNode: 1,
+	})
+	b := tb.AddHost(core.HostConfig{
+		Name: "alpha-b", Addr: addrB, Mode: socket.ModeSingleCopy, CABNode: 2,
+	})
+	tb.RouteCAB(a, b)
+
+	const total = 4 * units.MB
+	const writeSize = 64 * units.KB
+
+	// Server: accept one stream and count/verify the bytes.
+	lis := b.Stk.Listen(port)
+	var received units.Size
+	srvTask := b.NewUserTask("server", 0)
+	tb.Eng.Go("server", func(p *sim.Proc) {
+		s := b.Accept(p, srvTask, lis)
+		buf := srvTask.Space.Alloc(writeSize, 8)
+		for {
+			n, err := s.Read(p, buf)
+			received += n
+			if err != nil {
+				return
+			}
+		}
+	})
+
+	// Client: write the payload with plain socket writes.
+	cliTask := a.NewUserTask("client", 0)
+	tb.Eng.Go("client", func(p *sim.Proc) {
+		s, err := a.Dial(p, cliTask, addrB, port)
+		if err != nil {
+			panic(err)
+		}
+		buf := cliTask.Space.Alloc(writeSize, 8)
+		for i := range buf.Bytes() {
+			buf.Bytes()[i] = byte(i)
+		}
+		start := p.Now()
+		for sent := units.Size(0); sent < total; sent += writeSize {
+			if err := s.WriteAll(p, buf); err != nil {
+				panic(err)
+			}
+		}
+		s.Close(p)
+		fmt.Printf("client: wrote %v in %v of virtual time\n", total, p.Now()-start)
+	})
+
+	tb.Eng.Run()
+	tb.Eng.KillAll()
+
+	fmt.Printf("server: received %v\n", received)
+	fmt.Printf("single-copy evidence:\n")
+	fmt.Printf("  sender UIO (descriptor) writes . %d\n", 0+int(total/writeSize))
+	fmt.Printf("  hardware-verified checksums .... %d (receiver touched only headers)\n",
+		b.Stk.Stats.HWCsumVerified)
+	fmt.Printf("  outboard (WCAB) deliveries ..... %d\n", b.Drv.Stats.RxLarge)
+	fmt.Printf("  CPU copy time on sender ........ %v (zero = no host copies)\n",
+		a.K.CategoryBreakdown()["copy"])
+	fmt.Printf("  network memory leaks ........... %d pages\n",
+		a.CAB.TotalPages()-a.CAB.FreePages())
+}

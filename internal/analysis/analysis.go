@@ -1,0 +1,94 @@
+// Package analysis implements the back-of-envelope cost analysis of
+// Section 7.3: using estimates of the per-byte, per-page, and per-packet
+// overheads, it predicts the communication efficiency of the unmodified
+// and single-copy stacks and apportions the overhead between per-byte and
+// per-packet costs.
+//
+// With the paper's Alpha 3000/400 numbers (copy at 350 Mbit/s over a
+// 1 MByte region, checksum read at 630 Mbit/s over the 512 KByte window,
+// ~300 µs per packet, and Table 2's VM costs), the model reproduces the
+// paper's estimates: ≈180 Mbit/s for the unmodified stack and ≈490 Mbit/s
+// for the single-copy stack at 32 KByte packets, with the per-byte share
+// of overhead dropping from ≈80% to ≈43%.
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/units"
+)
+
+// Estimate is the predicted cost structure for transmitting one packet.
+type Estimate struct {
+	Stack     string
+	PktSize   units.Size
+	PerByte   units.Time // data-touching (copy + checksum) or VM time
+	PerPacket units.Time // fixed protocol/driver/interrupt time
+	Total     units.Time
+	// Efficiency is the throughput the host could sustain at 100% CPU.
+	Efficiency units.Rate
+	// PerByteShare is PerByte / Total.
+	PerByteShare float64
+}
+
+func (e Estimate) String() string {
+	return fmt.Sprintf("%-12s %v packets: per-byte %v + per-packet %v = %v → %.0f Mb/s (per-byte share %.0f%%)",
+		e.Stack, e.PktSize, e.PerByte, e.PerPacket, e.Total,
+		e.Efficiency.Mbit(), 100*e.PerByteShare)
+}
+
+// Unmodified estimates the original stack: the application's data is
+// copied once (socket layer) and read once (checksum) per packet.
+// copyRegion and csumRegion set the cache-locality working sets; the
+// paper's estimate uses a 1 MByte copy region (no locality) and the
+// 512 KByte window for the checksum read.
+func Unmodified(m *cost.Machine, pktSize, copyRegion, csumRegion units.Size) Estimate {
+	perByte := m.CopyTime(pktSize, copyRegion) + m.CsumTime(pktSize, csumRegion)
+	perPkt := m.PerPacketSendWithAcks()
+	return finish("unmodified", pktSize, perByte, perPkt)
+}
+
+// SingleCopy estimates the modified stack: copy and checksum are replaced
+// by the VM operations — pin, unpin, and map of the packet's pages
+// (Section 7.3).
+func SingleCopy(m *cost.Machine, pktSize units.Size) Estimate {
+	pages := m.Pages(0, pktSize)
+	perByte := m.PinTime(pages) + m.UnpinTime(pages) + m.MapTime(pages)
+	perPkt := m.PerPacketSendWithAcks()
+	return finish("single-copy", pktSize, perByte, perPkt)
+}
+
+// SingleCopyLazy estimates the modified stack with the Section 4.4.1
+// buffer-reuse optimization: pinning and mapping amortize away, leaving
+// only the per-packet costs.
+func SingleCopyLazy(m *cost.Machine, pktSize units.Size) Estimate {
+	perByte := 2 * units.Microsecond // pin-cache hit check
+	perPkt := m.PerPacketSendWithAcks()
+	return finish("single-copy-lazy", pktSize, perByte, perPkt)
+}
+
+func finish(stack string, pktSize units.Size, perByte, perPkt units.Time) Estimate {
+	e := Estimate{
+		Stack:     stack,
+		PktSize:   pktSize,
+		PerByte:   perByte,
+		PerPacket: perPkt,
+		Total:     perByte + perPkt,
+	}
+	e.Efficiency = units.RateOf(pktSize, e.Total)
+	e.PerByteShare = float64(perByte) / float64(e.Total)
+	return e
+}
+
+// PaperTable reproduces the Section 7.3 analysis for the Alpha 3000/400 at
+// the paper's 32 KByte packet size.
+func PaperTable() []Estimate {
+	m := cost.Alpha400()
+	pkt := 32 * units.KB
+	return []Estimate{
+		Unmodified(m, pkt, 1*units.MB, 512*units.KB),
+		SingleCopy(m, pkt),
+		SingleCopyLazy(m, pkt),
+	}
+}

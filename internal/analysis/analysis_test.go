@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/units"
+)
+
+func TestUnmodifiedEstimateMatchesPaper(t *testing.T) {
+	m := cost.Alpha400()
+	e := Unmodified(m, 32*units.KB, 1*units.MB, 512*units.KB)
+	// Paper: "These estimates add up to an efficiency of 180 Mbit/second".
+	if got := e.Efficiency.Mbit(); got < 170 || got > 190 {
+		t.Fatalf("unmodified efficiency = %.0f Mb/s, want ≈180", got)
+	}
+	// Paper: "the estimated per-byte cost accounts for 80% of the
+	// overhead".
+	if e.PerByteShare < 0.75 || e.PerByteShare > 0.85 {
+		t.Fatalf("per-byte share = %.2f, want ≈0.80", e.PerByteShare)
+	}
+}
+
+func TestSingleCopyEstimateMatchesPaper(t *testing.T) {
+	m := cost.Alpha400()
+	e := SingleCopy(m, 32*units.KB)
+	// Paper: "the efficiency of the modified stack for 32 KBytes packets
+	// is 490 Mbit/second".
+	if got := e.Efficiency.Mbit(); got < 460 || got > 520 {
+		t.Fatalf("single-copy efficiency = %.0f Mb/s, want ≈490", got)
+	}
+	// Paper: "this number drops to 43%".
+	if e.PerByteShare < 0.38 || e.PerByteShare > 0.48 {
+		t.Fatalf("per-byte share = %.2f, want ≈0.43", e.PerByteShare)
+	}
+	// "the per-packet overhead ... is now more significant than the
+	// per-byte cost".
+	if e.PerByte >= e.PerPacket {
+		t.Fatal("per-packet cost should dominate the single-copy stack")
+	}
+}
+
+func TestEfficiencyRatioAlmostThree(t *testing.T) {
+	m := cost.Alpha400()
+	un := Unmodified(m, 32*units.KB, 1*units.MB, 512*units.KB)
+	sc := SingleCopy(m, 32*units.KB)
+	ratio := float64(sc.Efficiency) / float64(un.Efficiency)
+	if ratio < 2.4 || ratio > 3.2 {
+		t.Fatalf("efficiency ratio = %.2f, want 'almost three times'", ratio)
+	}
+}
+
+func TestLazyPinningBeatsEager(t *testing.T) {
+	m := cost.Alpha400()
+	eager := SingleCopy(m, 32*units.KB)
+	lazy := SingleCopyLazy(m, 32*units.KB)
+	if lazy.Efficiency <= eager.Efficiency {
+		t.Fatal("lazy unpinning should raise the efficiency ceiling")
+	}
+}
+
+func TestEstimateScalesWithPacketSize(t *testing.T) {
+	m := cost.Alpha400()
+	small := SingleCopy(m, 4*units.KB)
+	large := SingleCopy(m, 32*units.KB)
+	// Bigger packets amortize the per-packet cost: higher efficiency.
+	if large.Efficiency <= small.Efficiency {
+		t.Fatalf("efficiency should grow with packet size: %v vs %v",
+			small.Efficiency, large.Efficiency)
+	}
+}
+
+func TestAlpha300HalvesEfficiency(t *testing.T) {
+	e400 := SingleCopy(cost.Alpha400(), 32*units.KB)
+	e300 := SingleCopy(cost.Alpha300(), 32*units.KB)
+	ratio := float64(e400.Efficiency) / float64(e300.Efficiency)
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("3000/400 vs 3000/300 efficiency ratio = %.2f, want ≈2", ratio)
+	}
+}
+
+func TestPaperTable(t *testing.T) {
+	rows := PaperTable()
+	if len(rows) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Total <= 0 || r.Efficiency <= 0 {
+			t.Fatalf("degenerate row: %+v", r)
+		}
+		t.Log(r)
+	}
+}

@@ -1,0 +1,248 @@
+// Package cab is a functional model of the Gigabit Nectar Communication
+// Acceleration Board (Section 2): a bank of outboard network memory fed by
+// one system DMA engine (SDMA, host ↔ network memory over the IO bus, with
+// scatter/gather and a transmit checksum engine) and media DMA engines
+// (MDMA, network memory ↔ HIPPI, with a receive checksum engine), plus
+// per-destination logical channels for media transmission and automatic
+// DMA of each incoming packet's first L bytes into preallocated host
+// buffers.
+//
+// The model is functional — real bytes are stored in network memory and
+// real checksums are computed by the "hardware" — and temporal: SDMA
+// transfers occupy the simulated IO bus per the machine's DMA timing
+// model, and media transmission is serialized by the HIPPI network model.
+//
+// Packets in network memory always start on a page boundary and occupy
+// whole pages except the last (the constraint that forces the host
+// software to form complete packets before transfer, Section 2.2).
+package cab
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/hippi"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Config selects the host-visible CAB parameters.
+type Config struct {
+	// MemSize is the network memory size.
+	MemSize units.Size
+	// PageSize is the network memory page size.
+	PageSize units.Size
+	// AutoDMALen is L: how many leading bytes of each received packet the
+	// CAB DMAs into a preallocated host buffer before interrupting.
+	AutoDMALen units.Size
+	// RxCsumSkip is the fixed offset at which the receive checksum engine
+	// starts summing (20 words in the paper's configuration: the HIPPI
+	// and IP headers are skipped).
+	RxCsumSkip units.Size
+	// Channels is the number of logical channels for media transmission.
+	Channels int
+}
+
+// DefaultConfig returns the configuration used in the paper's experiments.
+func DefaultConfig() Config {
+	return Config{
+		MemSize:    4 * units.MB,
+		PageSize:   8 * units.KB,
+		AutoDMALen: 784, // link + IP + TCP headers plus one mbuf (176 words) of data
+		RxCsumSkip: 80,  // 20 words
+		Channels:   8,
+	}
+}
+
+// RxEvent is delivered to the host (driver) when a packet has arrived and
+// its first L bytes have been auto-DMAed into a host buffer.
+type RxEvent struct {
+	// Pkt is the packet resident in network memory. For packets that fit
+	// entirely within the auto-DMA buffer the driver typically frees it
+	// immediately.
+	Pkt *Packet
+	// Buf holds the packet's first min(L, len) bytes in host memory.
+	Buf []byte
+	// HdrLen is how many bytes of Buf are valid.
+	HdrLen units.Size
+	// BodySum is the receive checksum engine's unfolded partial sum over
+	// the packet from RxCsumSkip to its end, available to the host as
+	// soon as the packet is (Section 2.1).
+	BodySum uint32
+}
+
+// Stats counts adaptor activity.
+type Stats struct {
+	TxPackets          int
+	RxPackets          int
+	SDMAOps            int
+	SDMABytes          units.Size
+	DropNoMem          int // packets dropped: network memory exhausted
+	DropNoBuf          int // packets dropped: no auto-DMA host buffer available
+	RetransmitOverlays int
+}
+
+// CAB is one adaptor instance.
+type CAB struct {
+	Cfg  Config
+	Mach *cost.Machine
+
+	eng    *sim.Engine
+	net    *hippi.Network
+	nodeID hippi.NodeID
+
+	freePages  int
+	totalPages int
+	nextPktID  int
+	freeSig    *sim.Signal
+	live       map[int]*Packet
+
+	sdmaQ *sim.Queue[*SDMAReq]
+
+	channels []*sim.Queue[*txEntry]
+	txPend   *sim.Signal
+	txSent   *sim.Signal
+
+	rxBufs [][]byte
+
+	// OnRx is the host's receive notification (installed by the driver;
+	// runs in hardware/event context — the driver is responsible for
+	// posting a host interrupt).
+	OnRx func(ev *RxEvent)
+
+	Stats Stats
+}
+
+// New attaches a CAB to the network as node id.
+func New(eng *sim.Engine, mach *cost.Machine, net *hippi.Network, id hippi.NodeID, cfg Config) *CAB {
+	if cfg.PageSize <= 0 || cfg.MemSize%cfg.PageSize != 0 {
+		panic("cab: bad memory geometry")
+	}
+	if cfg.Channels < 1 {
+		cfg.Channels = 1
+	}
+	c := &CAB{
+		Cfg:       cfg,
+		Mach:      mach,
+		eng:       eng,
+		net:       net,
+		nodeID:    id,
+		freePages: int(cfg.MemSize / cfg.PageSize),
+		freeSig:   sim.NewSignal(eng),
+		sdmaQ:     sim.NewQueue[*SDMAReq](eng),
+		txPend:    sim.NewSignal(eng),
+		txSent:    sim.NewSignal(eng),
+		live:      make(map[int]*Packet),
+	}
+	c.totalPages = c.freePages
+	for i := 0; i < cfg.Channels; i++ {
+		c.channels = append(c.channels, sim.NewQueue[*txEntry](eng))
+	}
+	net.Attach(id, c.rxFrame)
+	eng.Go(fmt.Sprintf("cab%d/sdma", id), c.sdmaProc)
+	eng.Go(fmt.Sprintf("cab%d/mdma-tx", id), c.mdmaTxProc)
+	return c
+}
+
+// NodeID returns the adaptor's network address.
+func (c *CAB) NodeID() hippi.NodeID { return c.nodeID }
+
+// FreePages returns the number of unallocated network memory pages.
+func (c *CAB) FreePages() int { return c.freePages }
+
+// TotalPages returns the network memory size in pages.
+func (c *CAB) TotalPages() int { return c.totalPages }
+
+// Packet is a packet resident in network memory.
+type Packet struct {
+	cab   *CAB
+	ID    int
+	buf   []byte
+	pages int
+	freed bool
+
+	// BodySum is the transmit checksum engine's saved partial sum over
+	// the packet body (beyond CsumSkip); it allows retransmission with a
+	// fresh header without re-reading the body (Section 4.3).
+	BodySum uint32
+	// HasBodySum records whether BodySum is valid.
+	HasBodySum bool
+}
+
+// Len returns the packet length in bytes.
+func (pk *Packet) Len() units.Size { return units.Size(len(pk.buf)) }
+
+// Freed reports whether the packet's pages have been returned.
+func (pk *Packet) Freed() bool { return pk.freed }
+
+// Owner returns the adaptor holding this packet.
+func (pk *Packet) Owner() *CAB { return pk.cab }
+
+// Bytes returns the live network memory contents of the packet.
+func (pk *Packet) Bytes() []byte {
+	if pk.freed {
+		panic("cab: access to freed packet")
+	}
+	return pk.buf
+}
+
+// Free returns the packet's pages to the pool.
+func (pk *Packet) Free() {
+	if pk.freed {
+		panic("cab: double free of packet")
+	}
+	pk.freed = true
+	pk.cab.freePages += pk.pages
+	delete(pk.cab.live, pk.ID)
+	pk.cab.freeSig.Broadcast()
+}
+
+// LivePackets returns the sizes of packets currently allocated in network
+// memory (diagnostics and leak tests).
+func (c *CAB) LivePackets() []units.Size {
+	var out []units.Size
+	for _, pk := range c.live {
+		out = append(out, pk.Len())
+	}
+	return out
+}
+
+// AllocPacket reserves network memory for an n-byte packet. It fails (nil,
+// false) when memory is exhausted; callers in process context can use
+// AllocPacketWait.
+func (c *CAB) AllocPacket(n units.Size) (*Packet, bool) {
+	if n <= 0 {
+		panic("cab: zero-length packet")
+	}
+	pages := int((n + c.Cfg.PageSize - 1) / c.Cfg.PageSize)
+	if pages > c.freePages {
+		return nil, false
+	}
+	c.freePages -= pages
+	c.nextPktID++
+	pk := &Packet{cab: c, ID: c.nextPktID, buf: make([]byte, n), pages: pages}
+	c.live[pk.ID] = pk
+	return pk, true
+}
+
+// AllocPacketWait blocks p until network memory for n bytes is available.
+func (c *CAB) AllocPacketWait(p *sim.Proc, n units.Size) *Packet {
+	for {
+		if pk, ok := c.AllocPacket(n); ok {
+			return pk
+		}
+		c.freeSig.Wait(p)
+	}
+}
+
+// ProvideRxBuf hands the adaptor a preallocated host buffer for auto-DMA
+// of incoming packet heads. Buffers must be at least AutoDMALen long.
+func (c *CAB) ProvideRxBuf(b []byte) {
+	if units.Size(len(b)) < c.Cfg.AutoDMALen {
+		panic("cab: auto-DMA buffer too small")
+	}
+	c.rxBufs = append(c.rxBufs, b)
+}
+
+// RxBufCount returns the number of available auto-DMA buffers.
+func (c *CAB) RxBufCount() int { return len(c.rxBufs) }

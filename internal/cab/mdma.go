@@ -1,0 +1,119 @@
+package cab
+
+import (
+	"repro/internal/checksum"
+	"repro/internal/hippi"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// txEntry is one media-transmit request on a logical channel.
+type txEntry struct {
+	pkt  *Packet
+	dst  hippi.NodeID
+	done func()
+}
+
+// MDMATx queues packet pk for media transmission to dst on the logical
+// channel for that destination. done (optional) runs in hardware context
+// once the frame has fully left the adaptor. The packet is NOT freed: for
+// TCP it stays in network memory as retransmit data until the host frees
+// it (on acknowledgement).
+func (c *CAB) MDMATx(pk *Packet, dst hippi.NodeID, done func()) {
+	if pk.freed {
+		panic("cab: MDMATx on freed packet")
+	}
+	ch := int(dst) % len(c.channels)
+	c.channels[ch].Put(&txEntry{pkt: pk, dst: dst, done: done})
+	c.txPend.Signal()
+}
+
+// mdmaTxProc drains the logical channels round-robin and serializes frames
+// onto the media. With multiple channels a busy destination would only
+// stall its own channel; the functional network model never blocks a
+// destination, so round-robin service is sufficient here (the head-of-line
+// effect itself is quantified by the hol.go study).
+func (c *CAB) mdmaTxProc(p *sim.Proc) {
+	next := 0
+	for {
+		var e *txEntry
+		for e == nil {
+			found := false
+			for i := 0; i < len(c.channels); i++ {
+				ch := (next + i) % len(c.channels)
+				if v, ok := c.channels[ch].TryGet(); ok {
+					e = v
+					next = ch + 1
+					found = true
+					break
+				}
+			}
+			if !found {
+				c.txPend.Wait(p)
+			}
+		}
+		if e.pkt.freed {
+			// The host freed the packet (e.g. connection teardown) while
+			// the request sat on its channel; drop the frame.
+			continue
+		}
+		// The MDMA engine reads the packet out of network memory as the
+		// frame serializes; copy the bytes so the host may overlay a new
+		// header (retransmit) without racing the in-flight frame.
+		data := make([]byte, e.pkt.Len())
+		copy(data, e.pkt.buf)
+		sent := sim.NewSignal(c.eng)
+		c.net.Send(c.nodeID, e.dst, data, func() { sent.Broadcast() })
+		sent.Wait(p)
+		c.Stats.TxPackets++
+		if e.done != nil {
+			e.done()
+		}
+	}
+}
+
+// rxFrame handles a frame arriving from the media: the MDMA receive engine
+// moves it into network memory, computing the receive checksum on the way
+// in; the first L bytes are then auto-DMAed to a preallocated host buffer
+// and the host is notified (Section 2.2).
+func (c *CAB) rxFrame(f hippi.Frame) {
+	n := units.Size(len(f.Data))
+	pk, ok := c.AllocPacket(n)
+	if !ok {
+		c.Stats.DropNoMem++
+		return
+	}
+	copy(pk.buf, f.Data)
+	c.Stats.RxPackets++
+
+	var bodySum uint32
+	if n > c.Cfg.RxCsumSkip {
+		bodySum = checksum.Sum(pk.buf[c.Cfg.RxCsumSkip:])
+	}
+
+	if len(c.rxBufs) == 0 {
+		c.Stats.DropNoBuf++
+		pk.Free()
+		return
+	}
+	buf := c.rxBufs[0]
+	c.rxBufs = c.rxBufs[1:]
+
+	l := c.Cfg.AutoDMALen
+	if l > n {
+		l = n
+	}
+	c.SDMA(&SDMAReq{
+		Dir:     ToHost,
+		Pkt:     pk,
+		PktOff:  0,
+		Scatter: [][]byte{buf[:l]},
+		Done: func(*SDMAReq) {
+			if c.OnRx == nil {
+				pk.Free()
+				return
+			}
+			c.OnRx(&RxEvent{Pkt: pk, Buf: buf, HdrLen: l, BodySum: bodySum})
+		},
+	})
+}

@@ -1,0 +1,145 @@
+package cab
+
+import (
+	"fmt"
+
+	"repro/internal/checksum"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Dir is an SDMA transfer direction.
+type Dir int
+
+// SDMA directions.
+const (
+	// ToCAB moves data from host memory into network memory (transmit).
+	ToCAB Dir = iota
+	// ToHost moves data from network memory into host memory (receive
+	// copy-out and auto-DMA).
+	ToHost
+)
+
+// SDMAReq is one system-DMA request queued through the register file.
+// Completion is signaled by calling Done in hardware (event) context; the
+// paper's convention is that only the final request of a burst is flagged
+// to raise a host interrupt — raising it is the driver's job inside Done.
+type SDMAReq struct {
+	Dir Dir
+	Pkt *Packet
+
+	// ToCAB: Gather lists the host memory segments (header first, then
+	// data) whose concatenation forms the packet (or just the new header
+	// when HeaderOnly retransmission is used).
+	Gather [][]byte
+	// HeaderOnly overlays Gather at the start of an existing packet and
+	// recomputes the checksum field from the saved body sum (retransmit,
+	// Section 4.3).
+	HeaderOnly bool
+
+	// Csum engages the transmit checksum engine: it sums the packet body
+	// beyond CsumSkip during the transfer, combines it with the 16-bit
+	// seed the host placed at CsumOff, and stores the finished checksum
+	// there.
+	Csum     bool
+	CsumOff  units.Size
+	CsumSkip units.Size
+
+	// ToHost: copy packet bytes [PktOff, PktOff+len(Scatter bytes)) into
+	// the scatter segments.
+	PktOff  units.Size
+	Scatter [][]byte
+
+	// Done runs at completion, in hardware context.
+	Done func(*SDMAReq)
+}
+
+func (r *SDMAReq) bytes() units.Size {
+	var n units.Size
+	if r.Dir == ToCAB {
+		for _, g := range r.Gather {
+			n += units.Size(len(g))
+		}
+	} else {
+		for _, s := range r.Scatter {
+			n += units.Size(len(s))
+		}
+	}
+	return n
+}
+
+// SDMA queues a system-DMA request. Requests execute in FIFO order on the
+// single SDMA engine; each occupies the IO bus for the machine's DMA time.
+func (c *CAB) SDMA(req *SDMAReq) {
+	if req.Pkt == nil || req.Pkt.freed {
+		panic("cab: SDMA on nil or freed packet")
+	}
+	c.sdmaQ.Put(req)
+}
+
+// sdmaProc is the SDMA engine: one transfer at a time, charging bus time.
+func (c *CAB) sdmaProc(p *sim.Proc) {
+	for {
+		req := c.sdmaQ.Get(p)
+		n := req.bytes()
+		p.Sleep(c.Mach.DMATime(n))
+		c.Stats.SDMAOps++
+		c.Stats.SDMABytes += n
+		switch req.Dir {
+		case ToCAB:
+			c.performToCAB(req)
+		case ToHost:
+			c.performToHost(req)
+		}
+		if req.Done != nil {
+			req.Done(req)
+		}
+	}
+}
+
+func (c *CAB) performToCAB(req *SDMAReq) {
+	pk := req.Pkt
+	off := units.Size(0)
+	for _, g := range req.Gather {
+		n := units.Size(copy(pk.buf[off:], g))
+		if n != units.Size(len(g)) {
+			panic(fmt.Sprintf("cab: gather overflow at %v into %v-byte packet", off, pk.Len()))
+		}
+		off += n
+	}
+	if !req.HeaderOnly && off != pk.Len() {
+		panic(fmt.Sprintf("cab: packet not fully formed: %v of %v bytes", off, pk.Len()))
+	}
+	if !req.Csum {
+		return
+	}
+	if req.CsumSkip%2 != 0 || req.CsumOff+2 > pk.Len() || req.CsumOff+2 > req.CsumSkip {
+		panic(fmt.Sprintf("cab: bad checksum geometry off=%v skip=%v", req.CsumOff, req.CsumSkip))
+	}
+	if req.HeaderOnly {
+		// Retransmission: new header, saved body sum (Section 4.3).
+		if !pk.HasBodySum {
+			panic("cab: header-only SDMA with no saved body checksum")
+		}
+		c.Stats.RetransmitOverlays++
+	} else {
+		pk.BodySum = checksum.Sum(pk.buf[req.CsumSkip:])
+		pk.HasBodySum = true
+	}
+	seed := uint32(pk.buf[req.CsumOff])<<8 | uint32(pk.buf[req.CsumOff+1])
+	final := checksum.Finish(checksum.Add(seed, pk.BodySum))
+	pk.buf[req.CsumOff] = byte(final >> 8)
+	pk.buf[req.CsumOff+1] = byte(final)
+}
+
+func (c *CAB) performToHost(req *SDMAReq) {
+	pk := req.Pkt
+	off := req.PktOff
+	for _, s := range req.Scatter {
+		n := units.Size(copy(s, pk.buf[off:]))
+		if n != units.Size(len(s)) {
+			panic(fmt.Sprintf("cab: scatter underrun at %v of %v-byte packet", off, pk.Len()))
+		}
+		off += n
+	}
+}

@@ -1,0 +1,364 @@
+// Package cabdrv is the CAB device driver. Beyond the traditional output
+// and input entry points, it provides the copy-in and copy-out routines the
+// single-copy software architecture requires (Section 3): all
+// data-touching work the stack performed symbolically on descriptors is
+// realized here as SDMA transfers with outboard checksumming.
+//
+// The driver supports two personalities:
+//
+//   - SingleCopy (the modified stack): transmit packets may carry M_UIO
+//     descriptors, which are gathered straight from (pinned) user pages
+//     into network memory with the checksum computed en route; completed
+//     packets are reported back to the transport so the socket-buffer
+//     range can become M_WCAB. Retransmissions of M_WCAB data use a
+//     header-only SDMA overlay that reuses the saved body checksum.
+//     Receive delivers the auto-DMAed packet head plus an M_WCAB
+//     descriptor for the body, with the hardware checksum attached.
+//
+//   - Legacy (the unmodified stack): packets are fully materialized kernel
+//     buffers; the CAB is used as a plain DMA device and checksums are the
+//     stack's (software) problem.
+package cabdrv
+
+import (
+	"fmt"
+
+	"repro/internal/cab"
+	"repro/internal/hippi"
+	"repro/internal/kern"
+	"repro/internal/mbuf"
+	"repro/internal/netif"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/wire"
+)
+
+// Stats counts driver activity.
+type Stats struct {
+	TxPackets       int
+	RxPackets       int
+	TxOverlays      int // header-only retransmissions
+	TxFallbackReads int // partial-WCAB retransmissions that re-read outboard data
+	Converted       int // descriptor chains converted at the legacy entry point
+	RxSmall         int // packets delivered entirely from the auto-DMA buffer
+	RxLarge         int // packets delivered as auto-DMA head + M_WCAB body
+}
+
+// Driver is one CAB driver instance.
+type Driver struct {
+	K          *kern.Kernel
+	C          *cab.CAB
+	Input      netif.InputFunc
+	SingleCopy bool
+	Stats      Stats
+
+	name string
+	mtu  units.Size
+
+	txQ           *sim.Queue[*txJob]
+	pendingTxSDMA int
+	doneWork      []func(kern.Ctx)
+}
+
+type txJob struct {
+	m   *mbuf.Mbuf
+	dst netif.LinkAddr
+}
+
+// outPkt is the WCAB handle for transmit packets resident outboard.
+type outPkt struct {
+	pk *cab.Packet
+	// payloadOff is where user payload starts within the packet (link +
+	// IP + transport headers).
+	payloadOff units.Size
+}
+
+// rxPkt is the WCAB handle for receive packets.
+type rxPkt struct {
+	pk *cab.Packet
+}
+
+// Default geometry: the paper's MTU is 32 KBytes.
+const (
+	// DefaultMTU is the network-layer MTU, sized so the TCP payload of a
+	// full segment is exactly the paper's 32 KByte MTU worth of data.
+	DefaultMTU = 32*units.KB + wire.IPHdrLen + wire.TCPHdrLen
+	// rxBufCount is how many auto-DMA buffers the driver keeps posted.
+	rxBufCount = 64
+	// doneBatchLimit bounds how much completion work may accumulate
+	// before forcing an interrupt even with SDMAs still pending.
+	doneBatchLimit = 8
+)
+
+// New attaches a driver to adaptor c with stack input fn.
+func New(name string, k *kern.Kernel, c *cab.CAB, singleCopy bool) *Driver {
+	d := &Driver{
+		K:          k,
+		C:          c,
+		SingleCopy: singleCopy,
+		name:       name,
+		mtu:        DefaultMTU,
+		txQ:        sim.NewQueue[*txJob](k.Eng),
+	}
+	for i := 0; i < rxBufCount; i++ {
+		c.ProvideRxBuf(make([]byte, c.Cfg.AutoDMALen))
+	}
+	c.OnRx = d.hwRx
+	k.Eng.Go(name+"/txd", d.txd)
+	return d
+}
+
+// Name implements netif.Interface.
+func (d *Driver) Name() string { return d.name }
+
+// MTU implements netif.Interface.
+func (d *Driver) MTU() units.Size { return d.mtu }
+
+// SetMTU overrides the network-layer MTU (test configurations).
+func (d *Driver) SetMTU(m units.Size) { d.mtu = m }
+
+// Caps implements netif.Interface.
+func (d *Driver) Caps() netif.Caps { return netif.Caps{SingleCopy: d.SingleCopy} }
+
+// Output implements netif.Interface: it queues the packet for the transmit
+// daemon, converting descriptor chains first when running as a legacy
+// driver.
+func (d *Driver) Output(ctx kern.Ctx, m *mbuf.Mbuf, dst netif.LinkAddr) {
+	ctx.Charge(d.K.Mach.DriverPerPacket, kern.CatDriver)
+	if m.IsPktHdr() && mbuf.ChainLen(m) != m.PktLen() {
+		panic(fmt.Sprintf("cabdrv: packet length %v does not match header %v (types %v)",
+			mbuf.ChainLen(m), m.PktLen(), mbuf.Types(m)))
+	}
+	if !d.SingleCopy && mbuf.HasDescriptors(m) {
+		d.Stats.Converted++
+		m = netif.ConvertForLegacy(ctx, m)
+	}
+	d.txQ.Put(&txJob{m: m, dst: dst})
+}
+
+// txd is the transmit daemon: it forms complete packets in network memory
+// (the CAB requires fully formed, page-aligned packets, Section 2.2) and
+// starts media transmission as each SDMA completes.
+func (d *Driver) txd(p *sim.Proc) {
+	for {
+		job := d.txQ.Get(p)
+		if d.SingleCopy {
+			d.sendSingleCopy(p, job)
+		} else {
+			d.sendLegacy(p, job)
+		}
+	}
+}
+
+// sendSingleCopy transmits a (possibly descriptor-bearing) packet.
+func (d *Driver) sendSingleCopy(p *sim.Proc, job *txJob) {
+	m := job.m
+	hdrH := m.Hdr()
+
+	if op, prefixLen, ok := d.overlayCandidate(m); ok {
+		d.sendOverlay(job, op, prefixLen)
+		return
+	}
+
+	ipLen := mbuf.ChainLen(m)
+	pktLen := wire.LinkHdrLen + ipLen
+	pk := d.C.AllocPacketWait(p, pktLen)
+
+	lh := make([]byte, wire.LinkHdrLen)
+	wire.LinkHdr{
+		Dst: uint32(job.dst), Src: uint32(d.C.NodeID()),
+		Type: wire.EtherTypeIP, Len: uint32(pktLen),
+	}.Marshal(lh)
+
+	gather := [][]byte{lh}
+	for cur := m; cur != nil; cur = cur.Next() {
+		switch cur.Type() {
+		case mbuf.TData, mbuf.TCluster:
+			gather = append(gather, cur.Bytes())
+		case mbuf.TUIO:
+			u := cur.UIO()
+			for _, seg := range u.Segments(cur.Off(), cur.Len()) {
+				if !u.Space.Pinned(seg.Addr, seg.Len) {
+					panic(fmt.Sprintf("cabdrv: DMA from unpinned user pages [%v,+%v)", seg.Addr, seg.Len))
+				}
+				gather = append(gather, u.Space.Bytes(seg.Addr, seg.Len))
+			}
+		case mbuf.TWCAB:
+			// Partial retransmission of outboard data whose boundaries
+			// shifted (e.g. after a partial ACK): read it back. Rare.
+			w := cur.WCABRef()
+			d.Stats.TxFallbackReads++
+			b := make([]byte, cur.Len())
+			copy(b, w.ReadFn(cur.Off(), cur.Len()))
+			gather = append(gather, b)
+		}
+	}
+
+	req := &cab.SDMAReq{Dir: cab.ToCAB, Pkt: pk, Gather: gather}
+	if hdrH != nil && hdrH.NeedCsum {
+		req.Csum = true
+		req.CsumOff = wire.LinkHdrLen + wire.IPHdrLen + hdrH.CsumOff
+		req.CsumSkip = wire.LinkHdrLen + wire.IPHdrLen + hdrH.CsumSkip
+	}
+	d.pendingTxSDMA++
+	req.Done = func(*cab.SDMAReq) { d.txSDMADone(job, pk, hdrH) }
+	d.C.SDMA(req)
+}
+
+// txSDMADone runs in hardware context when a transmit packet is fully
+// formed outboard: media transmission starts immediately (the TCP window
+// was checked before the packet was cut, Section 2.2), and the host-side
+// completion work is batched for the next interrupt.
+func (d *Driver) txSDMADone(job *txJob, pk *cab.Packet, hdrH *mbuf.Hdr) {
+	d.Stats.TxPackets++
+	// Ownership of the outboard packet: the transport takes it (as
+	// retransmittable M_WCAB state) only when it asked for the conversion
+	// via OnOutboard. Everything else — control segments, UDP datagrams,
+	// raw sends — is freed once the frame has left the adaptor.
+	transportOwns := hdrH != nil && hdrH.NeedCsum && hdrH.OnOutboard != nil &&
+		!hdrH.FreeAfterSend
+	var mdmaDone func()
+	if !transportOwns {
+		mdmaDone = func() { pk.Free() }
+	}
+	d.C.MDMATx(pk, hippi.NodeID(job.dst), mdmaDone)
+
+	m := job.m
+	d.completeTx(func(ctx kern.Ctx) {
+		if transportOwns {
+			payloadOff := wire.LinkHdrLen + wire.IPHdrLen + hdrH.CsumSkip
+			w := &mbuf.WCAB{
+				Handle:  &outPkt{pk: pk, payloadOff: payloadOff},
+				BodySum: pk.BodySum,
+				Valid:   pk.Len() - payloadOff,
+				ReadFn: func(off, n units.Size) []byte {
+					return pk.Bytes()[payloadOff+off : payloadOff+off+n]
+				},
+				FreeFn: func() { pk.Free() },
+			}
+			hdrH.OnOutboard(w)
+		} else {
+			// No transport callback (UDP, raw): notify the displaced
+			// descriptor owners directly — their bytes are outboard.
+			for cur := m; cur != nil; cur = cur.Next() {
+				if cur.Type() == mbuf.TUIO {
+					if ch := cur.Hdr(); ch != nil && ch.Owner != nil {
+						ch.Owner.DMADone(cur.Len())
+					}
+				}
+			}
+		}
+		mbuf.FreeChain(m)
+	})
+}
+
+// sendOverlay retransmits an outboard packet by DMAing only the fresh
+// headers over the old ones; the checksum engine combines the new seed
+// with the body checksum it saved on the first transmission (Section 4.3).
+func (d *Driver) sendOverlay(job *txJob, op *outPkt, prefixLen units.Size) {
+	m := job.m
+	hdrH := m.Hdr()
+	d.Stats.TxOverlays++
+
+	hb := make([]byte, prefixLen)
+	mbuf.ReadRange(m, 0, prefixLen, hb)
+	lh := make([]byte, wire.LinkHdrLen)
+	wire.LinkHdr{
+		Dst: uint32(job.dst), Src: uint32(d.C.NodeID()),
+		Type: wire.EtherTypeIP, Len: uint32(op.pk.Len()),
+	}.Marshal(lh)
+
+	req := &cab.SDMAReq{
+		Dir: cab.ToCAB, Pkt: op.pk,
+		Gather:     [][]byte{lh, hb},
+		HeaderOnly: true,
+	}
+	if hdrH != nil && hdrH.NeedCsum {
+		req.Csum = true
+		req.CsumOff = wire.LinkHdrLen + wire.IPHdrLen + hdrH.CsumOff
+		req.CsumSkip = wire.LinkHdrLen + wire.IPHdrLen + hdrH.CsumSkip
+	}
+	d.pendingTxSDMA++
+	req.Done = func(*cab.SDMAReq) {
+		d.Stats.TxPackets++
+		d.C.MDMATx(op.pk, hippi.NodeID(job.dst), nil)
+		d.completeTx(func(kern.Ctx) { mbuf.FreeChain(m) })
+	}
+	d.C.SDMA(req)
+}
+
+// overlayCandidate reports whether packet m is a retransmission whose
+// entire payload is one of our outboard packets, unshifted — the
+// header-only fast path.
+func (d *Driver) overlayCandidate(m *mbuf.Mbuf) (*outPkt, units.Size, bool) {
+	prefixLen := units.Size(0)
+	cur := m
+	for cur != nil && !cur.Type().IsDescriptor() {
+		prefixLen += cur.Len()
+		cur = cur.Next()
+	}
+	if cur == nil || cur.Type() != mbuf.TWCAB || cur.Next() != nil {
+		return nil, 0, false
+	}
+	w := cur.WCABRef()
+	op, ok := w.Handle.(*outPkt)
+	if !ok || op.pk.Freed() || op.pk.Owner() != d.C {
+		return nil, 0, false
+	}
+	if cur.Off() != 0 || cur.Len() != w.Valid {
+		return nil, 0, false
+	}
+	if prefixLen+wire.LinkHdrLen != op.payloadOff {
+		return nil, 0, false
+	}
+	return op, prefixLen, true
+}
+
+// sendLegacy transmits a fully materialized kernel-buffer packet, using
+// the CAB as a plain DMA device (the unmodified stack's path). The
+// outboard packet is freed after the media send: retransmission state
+// lives in the kernel socket buffers.
+func (d *Driver) sendLegacy(p *sim.Proc, job *txJob) {
+	m := job.m
+	ipLen := mbuf.ChainLen(m)
+	pktLen := wire.LinkHdrLen + ipLen
+	pk := d.C.AllocPacketWait(p, pktLen)
+
+	lh := make([]byte, wire.LinkHdrLen)
+	wire.LinkHdr{
+		Dst: uint32(job.dst), Src: uint32(d.C.NodeID()),
+		Type: wire.EtherTypeIP, Len: uint32(pktLen),
+	}.Marshal(lh)
+	gather := [][]byte{lh}
+	for cur := m; cur != nil; cur = cur.Next() {
+		gather = append(gather, cur.Bytes())
+	}
+	d.pendingTxSDMA++
+	d.C.SDMA(&cab.SDMAReq{
+		Dir: cab.ToCAB, Pkt: pk, Gather: gather,
+		Done: func(*cab.SDMAReq) {
+			d.Stats.TxPackets++
+			d.C.MDMATx(pk, hippi.NodeID(job.dst), func() { pk.Free() })
+			d.completeTx(func(kern.Ctx) { mbuf.FreeChain(m) })
+		},
+	})
+}
+
+// completeTx batches host-side completion work, raising one interrupt when
+// the SDMA engine drains (or the batch grows large) — the paper's "only
+// the final packet's SDMA request needs to be flagged to interrupt the
+// host" discipline (Section 2.2).
+func (d *Driver) completeTx(work func(kern.Ctx)) {
+	d.doneWork = append(d.doneWork, work)
+	d.pendingTxSDMA--
+	if d.pendingTxSDMA == 0 || len(d.doneWork) >= doneBatchLimit {
+		list := d.doneWork
+		d.doneWork = nil
+		d.K.PostIntr("cab-tx-done", func(p *sim.Proc) {
+			ctx := d.K.IntrCtx(p)
+			for _, w := range list {
+				w(ctx)
+			}
+		})
+	}
+}

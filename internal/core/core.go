@@ -1,0 +1,164 @@
+// Package core assembles complete simulated hosts — kernel, VM, protocol
+// stack, CAB adaptor and driver, optional legacy Ethernet and loopback
+// devices — into a testbed, and is the primary entry point for running the
+// paper's configurations: the unmodified stack versus the single-copy
+// stack over the Gigabit Nectar CAB (Figure 2).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cab"
+	"repro/internal/cabdrv"
+	"repro/internal/cost"
+	"repro/internal/ethdev"
+	"repro/internal/hippi"
+	"repro/internal/kern"
+	"repro/internal/loop"
+	"repro/internal/mem"
+	"repro/internal/netif"
+	"repro/internal/sim"
+	"repro/internal/socket"
+	"repro/internal/tcpip"
+	"repro/internal/units"
+	"repro/internal/wire"
+)
+
+// HostConfig describes one host to add to a testbed.
+type HostConfig struct {
+	Name string
+	Addr wire.Addr
+	// Mach is the cost model; nil defaults to the Alpha 3000/400.
+	Mach *cost.Machine
+	// Mode selects the stack variant.
+	Mode socket.Mode
+	// CABNode is the host's HIPPI switch port.
+	CABNode hippi.NodeID
+	// CABConfig overrides the adaptor configuration (zero value: default).
+	CABConfig *cab.Config
+	// NoDriver attaches the CAB hardware without the protocol driver
+	// (raw-HIPPI measurement harnesses drive the adaptor directly).
+	NoDriver bool
+	// EthNode, if non-zero, also attaches a legacy Ethernet-class device
+	// at that station id on the testbed's legacy medium.
+	EthNode hippi.NodeID
+	// Loopback attaches a loopback interface.
+	Loopback bool
+	// LazyUnpin enables the pinned-buffer reuse cache (Section 4.4.1
+	// extension).
+	LazyUnpin bool
+}
+
+// Host is one assembled host.
+type Host struct {
+	Name string
+	Cfg  HostConfig
+	K    *kern.Kernel
+	VM   *kern.VM
+	Stk  *tcpip.Stack
+	CAB  *cab.CAB
+	Drv  *cabdrv.Driver
+	Eth  *ethdev.Driver
+	Lo   *loop.Loopback
+}
+
+// Testbed is a set of hosts joined by a HIPPI switch (and optionally a
+// slower legacy medium).
+type Testbed struct {
+	Eng    *sim.Engine
+	Net    *hippi.Network
+	EthNet *hippi.Network
+	Hosts  []*Host
+}
+
+// EthRate is the legacy medium's line rate (FDDI-class, so the legacy
+// device rather than the wire dominates in interop tests).
+const EthRate = 100 * units.Mbps
+
+// NewTestbed creates an empty testbed with a HIPPI switch.
+func NewTestbed(seed int64) *Testbed {
+	eng := sim.NewEngine(seed)
+	return &Testbed{
+		Eng:    eng,
+		Net:    hippi.NewNetwork(eng, hippi.LineRate, 5*units.Microsecond),
+		EthNet: hippi.NewNetwork(eng, EthRate, 50*units.Microsecond),
+	}
+}
+
+// AddHost assembles a host and joins it to the testbed fabrics.
+func (tb *Testbed) AddHost(cfg HostConfig) *Host {
+	if cfg.Mach == nil {
+		cfg.Mach = cost.Alpha400()
+	}
+	h := &Host{Name: cfg.Name, Cfg: cfg}
+	h.K = kern.New(cfg.Name, tb.Eng, cfg.Mach)
+	h.VM = kern.NewVM(h.K)
+	h.VM.LazyUnpin = cfg.LazyUnpin
+	h.Stk = tcpip.NewStack(h.K, cfg.Addr)
+
+	cabCfg := cab.DefaultConfig()
+	if cfg.CABConfig != nil {
+		cabCfg = *cfg.CABConfig
+	}
+	h.CAB = cab.New(tb.Eng, cfg.Mach, tb.Net, cfg.CABNode, cabCfg)
+	if !cfg.NoDriver {
+		h.Drv = cabdrv.New("cab0", h.K, h.CAB, cfg.Mode == socket.ModeSingleCopy)
+		h.Drv.Input = h.Stk.Input
+	}
+	if cfg.EthNode != 0 {
+		h.Eth = ethdev.New("en0", h.K, tb.EthNet, cfg.EthNode, 0)
+		h.Eth.Input = h.Stk.Input
+	}
+	if cfg.Loopback {
+		h.Lo = loop.New(h.K)
+		h.Lo.Input = h.Stk.Input
+		h.Stk.Routes.AddHost(cfg.Addr, h.Lo, 0)
+	}
+	tb.Hosts = append(tb.Hosts, h)
+	return h
+}
+
+// RouteCAB installs host routes in both directions between a and b over
+// the HIPPI fabric.
+func (tb *Testbed) RouteCAB(a, b *Host) {
+	if a.Drv == nil || b.Drv == nil {
+		panic("core: RouteCAB requires CAB drivers on both hosts")
+	}
+	a.Stk.Routes.AddHost(b.Cfg.Addr, a.Drv, netif.LinkAddr(b.Cfg.CABNode))
+	b.Stk.Routes.AddHost(a.Cfg.Addr, b.Drv, netif.LinkAddr(a.Cfg.CABNode))
+}
+
+// RouteEth installs host routes between a and b over the legacy medium.
+func (tb *Testbed) RouteEth(a, b *Host) {
+	if a.Eth == nil || b.Eth == nil {
+		panic("core: RouteEth requires Ethernet devices on both hosts")
+	}
+	a.Stk.Routes.AddHost(b.Cfg.Addr, a.Eth, netif.LinkAddr(b.Cfg.EthNode))
+	b.Stk.Routes.AddHost(a.Cfg.Addr, b.Eth, netif.LinkAddr(a.Cfg.EthNode))
+}
+
+// NewUserTask creates a user task on the host with its own address space.
+func (h *Host) NewUserTask(name string, spaceSize units.Size) *kern.Task {
+	if spaceSize <= 0 {
+		spaceSize = 8 * units.MB
+	}
+	space := mem.NewAddrSpace(fmt.Sprintf("%s/%s", h.Name, name),
+		spaceSize, h.K.Mach.PageSize)
+	return h.K.NewTask(name, kern.PrioUser, space)
+}
+
+// SocketConfig returns the socket configuration matching the host's stack
+// variant.
+func (h *Host) SocketConfig() socket.Config {
+	return socket.Config{Mode: h.Cfg.Mode}
+}
+
+// Dial opens a stream socket from task on h to raddr:rport.
+func (h *Host) Dial(p *sim.Proc, task *kern.Task, raddr wire.Addr, rport uint16) (*socket.Socket, error) {
+	return socket.Dial(p, h.K, h.VM, task, h.Stk, raddr, rport, h.SocketConfig())
+}
+
+// Accept wraps a listener accept with the host's socket configuration.
+func (h *Host) Accept(p *sim.Proc, task *kern.Task, l *tcpip.TCPListener) *socket.Socket {
+	return socket.Accept(p, h.K, h.VM, task, l, h.SocketConfig())
+}

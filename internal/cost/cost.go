@@ -1,0 +1,218 @@
+// Package cost defines the machine cost models that drive the simulator's
+// virtual-time accounting.
+//
+// All constants for the Alpha 3000/400 come straight from the paper
+// (Section 7): memory-to-memory copy of a 1 MByte region runs at 350
+// Mbit/s, a checksum read of a 512 KByte region at 630 Mbit/s, the
+// per-packet protocol overhead is about 300 microseconds, and the VM
+// operation costs are those of Table 2 (pin = 35 + 29·n µs, unpin =
+// 48 + 3.9·n µs, map = 6 + 4.5·n µs for n pages). The Alpha 3000/300LX is
+// "about half as powerful" with a half-speed Turbochannel.
+//
+// The Turbochannel DMA model reflects Section 7.1: the TcIA chip cannot
+// pipeline the DMA engines and is limited to short (8-word) bursts, which
+// caps effective adaptor throughput well below the 300 Mbit/s design point.
+package cost
+
+import "repro/internal/units"
+
+// Machine models the per-byte, per-page, and per-packet costs of one host
+// plus its IO-bus DMA characteristics.
+type Machine struct {
+	Name string
+
+	// PageSize is the VM page size (8 KB on Alpha OSF/1).
+	PageSize units.Size
+
+	// CopyRateBase is the CPU memory-to-memory copy rate with no cache
+	// locality (large regions).
+	CopyRateBase units.Rate
+	// CsumRateBase is the CPU checksum-read rate with no cache locality.
+	CsumRateBase units.Rate
+	// CacheSize and CacheBoost model locality: a region that fits in the
+	// cache is processed up to (1+CacheBoost)× faster; the speedup decays
+	// linearly to zero as the region size reaches CacheSize.
+	CacheSize  units.Size
+	CacheBoost float64
+
+	// Per-packet protocol processing costs. Their sum for one
+	// transmitted packet is the paper's ~300 µs per-packet overhead.
+	SocketPerPacket units.Time // socket-layer bookkeeping per packet's worth
+	TCPPerPacket    units.Time // transport packetization, state, header
+	IPPerPacket     units.Time // routing and header
+	DriverPerPacket units.Time // driver request setup per packet
+	InterruptCost   units.Time // taking and dismissing one interrupt
+	SyscallCost     units.Time // fixed read/write syscall entry/exit
+
+	// Table 2 VM operation costs: base + per-page.
+	PinBase      units.Time
+	PinPerPage   units.Time
+	UnpinBase    units.Time
+	UnpinPerPage units.Time
+	MapBase      units.Time
+	MapPerPage   units.Time
+
+	// IO-bus DMA model: a transfer costs DMASetup once, then moves
+	// DMABurstBytes per burst, each burst taking DMABurstTime on the bus
+	// plus DMABurstGap of dead time (TcIA turnaround, alignment fixups).
+	DMASetup      units.Time
+	DMABurstBytes units.Size
+	DMABurstTime  units.Time
+	DMABurstGap   units.Time
+}
+
+// Alpha400 returns the cost model for the DEC Alpha 3000/400 used for
+// Figure 5, calibrated from the paper's Section 7 measurements.
+func Alpha400() *Machine {
+	return &Machine{
+		Name:     "Alpha 3000/400",
+		PageSize: 8 * units.KB,
+
+		CopyRateBase: 350 * units.Mbps,
+		CsumRateBase: 630 * units.Mbps,
+		CacheSize:    512 * units.KB,
+		CacheBoost:   0.2,
+
+		SocketPerPacket: 50 * units.Microsecond,
+		TCPPerPacket:    80 * units.Microsecond,
+		IPPerPacket:     20 * units.Microsecond,
+		DriverPerPacket: 60 * units.Microsecond,
+		InterruptCost:   40 * units.Microsecond,
+		SyscallCost:     30 * units.Microsecond,
+
+		PinBase:      35 * units.Microsecond,
+		PinPerPage:   29 * units.Microsecond,
+		UnpinBase:    48 * units.Microsecond,
+		UnpinPerPage: 3900 * units.Nanosecond, // 3.9 µs
+		MapBase:      6 * units.Microsecond,
+		MapPerPage:   4500 * units.Nanosecond, // 4.5 µs
+
+		// 32-byte (8-word) bursts; ~320 ns on the bus plus ~1.38 µs of
+		// TcIA dead time per burst caps large transfers near 150 Mbit/s,
+		// matching the microcode-limited throughput of Section 7.1.
+		DMASetup:      8 * units.Microsecond,
+		DMABurstBytes: 32,
+		DMABurstTime:  320 * units.Nanosecond,
+		DMABurstGap:   1380 * units.Nanosecond,
+	}
+}
+
+// Alpha300 returns the cost model for the DEC Alpha 3000/300LX used for
+// Figure 6: a 125 MHz system, about half as powerful as the 3000/400, with
+// a half-speed Turbochannel.
+func Alpha300() *Machine {
+	m := Alpha400()
+	m.Name = "Alpha 3000/300LX"
+	m.CopyRateBase = 175 * units.Mbps
+	m.CsumRateBase = 315 * units.Mbps
+	m.SocketPerPacket *= 2
+	m.TCPPerPacket *= 2
+	m.IPPerPacket *= 2
+	m.DriverPerPacket *= 2
+	m.InterruptCost *= 2
+	m.SyscallCost *= 2
+	m.PinBase *= 2
+	m.PinPerPage *= 2
+	m.UnpinBase *= 2
+	m.UnpinPerPage *= 2
+	m.MapBase *= 2
+	m.MapPerPage *= 2
+	m.DMABurstTime *= 2
+	m.DMABurstGap *= 2
+	return m
+}
+
+// localityRate scales base by the cache-locality model for a working set
+// of region bytes.
+func (m *Machine) localityRate(base units.Rate, region units.Size) units.Rate {
+	if m.CacheSize <= 0 || region >= m.CacheSize {
+		return base
+	}
+	hit := 1 - float64(region)/float64(m.CacheSize)
+	if region <= 0 {
+		hit = 1
+	}
+	return base * units.Rate(1+m.CacheBoost*hit)
+}
+
+// CopyRate returns the effective CPU copy rate when the working set spans
+// region bytes.
+func (m *Machine) CopyRate(region units.Size) units.Rate {
+	return m.localityRate(m.CopyRateBase, region)
+}
+
+// CsumRate returns the effective CPU checksum-read rate for a working set
+// of region bytes.
+func (m *Machine) CsumRate(region units.Size) units.Rate {
+	return m.localityRate(m.CsumRateBase, region)
+}
+
+// CopyTime returns the CPU time to copy n bytes when the working set spans
+// region bytes.
+func (m *Machine) CopyTime(n, region units.Size) units.Time {
+	return m.CopyRate(region).TimeFor(n)
+}
+
+// CsumTime returns the CPU time to checksum-read n bytes with a working
+// set of region bytes.
+func (m *Machine) CsumTime(n, region units.Size) units.Time {
+	return m.CsumRate(region).TimeFor(n)
+}
+
+// PinTime returns the cost of pinning n pages (Table 2).
+func (m *Machine) PinTime(pages int) units.Time {
+	return m.PinBase + units.Time(pages)*m.PinPerPage
+}
+
+// UnpinTime returns the cost of unpinning n pages (Table 2).
+func (m *Machine) UnpinTime(pages int) units.Time {
+	return m.UnpinBase + units.Time(pages)*m.UnpinPerPage
+}
+
+// MapTime returns the cost of mapping n pages into kernel space (Table 2).
+func (m *Machine) MapTime(pages int) units.Time {
+	return m.MapBase + units.Time(pages)*m.MapPerPage
+}
+
+// Pages returns the number of pages spanned by n bytes starting at byte
+// offset off within a page-aligned space.
+func (m *Machine) Pages(off, n units.Size) int {
+	if n <= 0 {
+		return 0
+	}
+	first := off / m.PageSize
+	last := (off + n - 1) / m.PageSize
+	return int(last-first) + 1
+}
+
+// DMATime returns the bus occupancy for one DMA transfer of n bytes.
+func (m *Machine) DMATime(n units.Size) units.Time {
+	if n <= 0 {
+		return m.DMASetup
+	}
+	bursts := (n + m.DMABurstBytes - 1) / m.DMABurstBytes
+	return m.DMASetup + units.Time(bursts)*(m.DMABurstTime+m.DMABurstGap)
+}
+
+// DMAEffectiveRate returns the effective throughput of a DMA transfer of n
+// bytes, including setup.
+func (m *Machine) DMAEffectiveRate(n units.Size) units.Rate {
+	return units.RateOf(n, m.DMATime(n))
+}
+
+// PerPacketSend returns the total per-packet CPU cost of transmitting one
+// packet (socket + transport + network + driver + one interrupt's worth of
+// completion handling).
+func (m *Machine) PerPacketSend() units.Time {
+	return m.SocketPerPacket + m.TCPPerPacket + m.IPPerPacket +
+		m.DriverPerPacket + m.InterruptCost
+}
+
+// PerPacketSendWithAcks adds the amortized cost of processing the
+// acknowledgement stream (one delayed ACK per two data packets: interrupt
+// dispatch, IP input, and header-only TCP processing), giving the ~300 µs
+// total per-packet overhead the paper measured.
+func (m *Machine) PerPacketSendWithAcks() units.Time {
+	ack := m.InterruptCost + m.IPPerPacket + m.TCPPerPacket/2
+	return m.PerPacketSend() + ack/2
+}

@@ -1,0 +1,121 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s = %v, want %v ± %v", what, got, want, tol)
+	}
+}
+
+func TestCopyRateMatchesPaper(t *testing.T) {
+	m := Alpha400()
+	// Paper: copies of a 1 MByte region (no locality) run at 350 Mbit/s.
+	approx(t, m.CopyRate(1*units.MB).Mbit(), 350, 0.1, "copy rate @1MB")
+}
+
+func TestCsumRateMatchesPaper(t *testing.T) {
+	m := Alpha400()
+	// Paper: a read of a 512 KByte region runs at 630 Mbit/s.
+	approx(t, m.CsumRate(512*units.KB).Mbit(), 630, 0.1, "csum rate @512KB")
+}
+
+func TestCacheLocalityBoost(t *testing.T) {
+	m := Alpha400()
+	small := m.CopyRate(32 * units.KB)
+	large := m.CopyRate(1 * units.MB)
+	if small <= large {
+		t.Fatalf("small-region copy (%v) should beat large-region copy (%v)", small, large)
+	}
+	if small > large*units.Rate(1+m.CacheBoost) {
+		t.Fatalf("boost exceeds configured maximum: %v vs base %v", small, large)
+	}
+	// Monotone non-increasing in region size.
+	prev := m.CopyRate(1 * units.KB)
+	for r := 2 * units.KB; r <= 2*units.MB; r *= 2 {
+		cur := m.CopyRate(r)
+		if cur > prev {
+			t.Fatalf("copy rate not monotone: %v @%v > %v", cur, r, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestTable2Costs(t *testing.T) {
+	m := Alpha400()
+	// Table 2: pin = 35 + 29n, unpin = 48 + 3.9n, map = 6 + 4.5n (µs).
+	approx(t, m.PinTime(1).Micros(), 64, 0.01, "pin 1 page")
+	approx(t, m.PinTime(4).Micros(), 35+29*4, 0.01, "pin 4 pages")
+	approx(t, m.UnpinTime(10).Micros(), 48+3.9*10, 0.01, "unpin 10 pages")
+	approx(t, m.MapTime(10).Micros(), 6+4.5*10, 0.01, "map 10 pages")
+}
+
+func TestPerPacketOverheadNear300us(t *testing.T) {
+	m := Alpha400()
+	// Paper: per-packet overhead measured at about 300 µs (including the
+	// sender's share of acknowledgement processing).
+	approx(t, m.PerPacketSendWithAcks().Micros(), 300, 15, "per-packet send cost")
+}
+
+func TestDMAEffectiveRateCappedByTcIA(t *testing.T) {
+	m := Alpha400()
+	// Section 7.1: microcode/TcIA limits throughput to less than half of
+	// the 300 Mbit/s design bandwidth.
+	r := m.DMAEffectiveRate(32 * units.KB).Mbit()
+	if r < 120 || r > 155 {
+		t.Fatalf("32KB DMA effective rate = %.1f Mb/s, want ~150", r)
+	}
+	// Small transfers pay proportionally more setup.
+	small := m.DMAEffectiveRate(1 * units.KB).Mbit()
+	if small >= r {
+		t.Fatalf("1KB DMA rate %.1f should be below 32KB rate %.1f", small, r)
+	}
+}
+
+func TestAlpha300HalfPower(t *testing.T) {
+	m4, m3 := Alpha400(), Alpha300()
+	approx(t, m3.CopyRate(1*units.MB).Mbit(), m4.CopyRate(1*units.MB).Mbit()/2, 0.1, "copy rate ratio")
+	if m3.PerPacketSend() != 2*m4.PerPacketSend() {
+		t.Fatalf("per-packet cost should double: %v vs %v", m3.PerPacketSend(), m4.PerPacketSend())
+	}
+	r4 := m4.DMAEffectiveRate(32 * units.KB)
+	r3 := m3.DMAEffectiveRate(32 * units.KB)
+	if r3 >= r4 {
+		t.Fatalf("half-speed Turbochannel should be slower: %v vs %v", r3, r4)
+	}
+}
+
+func TestPages(t *testing.T) {
+	m := Alpha400()
+	cases := []struct {
+		off, n units.Size
+		want   int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 8 * units.KB, 1},
+		{0, 8*units.KB + 1, 2},
+		{8*units.KB - 1, 2, 2},
+		{4 * units.KB, 8 * units.KB, 2},
+		{0, 64 * units.KB, 8},
+		{1, 64 * units.KB, 9},
+	}
+	for _, c := range cases {
+		if got := m.Pages(c.off, c.n); got != c.want {
+			t.Errorf("Pages(%d,%d) = %d, want %d", c.off, c.n, got, c.want)
+		}
+	}
+}
+
+func TestCopyTimeZero(t *testing.T) {
+	m := Alpha400()
+	if m.CopyTime(0, 0) != 0 {
+		t.Fatal("zero-length copy should cost nothing")
+	}
+}

@@ -1,0 +1,148 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+// quickSizes keeps figure tests fast while spanning the interesting range.
+var quickSizes = []units.Size{4 * units.KB, 16 * units.KB, 64 * units.KB, 256 * units.KB}
+
+func TestFigure5ShapeClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweep is long")
+	}
+	fig := Figure5(quickSizes)
+	t.Logf("\n%s", fig.Format())
+	un, mod, raw := fig.Series["Unmodified"], fig.Series["Modified"], fig.Series["RawHIPPI"]
+	last := len(quickSizes) - 1
+
+	// Claim 1: for large writes the single-copy stack is ≳2.3× more
+	// efficient ("almost three times").
+	ratio := float64(mod[last].Efficiency) / float64(un[last].Efficiency)
+	if ratio < 2.2 {
+		t.Errorf("large-write efficiency ratio = %.2f, want ≥ 2.2", ratio)
+	}
+
+	// Claim 2: throughputs are comparable for large writes (the paper:
+	// "the two stacks give similar throughputs"; ours has the modified
+	// stack moderately ahead, consistent with its lower CPU demand).
+	tr := mod[last].Throughput.Mbit() / un[last].Throughput.Mbit()
+	if tr < 0.8 || tr > 1.6 {
+		t.Errorf("large-write throughput ratio = %.2f, want ≈1-1.5", tr)
+	}
+
+	// Claim 3: the modified stack's utilization is far lower at large
+	// sizes.
+	if mod[last].Utilization >= un[last].Utilization*0.75 {
+		t.Errorf("modified utilization %.2f should be well below unmodified %.2f",
+			mod[last].Utilization, un[last].Utilization)
+	}
+
+	// Claim 4: raw HIPPI bounds both stacks' throughput at every size.
+	for i := range quickSizes {
+		if raw[i].Throughput < mod[i].Throughput*95/100 ||
+			raw[i].Throughput < un[i].Throughput*95/100 {
+			t.Errorf("raw HIPPI slower than a stack at %v", quickSizes[i])
+		}
+	}
+
+	// Claim 5: efficiency crossover exists and falls between 4KB and 32KB.
+	x, ok := fig.Crossover()
+	if !ok {
+		t.Error("no efficiency crossover found")
+	} else if x < 4*units.KB || x > 32*units.KB {
+		t.Errorf("crossover at %v, want 4KB..32KB (paper: 8-16KB)", x)
+	}
+}
+
+func TestFigure6SlowMachineClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweep is long")
+	}
+	sizes := []units.Size{64 * units.KB, 256 * units.KB}
+	fig := Figure6(sizes)
+	t.Logf("\n%s", fig.Format())
+	un, mod := fig.Series["Unmodified"], fig.Series["Modified"]
+	// Claim: on the half-speed machine the CPU is the bottleneck, so the
+	// more efficient single-copy stack achieves HIGHER throughput.
+	for i := range sizes {
+		if mod[i].Throughput <= un[i].Throughput {
+			t.Errorf("at %v modified throughput %.1f ≤ unmodified %.1f; want higher on 3000/300",
+				sizes[i], mod[i].Throughput.Mbit(), un[i].Throughput.Mbit())
+		}
+	}
+}
+
+func TestTable2Measurement(t *testing.T) {
+	rows := MeasureTable2()
+	t.Logf("\n%s", FormatTable2(rows))
+	for _, r := range rows {
+		if r.Base < r.PaperBase*0.9 || r.Base > r.PaperBase*1.1 {
+			t.Errorf("%s base %.1f, paper %.1f", r.Operation, r.Base, r.PaperBase)
+		}
+		if r.PerPage < r.PaperPerPage*0.9 || r.PerPage > r.PaperPerPage*1.1 {
+			t.Errorf("%s per-page %.2f, paper %.2f", r.Operation, r.PerPage, r.PaperPerPage)
+		}
+	}
+}
+
+func TestHOLClaim(t *testing.T) {
+	r := RunHOL(32, 10000, 17)
+	t.Logf("\n%s", FormatHOL([]HOLResult{r}))
+	if r.FIFOUtilization < 0.54 || r.FIFOUtilization > 0.64 {
+		t.Errorf("FIFO utilization %.3f, want ≈0.586", r.FIFOUtilization)
+	}
+	if r.ChannelsUtilization < 0.9 {
+		t.Errorf("logical channels %.3f, want >0.9", r.ChannelsUtilization)
+	}
+}
+
+func TestLazyPinAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation is long")
+	}
+	pts := RunLazyPinAblation()
+	t.Logf("\n%s", FormatLazyPin(pts))
+	if pts[1].Efficiency <= pts[0].Efficiency {
+		t.Errorf("lazy pinning efficiency %.1f should beat eager %.1f",
+			pts[1].Efficiency.Mbit(), pts[0].Efficiency.Mbit())
+	}
+	if pts[1].PinHits == 0 {
+		t.Error("expected pin-cache hits with a reused buffer")
+	}
+}
+
+func TestThresholdAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation is long")
+	}
+	pts := RunThresholdAblation([]units.Size{2 * units.KB, 64 * units.KB})
+	t.Logf("\n%s", FormatThreshold(pts))
+	// At 2KB writes the threshold (copy path) should not hurt, and at
+	// 64KB the two configurations behave the same (both UIO).
+	small, large := pts[0], pts[1]
+	if small.WithThreshold < small.ForcedUIO*85/100 {
+		t.Errorf("threshold hurts small writes: %.1f vs %.1f",
+			small.WithThreshold.Mbit(), small.ForcedUIO.Mbit())
+	}
+	diff := float64(large.WithThreshold) / float64(large.ForcedUIO)
+	if diff < 0.9 || diff > 1.1 {
+		t.Errorf("threshold should not matter at 64KB: ratio %.2f", diff)
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	fig := Figure{
+		Name: "t", Machine: "m",
+		Sizes:  []units.Size{4 * units.KB},
+		Order:  []string{"Unmodified"},
+		Series: map[string][]Point{"Unmodified": {{RWSize: 4 * units.KB, Throughput: 100e6, Utilization: 0.5, Efficiency: 200e6}}},
+	}
+	csv := fig.CSV()
+	want := "Unmodified,4096,100.00,0.5000,200.00\n"
+	if csv != "series,rwsize_bytes,throughput_mbps,utilization,efficiency_mbps\n"+want {
+		t.Fatalf("csv:\n%s", csv)
+	}
+}

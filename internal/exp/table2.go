@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cost"
+	"repro/internal/kern"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Table 2 reproduction: measure the cost of the VM operations on the
+// simulated host — with a "microsecond timer", as the paper did with the
+// CAB's — across page counts, and fit base + per-page costs.
+
+// VMCostRow is one measured operation.
+type VMCostRow struct {
+	Operation string
+	Base      float64 // µs
+	PerPage   float64 // µs per page
+	// PaperBase and PaperPerPage are the published Table 2 values.
+	PaperBase, PaperPerPage float64
+}
+
+// MeasureTable2 measures pin/unpin/map costs for 1..64 pages on a
+// simulated Alpha 3000/400 and least-squares fits base + slope.
+func MeasureTable2() []VMCostRow {
+	eng := sim.NewEngine(99)
+	k := kern.New("probe", eng, cost.Alpha400())
+	vm := kern.NewVM(k)
+	task := k.NewTask("probe", kern.PrioUser, nil)
+	space := mem.NewAddrSpace("probe", 8*units.MB, k.Mach.PageSize)
+
+	pageCounts := []int{1, 2, 4, 8, 16, 32, 64}
+	var pinT, unpinT, mapT []float64
+
+	eng.Go("probe", func(p *sim.Proc) {
+		for _, n := range pageCounts {
+			buf := space.Alloc(units.Size(n)*k.Mach.PageSize, 0)
+
+			before := k.CategoryTime(kern.CatVM)
+			vm.PinBuf(p, task, space, buf.Addr, buf.Len)
+			pinT = append(pinT, (k.CategoryTime(kern.CatVM) - before).Micros())
+
+			before = k.CategoryTime(kern.CatVM)
+			vm.UnpinBuf(p, task, space, buf.Addr, buf.Len)
+			unpinT = append(unpinT, (k.CategoryTime(kern.CatVM) - before).Micros())
+
+			before = k.CategoryTime(kern.CatVM)
+			vm.MapBuf(p, task, space, buf.Addr, buf.Len)
+			mapT = append(mapT, (k.CategoryTime(kern.CatVM) - before).Micros())
+		}
+	})
+	eng.Run()
+	eng.KillAll()
+
+	xs := make([]float64, len(pageCounts))
+	for i, n := range pageCounts {
+		xs[i] = float64(n)
+	}
+	pb, pm := fitLine(xs, pinT)
+	ub, um := fitLine(xs, unpinT)
+	mb, mm := fitLine(xs, mapT)
+	return []VMCostRow{
+		{"Pin", pb, pm, 35, 29},
+		{"Unpin", ub, um, 48, 3.9},
+		{"Map", mb, mm, 6, 4.5},
+	}
+}
+
+// fitLine is an ordinary least-squares fit y = base + slope·x.
+func fitLine(xs, ys []float64) (base, slope float64) {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	slope = (n*sxy - sx*sy) / (n*sxx - sx*sx)
+	base = (sy - slope*sx) / n
+	return base, slope
+}
+
+// FormatTable2 renders the measured-vs-paper comparison.
+func FormatTable2(rows []VMCostRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: cost in microseconds of VM operations (n pages)\n")
+	fmt.Fprintf(&b, "%-10s %22s %22s\n", "Operation", "measured", "paper")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %12.1f + %4.1f·n  %12.1f + %4.1f·n\n",
+			r.Operation, r.Base, r.PerPage, r.PaperBase, r.PaperPerPage)
+	}
+	return b.String()
+}

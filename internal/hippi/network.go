@@ -1,0 +1,116 @@
+// Package hippi models the HIPPI media the CAB attaches to: 100
+// MByte/second point-to-point links through a switch (Section 2.1). The
+// functional model serializes frames at line rate on the sender's and
+// receiver's ports and applies a fixed propagation/switching delay; a
+// separate slotted-crossbar model (hol.go) reproduces the head-of-line
+// blocking analysis that motivates the CAB's logical channels.
+package hippi
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// LineRate is the HIPPI line rate: 100 MByte/second.
+const LineRate = 100 * units.MBytePerSec
+
+// NodeID identifies a host port on the switch.
+type NodeID int
+
+// Frame is one media frame: a fully formed packet.
+type Frame struct {
+	Src, Dst NodeID
+	Data     []byte
+}
+
+// Network is a switch connecting host ports.
+type Network struct {
+	eng   *sim.Engine
+	rate  units.Rate
+	delay units.Time
+	ports map[NodeID]*port
+
+	// DropFn, if set, is consulted for every frame after source
+	// serialization; returning true discards the frame (fault injection).
+	DropFn func(*Frame) bool
+
+	// Counters.
+	Sent, Delivered, Dropped int
+	BytesSent                units.Size
+}
+
+type port struct {
+	recv        func(Frame)
+	txBusyUntil units.Time
+	rxBusyUntil units.Time
+}
+
+// NewNetwork returns a switch on engine eng with per-port line rate rate
+// and fixed propagation/switching delay.
+func NewNetwork(eng *sim.Engine, rate units.Rate, delay units.Time) *Network {
+	return &Network{eng: eng, rate: rate, delay: delay, ports: make(map[NodeID]*port)}
+}
+
+// Attach registers the receive callback for node id. recv runs in event
+// context at frame-arrival time.
+func (n *Network) Attach(id NodeID, recv func(Frame)) {
+	if _, dup := n.ports[id]; dup {
+		panic(fmt.Sprintf("hippi: duplicate attach of node %d", id))
+	}
+	n.ports[id] = &port{recv: recv}
+}
+
+// Send transmits data from src to dst. The source port serializes the
+// frame at line rate; sent (if non-nil) runs when the frame has fully left
+// the source (the moment the sender's MDMA completes). Delivery to dst
+// happens after the switch delay plus receive-side serialization.
+func (n *Network) Send(src, dst NodeID, data []byte, sent func()) {
+	sp, ok := n.ports[src]
+	if !ok {
+		panic(fmt.Sprintf("hippi: send from unattached node %d", src))
+	}
+	now := n.eng.Now()
+	txTime := n.rate.TimeFor(units.Size(len(data)))
+	start := now
+	if sp.txBusyUntil > start {
+		start = sp.txBusyUntil
+	}
+	end := start + txTime
+	sp.txBusyUntil = end
+	n.Sent++
+	n.BytesSent += units.Size(len(data))
+
+	f := Frame{Src: src, Dst: dst, Data: data}
+	n.eng.At(end, func() {
+		if sent != nil {
+			sent()
+		}
+		if n.DropFn != nil && n.DropFn(&f) {
+			n.Dropped++
+			return
+		}
+		dp, ok := n.ports[dst]
+		if !ok {
+			n.Dropped++
+			return
+		}
+		arriveStart := n.eng.Now() + n.delay
+		if dp.rxBusyUntil > arriveStart {
+			arriveStart = dp.rxBusyUntil
+		}
+		arriveEnd := arriveStart + txTime
+		dp.rxBusyUntil = arriveEnd
+		n.eng.At(arriveEnd, func() {
+			n.Delivered++
+			dp.recv(f)
+		})
+	})
+}
+
+// TxBusy reports whether src's transmit port is mid-frame.
+func (n *Network) TxBusy(src NodeID) bool {
+	p, ok := n.ports[src]
+	return ok && p.txBusyUntil > n.eng.Now()
+}

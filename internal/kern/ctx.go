@@ -1,0 +1,51 @@
+package kern
+
+import (
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Ctx identifies the execution context protocol code runs in: either a
+// task's process context (a system call on its behalf) or interrupt
+// context. It lets shared stack code charge CPU time correctly without
+// caring who called it.
+type Ctx struct {
+	K    *Kernel
+	P    *sim.Proc
+	Task *Task // nil in interrupt context
+	Intr bool
+}
+
+// TaskCtx returns a process-context Ctx for task t running in p.
+func (k *Kernel) TaskCtx(p *sim.Proc, t *Task) Ctx {
+	return Ctx{K: k, P: p, Task: t}
+}
+
+// IntrCtx returns an interrupt-context Ctx running in p (normally the
+// interrupt daemon's process).
+func (k *Kernel) IntrCtx(p *sim.Proc) Ctx {
+	return Ctx{K: k, P: p, Intr: true}
+}
+
+// Charge accounts d of CPU time in category cat: as the task's system time
+// in process context, or misattributed to the current task in interrupt
+// context.
+func (c Ctx) Charge(d units.Time, cat Category) {
+	if c.Intr {
+		c.K.IntrWork(c.P, d, cat)
+		return
+	}
+	c.K.Work(c.P, c.Task, d, cat, true)
+}
+
+// CopyBytes copies src to dst charging copy time in this context.
+func (c Ctx) CopyBytes(dst, src []byte, region units.Size) {
+	c.Charge(c.K.Mach.CopyTime(units.Size(len(src)), region), CatCopy)
+	copy(dst, src)
+}
+
+// ChecksumRead software-checksums b, charging read time in this context.
+func (c Ctx) ChecksumRead(b []byte, region units.Size) uint32 {
+	c.Charge(c.K.Mach.CsumTime(units.Size(len(b)), region), CatCsum)
+	return sum(b)
+}

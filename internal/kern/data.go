@@ -1,0 +1,61 @@
+package kern
+
+import (
+	"repro/internal/checksum"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Data-touching primitives. These are the only places the simulated CPU
+// reads or writes packet payload: the per-byte costs the paper sets out to
+// eliminate all flow through here, so the accounting in CatCopy and
+// CatCsum is exactly the "per-byte overhead" of the analysis in
+// Section 7.3. region is the working-set size used by the cache-locality
+// model.
+
+// CopyBytes copies src into dst charging CPU copy time to t.
+func (k *Kernel) CopyBytes(p *sim.Proc, t *Task, dst, src []byte, region units.Size) {
+	n := units.Size(len(src))
+	k.Work(p, t, k.Mach.CopyTime(n, region), CatCopy, true)
+	copy(dst, src)
+}
+
+// CopyFromUIO copies n bytes at offset off of u into dst, charging copy
+// time (the socket layer's copyin on the traditional path).
+func (k *Kernel) CopyFromUIO(p *sim.Proc, t *Task, u *mem.UIO, off, n units.Size, dst []byte, region units.Size) {
+	k.Work(p, t, k.Mach.CopyTime(n, region), CatCopy, true)
+	u.ReadAt(dst, off, n)
+}
+
+// CopyToUIO copies src into u at offset off, charging copy time (the
+// traditional receive copyout).
+func (k *Kernel) CopyToUIO(p *sim.Proc, t *Task, u *mem.UIO, off units.Size, src []byte, region units.Size) {
+	k.Work(p, t, k.Mach.CopyTime(units.Size(len(src)), region), CatCopy, true)
+	u.WriteAt(src, off)
+}
+
+// ChecksumRead computes the ones-complement partial sum of b in software,
+// charging checksum-read time to t.
+func (k *Kernel) ChecksumRead(p *sim.Proc, t *Task, b []byte, region units.Size) uint32 {
+	k.Work(p, t, k.Mach.CsumTime(units.Size(len(b)), region), CatCsum, true)
+	return checksum.Sum(b)
+}
+
+// IntrChecksumRead is ChecksumRead in interrupt context (receive-side
+// software verification on the traditional path).
+func (k *Kernel) IntrChecksumRead(p *sim.Proc, b []byte, region units.Size) uint32 {
+	k.IntrWork(p, k.Mach.CsumTime(units.Size(len(b)), region), CatCsum)
+	return checksum.Sum(b)
+}
+
+// IntrCopyBytes copies src into dst charging copy time in interrupt
+// context (e.g. WCAB→regular conversion for in-kernel consumers).
+func (k *Kernel) IntrCopyBytes(p *sim.Proc, dst, src []byte, region units.Size) {
+	k.IntrWork(p, k.Mach.CopyTime(units.Size(len(src)), region), CatCopy)
+	copy(dst, src)
+}
+
+// sum is a local alias so Ctx helpers can checksum without importing the
+// checksum package at every call site.
+func sum(b []byte) uint32 { return checksum.Sum(b) }

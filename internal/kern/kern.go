@@ -1,0 +1,212 @@
+// Package kern models the host operating system context the protocol stack
+// runs in: a single CPU with priority scheduling and preemption at quantum
+// granularity, per-task user/system time accounting (including the
+// interrupt-time misattribution the paper's measurement methodology works
+// around, Section 7.1), an interrupt service daemon, and the VM operations
+// (pin/unpin/map) whose costs Table 2 reports.
+//
+// All CPU work in the simulation flows through Kernel.Work or
+// Kernel.IntrWork so that every virtual cycle lands in exactly one
+// accounting category and one task's user or system time.
+package kern
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Scheduling priorities (lower value is served first).
+const (
+	PrioIntr = 0  // interrupt daemon
+	PrioKern = 10 // in-kernel daemons
+	PrioUser = 20 // normal user tasks (ttcp)
+	PrioIdle = 40 // low-priority soaker (util)
+)
+
+// Category classifies where CPU time goes, for the per-byte vs per-packet
+// breakdown of Section 7.3.
+type Category int
+
+// Accounting categories.
+const (
+	CatApp     Category = iota // application-level work
+	CatSyscall                 // system call entry/exit
+	CatCopy                    // memory-to-memory data copying
+	CatCsum                    // software checksum reads
+	CatVM                      // pin/unpin/map operations
+	CatProto                   // transport + network protocol processing
+	CatDriver                  // device driver request handling
+	CatIntr                    // interrupt dispatch
+	numCategories
+)
+
+var catNames = [numCategories]string{
+	"app", "syscall", "copy", "csum", "vm", "proto", "driver", "intr",
+}
+
+func (c Category) String() string {
+	if c >= 0 && int(c) < len(catNames) {
+		return catNames[c]
+	}
+	return fmt.Sprintf("Category(%d)", int(c))
+}
+
+// Task is a schedulable context: a user process or an in-kernel thread.
+// Its accumulated times are what the simulated `time`-style accounting
+// reports.
+type Task struct {
+	Name  string
+	Prio  int
+	Space *mem.AddrSpace
+
+	UserTime units.Time
+	SysTime  units.Time
+}
+
+// Kernel is one host's OS context.
+type Kernel struct {
+	Name string
+	Eng  *sim.Engine
+	Mach *cost.Machine
+
+	// Quantum is the preemption granularity: long CPU operations are
+	// sliced so higher-priority work (interrupts) gets in between slices.
+	Quantum units.Time
+
+	cpu     *sim.Resource
+	cur     *Task // task most recently running on the CPU
+	byCat   [numCategories]units.Time
+	busy    units.Time
+	intrQ   *sim.Queue[intrWork]
+	started units.Time
+
+	// KernelTask absorbs kernel work with no better owner.
+	KernelTask *Task
+}
+
+type intrWork struct {
+	name string
+	fn   func(*sim.Proc)
+}
+
+// New returns a kernel for machine mach on engine eng.
+func New(name string, eng *sim.Engine, mach *cost.Machine) *Kernel {
+	k := &Kernel{
+		Name:    name,
+		Eng:     eng,
+		Mach:    mach,
+		Quantum: 100 * units.Microsecond,
+		cpu:     sim.NewResource(eng, 1),
+		intrQ:   sim.NewQueue[intrWork](eng),
+	}
+	k.KernelTask = k.NewTask("kernel", PrioKern, nil)
+	k.cur = k.KernelTask
+	eng.Go(name+"/intrd", k.intrd)
+	return k
+}
+
+// NewTask registers a new schedulable task.
+func (k *Kernel) NewTask(name string, prio int, space *mem.AddrSpace) *Task {
+	return &Task{Name: name, Prio: prio, Space: space}
+}
+
+// intrd is the interrupt service daemon: it drains posted interrupt work
+// at the highest priority. Dispatch cost is charged — as on the real
+// system — to whichever task happened to be running (Section 7.1's
+// misattribution, which the util methodology corrects for).
+func (k *Kernel) intrd(p *sim.Proc) {
+	for {
+		w := k.intrQ.Get(p)
+		k.chargeSlices(p, PrioIntr, k.Mach.InterruptCost, CatIntr, k.curSys)
+		w.fn(p)
+	}
+}
+
+// PostIntr queues fn to run in interrupt context. Safe to call from any
+// simulation context (device models post completions from event callbacks).
+func (k *Kernel) PostIntr(name string, fn func(*sim.Proc)) {
+	k.intrQ.Put(intrWork{name: name, fn: fn})
+}
+
+// curSys charges d of system time to the currently running task.
+func (k *Kernel) curSys(d units.Time) { k.cur.SysTime += d }
+
+// chargeSlices runs d of CPU work at the given priority, slicing at
+// quantum granularity so higher-priority work can preempt, and charging
+// each slice through charge.
+func (k *Kernel) chargeSlices(p *sim.Proc, prio int, d units.Time, cat Category, charge func(units.Time)) {
+	for d > 0 {
+		slice := d
+		if slice > k.Quantum {
+			slice = k.Quantum
+		}
+		k.cpu.Acquire(p, prio)
+		p.Sleep(slice)
+		k.byCat[cat] += slice
+		k.busy += slice
+		charge(slice)
+		k.cpu.Release()
+		d -= slice
+	}
+}
+
+// Work runs d of CPU work on behalf of task t. If sys is true the time is
+// charged as system time (kernel work done for the task); otherwise as
+// user time. The caller must be in process context.
+func (k *Kernel) Work(p *sim.Proc, t *Task, d units.Time, cat Category, sys bool) {
+	if d <= 0 {
+		return
+	}
+	k.chargeSlices(p, t.Prio, d, cat, func(slice units.Time) {
+		k.cur = t
+		if sys {
+			t.SysTime += slice
+		} else {
+			t.UserTime += slice
+		}
+	})
+}
+
+// IntrWork runs d of CPU work in interrupt/kernel context at top priority;
+// the time is charged as system time to whichever task is currently
+// scheduled (the misattribution the paper describes).
+func (k *Kernel) IntrWork(p *sim.Proc, d units.Time, cat Category) {
+	if d <= 0 {
+		return
+	}
+	k.chargeSlices(p, PrioIntr, d, cat, k.curSys)
+}
+
+// CategoryTime returns the accumulated CPU time in category c.
+func (k *Kernel) CategoryTime(c Category) units.Time { return k.byCat[c] }
+
+// BusyTime returns total CPU busy time since creation.
+func (k *Kernel) BusyTime() units.Time { return k.busy }
+
+// ResetAccounting zeroes category and busy counters (task times are the
+// tasks' own).
+func (k *Kernel) ResetAccounting() {
+	for i := range k.byCat {
+		k.byCat[i] = 0
+	}
+	k.busy = 0
+	k.started = k.Eng.Now()
+}
+
+// AccountingWindow returns the time ResetAccounting was last called.
+func (k *Kernel) AccountingWindow() units.Time { return k.started }
+
+// CategoryBreakdown returns a copy of the per-category CPU time table.
+func (k *Kernel) CategoryBreakdown() map[string]units.Time {
+	m := make(map[string]units.Time, numCategories)
+	for c := Category(0); c < numCategories; c++ {
+		if k.byCat[c] > 0 {
+			m[c.String()] = k.byCat[c]
+		}
+	}
+	return m
+}

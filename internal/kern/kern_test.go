@@ -1,0 +1,260 @@
+package kern
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func newTestKernel() (*sim.Engine, *Kernel) {
+	e := sim.NewEngine(1)
+	k := New("host", e, cost.Alpha400())
+	return e, k
+}
+
+func TestWorkChargesTask(t *testing.T) {
+	e, k := newTestKernel()
+	task := k.NewTask("ttcp", PrioUser, nil)
+	e.Go("w", func(p *sim.Proc) {
+		k.Work(p, task, 500*units.Microsecond, CatCopy, true)
+		k.Work(p, task, 200*units.Microsecond, CatApp, false)
+	})
+	e.Run()
+	if task.SysTime != 500*units.Microsecond {
+		t.Fatalf("sys = %v, want 500us", task.SysTime)
+	}
+	if task.UserTime != 200*units.Microsecond {
+		t.Fatalf("user = %v, want 200us", task.UserTime)
+	}
+	if k.CategoryTime(CatCopy) != 500*units.Microsecond {
+		t.Fatalf("copy cat = %v", k.CategoryTime(CatCopy))
+	}
+	if k.BusyTime() != 700*units.Microsecond {
+		t.Fatalf("busy = %v, want 700us", k.BusyTime())
+	}
+	e.KillAll()
+}
+
+func TestPreemptionByInterrupt(t *testing.T) {
+	e, k := newTestKernel()
+	task := k.NewTask("util", PrioIdle, nil)
+	var intrAt units.Time
+	e.Go("long", func(p *sim.Proc) {
+		// 10 ms of low-priority work, sliced at quantum granularity.
+		k.Work(p, task, 10*units.Millisecond, CatApp, false)
+	})
+	e.At(1*units.Millisecond, func() {
+		k.PostIntr("tick", func(p *sim.Proc) { intrAt = p.Now() })
+	})
+	e.Run()
+	// The interrupt must get the CPU within ~2 quanta, not after 10 ms.
+	if intrAt == 0 || intrAt > 2*units.Millisecond {
+		t.Fatalf("interrupt served at %v, want ≤ ~1.3ms", intrAt)
+	}
+	e.KillAll()
+}
+
+func TestInterruptMisattribution(t *testing.T) {
+	e, k := newTestKernel()
+	util := k.NewTask("util", PrioIdle, nil)
+	e.Go("util", func(p *sim.Proc) {
+		k.Work(p, util, 5*units.Millisecond, CatApp, false)
+	})
+	e.At(1*units.Millisecond, func() {
+		k.PostIntr("net", func(p *sim.Proc) {
+			k.IntrWork(p, 300*units.Microsecond, CatProto)
+		})
+	})
+	e.Run()
+	// The dispatch cost + handler work lands in util's *system* time even
+	// though util did nothing to cause it — the paper's misattribution.
+	wantSys := k.Mach.InterruptCost + 300*units.Microsecond
+	if util.SysTime != wantSys {
+		t.Fatalf("util sys = %v, want %v", util.SysTime, wantSys)
+	}
+	if util.UserTime != 5*units.Millisecond {
+		t.Fatalf("util user = %v, want 5ms", util.UserTime)
+	}
+	e.KillAll()
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	e, k := newTestKernel()
+	user := k.NewTask("user", PrioUser, nil)
+	idle := k.NewTask("idle", PrioIdle, nil)
+	var order []string
+	// Saturate the CPU with an idle-priority hog, then submit user work.
+	e.Go("idle", func(p *sim.Proc) {
+		for i := 0; i < 50; i++ {
+			k.Work(p, idle, k.Quantum, CatApp, false)
+			order = append(order, "idle")
+		}
+	})
+	e.At(10*units.Microsecond, func() {
+		e.Go("user", func(p *sim.Proc) {
+			k.Work(p, user, k.Quantum, CatApp, false)
+			order = append(order, "user")
+		})
+	})
+	e.Run()
+	// The user task must complete long before the hog finishes.
+	for i, s := range order {
+		if s == "user" {
+			if i > 3 {
+				t.Fatalf("user work ran at position %d: %v", i, order[:i+1])
+			}
+			return
+		}
+	}
+	t.Fatal("user work never ran")
+}
+
+func TestVMPinCosts(t *testing.T) {
+	e, k := newTestKernel()
+	vm := NewVM(k)
+	task := k.NewTask("t", PrioUser, nil)
+	space := mem.NewAddrSpace("u", 1*units.MB, k.Mach.PageSize)
+	buf := space.Alloc(64*units.KB, 0) // 8 pages
+	e.Go("w", func(p *sim.Proc) {
+		vm.PinBuf(p, task, space, buf.Addr, buf.Len)
+		vm.UnpinBuf(p, task, space, buf.Addr, buf.Len)
+	})
+	e.Run()
+	want := k.Mach.PinTime(8) + k.Mach.UnpinTime(8)
+	if k.CategoryTime(CatVM) != want {
+		t.Fatalf("vm time = %v, want %v", k.CategoryTime(CatVM), want)
+	}
+	if space.PinnedPages() != 0 {
+		t.Fatalf("pinned pages = %d, want 0", space.PinnedPages())
+	}
+	e.KillAll()
+}
+
+func TestVMLazyUnpinCacheHit(t *testing.T) {
+	e, k := newTestKernel()
+	vm := NewVM(k)
+	vm.LazyUnpin = true
+	task := k.NewTask("t", PrioUser, nil)
+	space := mem.NewAddrSpace("u", 1*units.MB, k.Mach.PageSize)
+	buf := space.Alloc(64*units.KB, 0)
+	e.Go("w", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			vm.PinBuf(p, task, space, buf.Addr, buf.Len)
+			vm.UnpinBuf(p, task, space, buf.Addr, buf.Len)
+		}
+	})
+	e.Run()
+	if vm.Pins != 1 || vm.PinHits != 9 {
+		t.Fatalf("pins=%d hits=%d, want 1/9", vm.Pins, vm.PinHits)
+	}
+	// Cost: one real pin + nine cheap checks; no unpins at all.
+	want := k.Mach.PinTime(8) + 9*vm.PinHitCheck
+	if k.CategoryTime(CatVM) != want {
+		t.Fatalf("vm time = %v, want %v", k.CategoryTime(CatVM), want)
+	}
+	if !space.Pinned(buf.Addr, buf.Len) {
+		t.Fatal("buffer should still be pinned (lazy)")
+	}
+	e.KillAll()
+}
+
+func TestVMLazyEviction(t *testing.T) {
+	e, k := newTestKernel()
+	vm := NewVM(k)
+	vm.LazyUnpin = true
+	vm.MaxLazyPages = 8
+	task := k.NewTask("t", PrioUser, nil)
+	space := mem.NewAddrSpace("u", 2*units.MB, k.Mach.PageSize)
+	a := space.Alloc(64*units.KB, 0) // 8 pages
+	b := space.Alloc(64*units.KB, 0) // 8 pages
+	e.Go("w", func(p *sim.Proc) {
+		vm.PinBuf(p, task, space, a.Addr, a.Len)
+		vm.UnpinBuf(p, task, space, a.Addr, a.Len) // deferred (8 ≤ 8)
+		vm.PinBuf(p, task, space, b.Addr, b.Len)
+		vm.UnpinBuf(p, task, space, b.Addr, b.Len) // 16 > 8: evict a, then b stays? a evicted, then still 8 ≤ 8
+	})
+	e.Run()
+	if vm.LazyEvictions != 1 {
+		t.Fatalf("evictions = %d, want 1", vm.LazyEvictions)
+	}
+	if space.Pinned(a.Addr, a.Len) {
+		t.Fatal("a should have been evicted (unpinned)")
+	}
+	if !space.Pinned(b.Addr, b.Len) {
+		t.Fatal("b should still be lazily pinned")
+	}
+	e.KillAll()
+}
+
+func TestCopyAndChecksumCharges(t *testing.T) {
+	e, k := newTestKernel()
+	task := k.NewTask("t", PrioUser, nil)
+	src := make([]byte, 32*units.KB)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	dst := make([]byte, len(src))
+	var sum uint32
+	e.Go("w", func(p *sim.Proc) {
+		k.CopyBytes(p, task, dst, src, 1*units.MB)
+		sum = k.ChecksumRead(p, task, dst, 1*units.MB)
+	})
+	e.Run()
+	if dst[100] != src[100] {
+		t.Fatal("copy did not move bytes")
+	}
+	if sum == 0 {
+		t.Fatal("checksum not computed")
+	}
+	wantCopy := k.Mach.CopyTime(32*units.KB, 1*units.MB)
+	if k.CategoryTime(CatCopy) != wantCopy {
+		t.Fatalf("copy time = %v, want %v", k.CategoryTime(CatCopy), wantCopy)
+	}
+	// 32 KB at 350 Mb/s ≈ 749 µs.
+	if got := k.CategoryTime(CatCopy).Micros(); got < 700 || got > 800 {
+		t.Fatalf("copy time = %.1fus, want ~749", got)
+	}
+	e.KillAll()
+}
+
+func TestUIOCopyHelpers(t *testing.T) {
+	e, k := newTestKernel()
+	task := k.NewTask("t", PrioUser, nil)
+	space := mem.NewAddrSpace("u", 1*units.MB, k.Mach.PageSize)
+	buf := space.Alloc(1000, 4)
+	u := mem.NewUIO(buf)
+	for i := range buf.Bytes() {
+		buf.Bytes()[i] = byte(i * 3)
+	}
+	dst := make([]byte, 500)
+	e.Go("w", func(p *sim.Proc) {
+		k.CopyFromUIO(p, task, u, 100, 500, dst, 1000)
+		k.CopyToUIO(p, task, u, 0, dst, 1000)
+	})
+	e.Run()
+	want := byte(100 * 3 % 256)
+	if dst[0] != want {
+		t.Fatal("CopyFromUIO wrong bytes")
+	}
+	if buf.Bytes()[0] != want {
+		t.Fatal("CopyToUIO wrong bytes")
+	}
+	e.KillAll()
+}
+
+func TestResetAccounting(t *testing.T) {
+	e, k := newTestKernel()
+	task := k.NewTask("t", PrioUser, nil)
+	e.Go("w", func(p *sim.Proc) {
+		k.Work(p, task, 100*units.Microsecond, CatCopy, true)
+	})
+	e.Run()
+	k.ResetAccounting()
+	if k.BusyTime() != 0 || k.CategoryTime(CatCopy) != 0 {
+		t.Fatal("reset did not clear counters")
+	}
+	e.KillAll()
+}

@@ -1,0 +1,156 @@
+package kern
+
+import (
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// VM operation support. Costs follow Table 2 of the paper: pinning,
+// unpinning, and mapping have a fixed base cost plus a per-page cost. The
+// optional lazy-unpin cache implements the Section 4.4.1 optimization:
+// applications that reuse the same buffers repeatedly keep them pinned and
+// mapped, amortizing the VM overhead over many IO operations, with lazy
+// eviction bounding the number of pages a task can keep pinned.
+
+// pinRange records a deferred unpin.
+type pinRange struct {
+	space *mem.AddrSpace
+	addr  units.Size
+	n     units.Size
+	pages int
+}
+
+// VM is a kernel's virtual-memory operation interface.
+type VM struct {
+	k *Kernel
+
+	// LazyUnpin enables the pinned-buffer reuse cache (Section 4.4.1).
+	LazyUnpin bool
+	// MaxLazyPages bounds the pages a host may keep lazily pinned.
+	MaxLazyPages int
+	// PinHitCheck is the cost of recognizing an already-pinned buffer.
+	PinHitCheck units.Time
+
+	deferred      []pinRange
+	deferredPages int
+
+	// Counters for ablation reporting.
+	Pins, PinHits, Unpins, LazyEvictions, Maps int
+}
+
+// NewVM returns the VM interface for k with the lazy cache disabled (the
+// paper's measured configuration pins and unpins on every operation).
+func NewVM(k *Kernel) *VM {
+	return &VM{k: k, MaxLazyPages: 4096, PinHitCheck: 2 * units.Microsecond}
+}
+
+// PinBuf pins the pages of [addr, addr+n) in space on behalf of t,
+// charging Table 2's pin cost. With the lazy cache enabled, re-pinning a
+// still-pinned buffer costs only the hit check.
+func (v *VM) PinBuf(p *sim.Proc, t *Task, space *mem.AddrSpace, addr, n units.Size) {
+	pages := space.PageSpan(addr, n)
+	if pages == 0 {
+		return
+	}
+	if v.LazyUnpin {
+		if i := v.findDeferred(space, addr, n); i >= 0 {
+			// Cache hit: the buffer is still pinned from a previous IO.
+			v.deferredPages -= v.deferred[i].pages
+			v.deferred = append(v.deferred[:i], v.deferred[i+1:]...)
+			v.PinHits++
+			v.k.Work(p, t, v.PinHitCheck, CatVM, true)
+			return
+		}
+	}
+	v.Pins++
+	space.Pin(addr, n)
+	v.k.Work(p, t, v.k.Mach.PinTime(pages), CatVM, true)
+}
+
+// UnpinBuf undoes PinBuf. With the lazy cache the unpin is deferred; old
+// deferred ranges are evicted (really unpinned) once MaxLazyPages is
+// exceeded, charging their unpin cost at eviction time.
+func (v *VM) UnpinBuf(p *sim.Proc, t *Task, space *mem.AddrSpace, addr, n units.Size) {
+	pages := space.PageSpan(addr, n)
+	if pages == 0 {
+		return
+	}
+	if v.LazyUnpin {
+		v.deferred = append(v.deferred, pinRange{space, addr, n, pages})
+		v.deferredPages += pages
+		for v.deferredPages > v.MaxLazyPages && len(v.deferred) > 0 {
+			old := v.deferred[0]
+			v.deferred = v.deferred[1:]
+			v.deferredPages -= old.pages
+			old.space.Unpin(old.addr, old.n)
+			v.LazyEvictions++
+			v.k.Work(p, t, v.k.Mach.UnpinTime(old.pages), CatVM, true)
+		}
+		return
+	}
+	v.Unpins++
+	space.Unpin(addr, n)
+	v.k.Work(p, t, v.k.Mach.UnpinTime(pages), CatVM, true)
+}
+
+// findDeferred locates a deferred range exactly covering [addr, addr+n).
+func (v *VM) findDeferred(space *mem.AddrSpace, addr, n units.Size) int {
+	for i, r := range v.deferred {
+		if r.space == space && r.addr <= addr && addr+n <= r.addr+r.n {
+			return i
+		}
+	}
+	return -1
+}
+
+// FlushDeferred really unpins everything in the lazy cache (teardown).
+func (v *VM) FlushDeferred(p *sim.Proc, t *Task) {
+	for _, r := range v.deferred {
+		r.space.Unpin(r.addr, r.n)
+		v.k.Work(p, t, v.k.Mach.UnpinTime(r.pages), CatVM, true)
+	}
+	v.deferred = nil
+	v.deferredPages = 0
+}
+
+// MapBuf maps [addr, addr+n) of a user space into kernel space, charging
+// Table 2's map cost. The socket layer performs this incrementally, one
+// socket-buffer's worth at a time, because OSF/1 drivers lack the
+// application context needed to do it at DMA time (Section 4.4.1).
+func (v *VM) MapBuf(p *sim.Proc, t *Task, space *mem.AddrSpace, addr, n units.Size) {
+	pages := space.PageSpan(addr, n)
+	if pages == 0 {
+		return
+	}
+	v.Maps++
+	space.MapKernel(addr, n)
+	v.k.Work(p, t, v.k.Mach.MapTime(pages), CatVM, true)
+}
+
+// UnmapBuf clears a kernel mapping; Table 2 lists no unmap cost and the
+// paper's analysis charges none, so neither do we.
+func (v *VM) UnmapBuf(space *mem.AddrSpace, addr, n units.Size) {
+	space.UnmapKernel(addr, n)
+}
+
+// PinUIO pins every segment of [off, off+n) of u.
+func (v *VM) PinUIO(p *sim.Proc, t *Task, u *mem.UIO, off, n units.Size) {
+	for _, seg := range u.Segments(off, n) {
+		v.PinBuf(p, t, u.Space, seg.Addr, seg.Len)
+	}
+}
+
+// UnpinUIO undoes PinUIO.
+func (v *VM) UnpinUIO(p *sim.Proc, t *Task, u *mem.UIO, off, n units.Size) {
+	for _, seg := range u.Segments(off, n) {
+		v.UnpinBuf(p, t, u.Space, seg.Addr, seg.Len)
+	}
+}
+
+// MapUIO maps every segment of [off, off+n) of u into kernel space.
+func (v *VM) MapUIO(p *sim.Proc, t *Task, u *mem.UIO, off, n units.Size) {
+	for _, seg := range u.Segments(off, n) {
+		v.MapBuf(p, t, u.Space, seg.Addr, seg.Len)
+	}
+}

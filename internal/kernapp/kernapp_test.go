@@ -1,0 +1,263 @@
+package kernapp_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernapp"
+	"repro/internal/mbuf"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/socket"
+	"repro/internal/units"
+	"repro/internal/wire"
+)
+
+const (
+	addrA = wire.Addr(0x0a000001)
+	addrB = wire.Addr(0x0a000002)
+	port  = 6000
+)
+
+// rig builds two single-copy hosts with a block server on B.
+func rig(t *testing.T, blockSize units.Size) (*core.Testbed, *core.Host, *core.Host, *kernapp.BlockServer) {
+	t.Helper()
+	tb := core.NewTestbed(3)
+	a := tb.AddHost(core.HostConfig{Name: "A", Addr: addrA, Mode: socket.ModeSingleCopy, CABNode: 1})
+	b := tb.AddHost(core.HostConfig{Name: "B", Addr: addrB, Mode: socket.ModeSingleCopy, CABNode: 2})
+	tb.RouteCAB(a, b)
+	bs := kernapp.NewBlockServer(b.K, b.Stk, port, blockSize)
+	tb.Eng.Go("blockserver", bs.Run)
+	return tb, a, b, bs
+}
+
+func TestInKernelServerToUserClient(t *testing.T) {
+	// Scenario: in-kernel application transmits through the CAB (share
+	// semantics, single-copy automatically); user-space socket client
+	// receives via the single-copy read path.
+	tb, a, _, bs := rig(t, 64*units.KB)
+	var got []byte
+	task := a.NewUserTask("client", 0)
+	tb.Eng.Go("client", func(p *sim.Proc) {
+		s, err := a.Dial(p, task, addrB, port)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		req := task.Space.Alloc(kernapp.ReqLen, 8)
+		copy(req.Bytes(), kernapp.EncodeRequest(5, 4))
+		s.WriteAll(p, req)
+		copy(req.Bytes(), kernapp.EncodeRequest(0, 0)) // close
+		s.WriteAll(p, req)
+		buf := task.Space.Alloc(128*units.KB, 8)
+		for {
+			n, err := s.Read(p, buf)
+			if n > 0 {
+				got = append(got, buf.Slice(0, n).Bytes()...)
+			}
+			if err != nil {
+				return
+			}
+		}
+	})
+	tb.Eng.Run()
+	tb.Eng.KillAll()
+
+	var want []byte
+	for i := uint32(5); i < 9; i++ {
+		want = append(want, bs.Block(i)...)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("block data mismatch: got %d bytes, want %d", len(got), len(want))
+	}
+	if bs.Requests != 2 || bs.BlocksServed != 4 {
+		t.Fatalf("requests=%d blocks=%d, want 2/4", bs.Requests, bs.BlocksServed)
+	}
+}
+
+func TestInKernelReceiveConvertsWCAB(t *testing.T) {
+	// Scenario: in-kernel application receives through the CAB — large
+	// packets arrive as M_WCAB and must be converted to regular mbufs
+	// (with DMA resynchronization) before entering the application.
+	tb := core.NewTestbed(4)
+	a := tb.AddHost(core.HostConfig{Name: "A", Addr: addrA, Mode: socket.ModeSingleCopy, CABNode: 1})
+	b := tb.AddHost(core.HostConfig{Name: "B", Addr: addrB, Mode: socket.ModeSingleCopy, CABNode: 2})
+	tb.RouteCAB(a, b)
+
+	var kc *kernapp.KConn
+	var got []byte
+	lis := b.Stk.Listen(port)
+	tb.Eng.Go("ksink", func(p *sim.Proc) {
+		kc = kernapp.NewKConn(b.K, lis.Accept(p))
+		data, err := kc.RecvAll(p)
+		if err != nil {
+			t.Errorf("recv: %v", err)
+		}
+		got = data
+	})
+
+	task := a.NewUserTask("client", 0)
+	total := units.Size(512 * units.KB)
+	tb.Eng.Go("client", func(p *sim.Proc) {
+		s, err := a.Dial(p, task, addrB, port)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		buf := task.Space.Alloc(total, 8)
+		for i := range buf.Bytes() {
+			buf.Bytes()[i] = byte(i * 5)
+		}
+		s.WriteAll(p, buf)
+		s.Close(p)
+	})
+	tb.Eng.Run()
+	tb.Eng.KillAll()
+
+	if units.Size(len(got)) != total {
+		t.Fatalf("received %d bytes, want %d", len(got), total)
+	}
+	for i := range got {
+		if got[i] != byte(i*5) {
+			t.Fatalf("byte %d corrupted", i)
+		}
+	}
+	if kc.Converted == 0 {
+		t.Fatal("expected WCAB→regular conversions for the in-kernel receiver")
+	}
+	if b.CAB.FreePages() != b.CAB.TotalPages() {
+		t.Fatal("receiver CAB pages leaked after conversion")
+	}
+}
+
+func TestInKernelOverLegacyDevice(t *testing.T) {
+	// Scenario: in-kernel applications communicating through existing
+	// interfaces must be unaffected (regular mbufs both ways).
+	tb := core.NewTestbed(5)
+	a := tb.AddHost(core.HostConfig{Name: "A", Addr: addrA, Mode: socket.ModeSingleCopy, CABNode: 1, EthNode: 11})
+	b := tb.AddHost(core.HostConfig{Name: "B", Addr: addrB, Mode: socket.ModeSingleCopy, CABNode: 2, EthNode: 12})
+	tb.RouteEth(a, b)
+
+	bs := kernapp.NewBlockServer(b.K, b.Stk, port, 8*units.KB)
+	tb.Eng.Go("blockserver", bs.Run)
+
+	var got []byte
+	tb.Eng.Go("kclient", func(p *sim.Proc) {
+		conn, err := a.Stk.Connect(a.K.TaskCtx(p, a.K.KernelTask), addrB, port)
+		if err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		kc := kernapp.NewKConn(a.K, conn)
+		kc.Send(p, mbuf.NewData(kernapp.EncodeRequest(1, 2)))
+		kc.Send(p, mbuf.NewData(kernapp.EncodeRequest(0, 0)))
+		data, _ := kc.RecvAll(p)
+		got = data
+	})
+	tb.Eng.Run()
+	tb.Eng.KillAll()
+
+	want := append(bs.Block(1), bs.Block(2)...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %d bytes, want %d", len(got), len(want))
+	}
+}
+
+func TestShareSemanticsChainOwnership(t *testing.T) {
+	// Send takes ownership; cluster refcounts must reach zero after the
+	// data is acknowledged (no leak assertions possible on Go memory, but
+	// WCAB-converted CAB pages must drain).
+	tb, a, b, _ := rig(t, 16*units.KB)
+	_ = a
+	task := a.NewUserTask("client", 0)
+	tb.Eng.Go("client", func(p *sim.Proc) {
+		s, err := a.Dial(p, task, addrB, port)
+		if err != nil {
+			return
+		}
+		req := task.Space.Alloc(kernapp.ReqLen, 8)
+		copy(req.Bytes(), kernapp.EncodeRequest(9, 1))
+		s.WriteAll(p, req)
+		copy(req.Bytes(), kernapp.EncodeRequest(0, 0))
+		s.WriteAll(p, req)
+		buf := task.Space.Alloc(64*units.KB, 8)
+		for {
+			if _, err := s.Read(p, buf); err != nil {
+				return
+			}
+		}
+	})
+	tb.Eng.Run()
+	tb.Eng.KillAll()
+	if b.CAB.FreePages() != b.CAB.TotalPages() {
+		t.Fatalf("server CAB pages leaked: %d of %d free",
+			b.CAB.FreePages(), b.CAB.TotalPages())
+	}
+	_ = mem.Buf{}
+}
+
+func TestInterleavedSmallLargePacketsStayOrdered(t *testing.T) {
+	// Section 5's reordering concern: small packets (delivered straight
+	// from the auto-DMA buffer) and large packets (M_WCAB, converted with
+	// an asynchronous DMA) must not be reordered on their way into an
+	// in-kernel application.
+	tb := core.NewTestbed(6)
+	a := tb.AddHost(core.HostConfig{Name: "A", Addr: addrA, Mode: socket.ModeSingleCopy, CABNode: 1})
+	b := tb.AddHost(core.HostConfig{Name: "B", Addr: addrB, Mode: socket.ModeSingleCopy, CABNode: 2})
+	tb.RouteCAB(a, b)
+
+	var got []byte
+	lis := b.Stk.Listen(port)
+	var kc *kernapp.KConn
+	tb.Eng.Go("ksink", func(p *sim.Proc) {
+		kc = kernapp.NewKConn(b.K, lis.Accept(p))
+		data, _ := kc.RecvAll(p)
+		got = data
+	})
+
+	// Alternate 200-byte and 24KB writes; NoCoalesce keeps them as
+	// separate packets, so receive alternates RxSmall and RxLarge.
+	const rounds = 12
+	var want []byte
+	task := a.NewUserTask("client", 0)
+	tb.Eng.Go("client", func(p *sim.Proc) {
+		s, err := a.Dial(p, task, addrB, port)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		for i := 0; i < rounds; i++ {
+			smallN := units.Size(200)
+			largeN := units.Size(24 * units.KB)
+			small := task.Space.Alloc(smallN, 8)
+			large := task.Space.Alloc(largeN, 8)
+			for j := range small.Bytes() {
+				small.Bytes()[j] = byte(2 * i)
+			}
+			for j := range large.Bytes() {
+				large.Bytes()[j] = byte(2*i + 1)
+			}
+			s.WriteAll(p, small)
+			s.WriteAll(p, large)
+		}
+		s.Close(p)
+	})
+	for i := 0; i < rounds; i++ {
+		want = append(want, bytes.Repeat([]byte{byte(2 * i)}, 200)...)
+		want = append(want, bytes.Repeat([]byte{byte(2*i + 1)}, 24*1024)...)
+	}
+	tb.Eng.Run()
+	tb.Eng.KillAll()
+
+	if !bytes.Equal(got, want) {
+		t.Fatalf("interleaved stream reordered or corrupted (%d bytes)", len(got))
+	}
+	if b.Drv.Stats.RxSmall == 0 || b.Drv.Stats.RxLarge == 0 {
+		t.Fatalf("test vacuous: RxSmall=%d RxLarge=%d (need both paths)",
+			b.Drv.Stats.RxSmall, b.Drv.Stats.RxLarge)
+	}
+	if kc.Converted == 0 {
+		t.Fatal("no WCAB conversions happened")
+	}
+}

@@ -1,0 +1,384 @@
+// Package mbuf implements BSD-style network memory buffers, extended with
+// the two new external mbuf types the paper introduces for the single-copy
+// path (Section 4.2):
+//
+//   - M_UIO mbufs describe data that is still in the user's address space
+//     (a struct uio region), and
+//   - M_WCAB mbufs describe data that already lives in CAB network memory
+//     (a wCAB structure holding the outboard packet identifier, its saved
+//     body checksum, and how much of the outboard data is valid).
+//
+// Both carry a uiowCABhdr with the checksum placement information and the
+// owner to notify when DMA completes. Because data of every format is
+// represented as an mbuf, formatting operations (packetization, header
+// prepend, trimming, symbolic range copies for retransmission) work
+// uniformly over mixed chains, and the transport and network layers need
+// almost no changes — exactly the property the paper exploits.
+package mbuf
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/units"
+)
+
+// Storage geometry. MLEN follows the paper's mbuf data size of 176 32-bit
+// words (the CAB's auto-DMA region is sized to it); clusters are one VM
+// page.
+const (
+	// MLEN is the data capacity of a small (internal storage) mbuf.
+	MLEN = 704 * units.Byte
+	// HeaderRoom is the space reserved at the front of a packet-header
+	// mbuf for link/network/transport headers.
+	HeaderRoom = 128 * units.Byte
+	// MCLBYTES is the data capacity of a cluster mbuf.
+	MCLBYTES = 8 * units.KB
+)
+
+// Type identifies an mbuf's storage format.
+type Type int
+
+// Mbuf storage formats.
+const (
+	// TData is a regular mbuf with small internal storage.
+	TData Type = iota
+	// TCluster is an external-storage mbuf backed by a shared kernel
+	// cluster.
+	TCluster
+	// TUIO is the paper's M_UIO: a descriptor for data in user space.
+	TUIO
+	// TWCAB is the paper's M_WCAB: a descriptor for data in CAB network
+	// memory.
+	TWCAB
+)
+
+func (t Type) String() string {
+	switch t {
+	case TData:
+		return "data"
+	case TCluster:
+		return "cluster"
+	case TUIO:
+		return "uio"
+	case TWCAB:
+		return "wcab"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// IsDescriptor reports whether the type holds a descriptor rather than the
+// bytes themselves.
+func (t Type) IsDescriptor() bool { return t == TUIO || t == TWCAB }
+
+// Notifier receives DMA life-cycle callbacks for descriptor mbufs; the
+// socket layer implements it with the outstanding-DMA (UIO) counter that
+// synchronizes application wakeup (Section 4.4.2).
+type Notifier interface {
+	// DMAStarted is called when a DMA covering part of the descriptor is
+	// issued.
+	DMAStarted(n units.Size)
+	// DMADone is called when that DMA completes.
+	DMADone(n units.Size)
+}
+
+// Hdr is the uiowCABhdr: checksum placement information plus the owner to
+// notify, shared by M_UIO and M_WCAB mbufs (Section 4.2, 4.3).
+type Hdr struct {
+	// NeedCsum tells the driver the hardware must produce the transport
+	// checksum during the copy into network memory.
+	NeedCsum bool
+	// CsumOff is the byte offset of the 16-bit checksum field within the
+	// packet.
+	CsumOff units.Size
+	// CsumSkip is S: the number of bytes at the front of the packet the
+	// checksum engine skips (all headers; the host covers them via the
+	// seed).
+	CsumSkip units.Size
+	// CsumSeed is the partial sum of the skipped span (headers plus
+	// pseudo-header), placed by the transport layer.
+	CsumSeed uint32
+	// Owner is notified as DMAs are issued and complete.
+	Owner Notifier
+
+	// OnOutboard, set by the transport on a transmit packet, is invoked
+	// (in interrupt context) once the packet's data resides in network
+	// memory, passing the WCAB descriptor so the transport can convert
+	// the corresponding socket-buffer range to M_WCAB for retransmission
+	// (Section 4.2).
+	OnOutboard func(w *WCAB)
+	// FreeAfterSend tells the driver the outboard packet is not
+	// retransmittable state (UDP, raw sends): free it once the media
+	// transmission completes.
+	FreeAfterSend bool
+	// OnConverted, set by the transport on a transmit packet headed for a
+	// legacy (non-single-copy) device, is invoked when the driver-entry
+	// shim has materialized the packet's descriptors into kernel buffers,
+	// so the transport can replace the corresponding socket-buffer range
+	// and restore copy semantics (Section 5).
+	OnConverted func(m *Mbuf)
+
+	// Receive side: the CAB driver records the hardware checksum engine's
+	// partial sum over the packet from the device's fixed skip offset, so
+	// the transport can verify without reading the data (Section 4.3).
+	HWRxValid bool
+	HWRxSum   uint32
+}
+
+// WCAB is the paper's wCAB structure: the handle of a packet resident in
+// network memory, its hardware-computed body checksum, and how much of the
+// outboard data is valid.
+type WCAB struct {
+	// Handle identifies the packet in network memory (opaque to the
+	// stack; owned by the CAB driver).
+	Handle any
+	// BodySum is the unfolded partial checksum of the packet body
+	// (everything past CsumSkip) saved when the data first crossed into
+	// network memory; it is what makes retransmission without re-reading
+	// the data possible (Section 4.3).
+	BodySum uint32
+	// Valid is how many bytes of the outboard packet hold valid data.
+	Valid units.Size
+	// ReadFn returns outboard bytes [off, off+n); installed by the
+	// driver, used for copy-out and integrity checks.
+	ReadFn func(off, n units.Size) []byte
+	// FreeFn releases the outboard packet when the last mbuf reference
+	// drops (e.g. when TCP's acknowledgements free retransmit data).
+	FreeFn func()
+	// CopyOut, installed by the driver, DMAs outboard bytes [off, off+n)
+	// into the host memory segments dst, invoking done in hardware
+	// context when the transfer completes. This is the driver "copy out"
+	// routine the paper's software architecture requires (Section 3).
+	CopyOut func(off, n units.Size, dst [][]byte, done func())
+
+	refs int
+}
+
+// Ref increments the reference count.
+func (w *WCAB) Ref() { w.refs++ }
+
+// Unref decrements the reference count, invoking FreeFn at zero.
+func (w *WCAB) Unref() {
+	if w.refs <= 0 {
+		panic("mbuf: WCAB over-release")
+	}
+	w.refs--
+	if w.refs == 0 && w.FreeFn != nil {
+		w.FreeFn()
+	}
+}
+
+// Refs returns the current reference count.
+func (w *WCAB) Refs() int { return w.refs }
+
+// cluster is shared external storage with a reference count.
+type cluster struct {
+	data []byte
+	refs int
+}
+
+// Mbuf is one buffer in a chain. The zero value is not useful; use the
+// New* constructors.
+type Mbuf struct {
+	typ  Type
+	next *Mbuf
+
+	// Internal/cluster storage: the data window is buf[off : off+ln].
+	buf []byte
+	cl  *cluster
+
+	// Descriptor window: [off, off+ln) within the UIO's original
+	// coordinates (TUIO) or within the outboard packet (TWCAB).
+	uio  *mem.UIO
+	wcab *WCAB
+
+	off units.Size
+	ln  units.Size
+
+	hdr    *Hdr
+	pktHdr bool
+	pktLen units.Size
+}
+
+// NewData returns a regular mbuf holding a copy of b (which must fit in
+// MLEN minus header room if pktHdr).
+func NewData(b []byte) *Mbuf {
+	n := units.Size(len(b))
+	if n > MLEN {
+		panic(fmt.Sprintf("mbuf: %v exceeds MLEN %v", n, MLEN))
+	}
+	m := &Mbuf{typ: TData, buf: make([]byte, MLEN)}
+	// Leave header room so Prepend can extend in place.
+	m.off = HeaderRoom
+	if m.off+n > MLEN {
+		m.off = MLEN - n
+	}
+	m.ln = n
+	copy(m.buf[m.off:], b)
+	return m
+}
+
+// NewEmptyData returns a regular mbuf with zero length and header room.
+func NewEmptyData() *Mbuf { return NewData(nil) }
+
+// NewCluster returns a cluster mbuf holding a copy of b (≤ MCLBYTES).
+func NewCluster(b []byte) *Mbuf {
+	n := units.Size(len(b))
+	if n > MCLBYTES {
+		panic(fmt.Sprintf("mbuf: %v exceeds MCLBYTES %v", n, MCLBYTES))
+	}
+	cl := &cluster{data: make([]byte, MCLBYTES), refs: 1}
+	copy(cl.data, b)
+	return &Mbuf{typ: TCluster, cl: cl, off: 0, ln: n}
+}
+
+// AdoptCluster wraps an existing buffer as external cluster storage
+// without copying, exposing the window [off, off+n). Drivers use it to
+// loan receive buffers (e.g. the CAB's auto-DMA buffers) directly to the
+// stack.
+func AdoptCluster(b []byte, off, n units.Size) *Mbuf {
+	if off < 0 || n < 0 || off+n > units.Size(len(b)) {
+		panic(fmt.Sprintf("mbuf: adopt window [%v,+%v) outside %d", off, n, len(b)))
+	}
+	cl := &cluster{data: b, refs: 1}
+	return &Mbuf{typ: TCluster, cl: cl, off: off, ln: n}
+}
+
+// NewUIO returns an M_UIO descriptor mbuf covering [off, off+n) of u.
+func NewUIO(u *mem.UIO, off, n units.Size, hdr *Hdr) *Mbuf {
+	if off < 0 || n < 0 || off+n > u.Total() {
+		panic(fmt.Sprintf("mbuf: UIO window [%v,+%v) outside %v", off, n, u.Total()))
+	}
+	return &Mbuf{typ: TUIO, uio: u, off: off, ln: n, hdr: hdr}
+}
+
+// NewWCAB returns an M_WCAB descriptor mbuf covering [off, off+n) of the
+// outboard packet w, taking a reference.
+func NewWCAB(w *WCAB, off, n units.Size, hdr *Hdr) *Mbuf {
+	w.Ref()
+	return &Mbuf{typ: TWCAB, wcab: w, off: off, ln: n, hdr: hdr}
+}
+
+// Type returns the mbuf's storage format.
+func (m *Mbuf) Type() Type { return m.typ }
+
+// Len returns the mbuf's data length (not the chain's).
+func (m *Mbuf) Len() units.Size { return m.ln }
+
+// Next returns the next mbuf in the chain.
+func (m *Mbuf) Next() *Mbuf { return m.next }
+
+// SetNext links n after m.
+func (m *Mbuf) SetNext(n *Mbuf) { m.next = n }
+
+// Hdr returns the uiowCABhdr, or nil for non-descriptor mbufs that have
+// none.
+func (m *Mbuf) Hdr() *Hdr { return m.hdr }
+
+// SetHdr attaches a uiowCABhdr.
+func (m *Mbuf) SetHdr(h *Hdr) { m.hdr = h }
+
+// UIO returns the user-space region descriptor of a TUIO mbuf.
+func (m *Mbuf) UIO() *mem.UIO { return m.uio }
+
+// WCABRef returns the outboard descriptor of a TWCAB mbuf.
+func (m *Mbuf) WCABRef() *WCAB { return m.wcab }
+
+// Off returns the descriptor window offset (TUIO: within the UIO's
+// original coordinates; TWCAB: within the outboard packet).
+func (m *Mbuf) Off() units.Size { return m.off }
+
+// MarkPktHdr marks m as the first mbuf of a packet with total length n.
+func (m *Mbuf) MarkPktHdr(n units.Size) {
+	m.pktHdr = true
+	m.pktLen = n
+}
+
+// IsPktHdr reports whether m is a packet-header mbuf.
+func (m *Mbuf) IsPktHdr() bool { return m.pktHdr }
+
+// PktLen returns the packet length recorded in the packet header.
+func (m *Mbuf) PktLen() units.Size { return m.pktLen }
+
+// Bytes returns the live data window of a byte-holding mbuf. It panics for
+// descriptor mbufs: their data is not host-memory resident, which is the
+// whole point — code that would touch it must go through the driver.
+func (m *Mbuf) Bytes() []byte {
+	switch m.typ {
+	case TData:
+		return m.buf[m.off : m.off+m.ln]
+	case TCluster:
+		return m.cl.data[m.off : m.off+m.ln]
+	default:
+		panic(fmt.Sprintf("mbuf: Bytes() on %v descriptor mbuf", m.typ))
+	}
+}
+
+// Prepend grows the data window n bytes at the front, in place if the mbuf
+// has leading space, otherwise by returning a new packet-header mbuf
+// chained before m. The returned mbuf is the (possibly new) chain head.
+func (m *Mbuf) Prepend(n units.Size) *Mbuf {
+	if m.typ == TData && m.off >= n {
+		m.off -= n
+		m.ln += n
+		if m.pktHdr {
+			m.pktLen += n
+		}
+		return m
+	}
+	nm := NewEmptyData()
+	nm.off = HeaderRoom - n
+	if nm.off < 0 {
+		panic(fmt.Sprintf("mbuf: prepend %v exceeds header room", n))
+	}
+	nm.ln = n
+	nm.next = m
+	if m.pktHdr {
+		nm.MarkPktHdr(m.pktLen + n)
+		m.pktHdr = false
+		m.pktLen = 0
+	}
+	return nm
+}
+
+// TrimFront drops n bytes from the front of this single mbuf.
+func (m *Mbuf) TrimFront(n units.Size) {
+	if n > m.ln {
+		panic("mbuf: trim beyond length")
+	}
+	m.off += n
+	m.ln -= n
+}
+
+// TrimBack drops n bytes from the back of this single mbuf.
+func (m *Mbuf) TrimBack(n units.Size) {
+	if n > m.ln {
+		panic("mbuf: trim beyond length")
+	}
+	m.ln -= n
+}
+
+// Free releases one mbuf (dropping cluster/WCAB references) and returns
+// its successor.
+func (m *Mbuf) Free() *Mbuf {
+	next := m.next
+	switch m.typ {
+	case TCluster:
+		m.cl.refs--
+		if m.cl.refs < 0 {
+			panic("mbuf: cluster over-release")
+		}
+	case TWCAB:
+		m.wcab.Unref()
+	}
+	m.next = nil
+	return next
+}
+
+// FreeChain releases every mbuf in the chain.
+func FreeChain(m *Mbuf) {
+	for m != nil {
+		m = m.Free()
+	}
+}

@@ -1,0 +1,294 @@
+package mbuf
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/units"
+)
+
+func testSpace() *mem.AddrSpace {
+	return mem.NewAddrSpace("user", 1*units.MB, 8*units.KB)
+}
+
+func seq(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)
+	}
+	return b
+}
+
+func TestNewDataRoundTrip(t *testing.T) {
+	b := seq(100)
+	m := NewData(b)
+	if m.Type() != TData || m.Len() != 100 {
+		t.Fatalf("type=%v len=%v", m.Type(), m.Len())
+	}
+	if !bytes.Equal(m.Bytes(), b) {
+		t.Fatal("data mismatch")
+	}
+}
+
+func TestNewDataTooBigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewData(make([]byte, int(MLEN)+1))
+}
+
+func TestPrependInPlace(t *testing.T) {
+	m := NewData(seq(10))
+	m.MarkPktHdr(10)
+	m2 := m.Prepend(20)
+	if m2 != m {
+		t.Fatal("prepend should reuse header room")
+	}
+	if m.Len() != 30 || m.PktLen() != 30 {
+		t.Fatalf("len=%v pktlen=%v", m.Len(), m.PktLen())
+	}
+	copy(m.Bytes(), seq(20))
+	if !bytes.Equal(m.Bytes()[20:], seq(10)) {
+		t.Fatal("original data disturbed by prepend")
+	}
+}
+
+func TestPrependNewMbufWhenNoRoom(t *testing.T) {
+	u := mem.NewUIO(testSpace().Alloc(1000, 4))
+	m := NewUIO(u, 0, 1000, nil)
+	m.MarkPktHdr(1000)
+	head := m.Prepend(40)
+	if head == m {
+		t.Fatal("descriptor mbuf cannot be prepended in place")
+	}
+	if head.Next() != m || head.Len() != 40 {
+		t.Fatalf("bad new head: len=%v", head.Len())
+	}
+	if !head.IsPktHdr() || head.PktLen() != 1040 || m.IsPktHdr() {
+		t.Fatal("packet header not migrated")
+	}
+}
+
+func TestClusterSharingRefs(t *testing.T) {
+	m := NewCluster(seq(4000))
+	c := CopyRange(m, 1000, 2000)
+	if c.Type() != TCluster {
+		t.Fatalf("copy type = %v, want cluster", c.Type())
+	}
+	if m.cl.refs != 2 {
+		t.Fatalf("refs = %d, want 2", m.cl.refs)
+	}
+	if !bytes.Equal(c.Bytes(), seq(4000)[1000:3000]) {
+		t.Fatal("shared window wrong")
+	}
+	c.Free()
+	if m.cl.refs != 1 {
+		t.Fatalf("refs after free = %d, want 1", m.cl.refs)
+	}
+}
+
+func TestWCABRefCounting(t *testing.T) {
+	freed := false
+	w := &WCAB{Valid: 100, FreeFn: func() { freed = true }}
+	m := NewWCAB(w, 0, 100, nil)
+	c := CopyRange(m, 50, 25)
+	if w.Refs() != 2 {
+		t.Fatalf("refs = %d, want 2", w.Refs())
+	}
+	FreeChain(m)
+	if freed {
+		t.Fatal("freed too early")
+	}
+	FreeChain(c)
+	if !freed {
+		t.Fatal("outboard packet not freed at last reference")
+	}
+}
+
+func TestChainLenAndCat(t *testing.T) {
+	a := NewData(seq(10))
+	b := NewData(seq(20))
+	c := Cat(a, b)
+	if ChainLen(c) != 30 || ChainCount(c) != 2 {
+		t.Fatalf("len=%v count=%v", ChainLen(c), ChainCount(c))
+	}
+	if Cat(nil, a) != a {
+		t.Fatal("Cat(nil, a) should be a")
+	}
+}
+
+func TestCopyRangeAcrossMixedChain(t *testing.T) {
+	sp := testSpace()
+	ub := sp.Alloc(300, 4)
+	copy(ub.Bytes(), seq(300))
+	u := mem.NewUIO(ub)
+
+	w := &WCAB{Valid: 200}
+	wdata := seq(200)
+	for i := range wdata {
+		wdata[i] ^= 0xaa
+	}
+	w.ReadFn = func(off, n units.Size) []byte { return wdata[off : off+n] }
+	w.Ref() // baseline reference held by the "socket buffer"
+
+	chain := Cat(Cat(NewData(seq(50)), NewUIO(u, 0, 300, nil)), NewWCAB(w, 0, 200, nil))
+	whole := Materialize(chain)
+	if units.Size(len(whole)) != 550 {
+		t.Fatalf("materialized %d bytes, want 550", len(whole))
+	}
+
+	// Property: CopyRange materializes to the same bytes as the slice of
+	// the full materialization, for random ranges.
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		off := units.Size(r.Intn(550))
+		n := units.Size(r.Intn(int(550 - off)))
+		c := CopyRange(chain, off, n)
+		got := Materialize(c)
+		if !bytes.Equal(got, whole[off:off+n]) {
+			t.Fatalf("CopyRange(%v,%v) mismatch", off, n)
+		}
+		FreeChain(c)
+	}
+}
+
+func TestAdjFront(t *testing.T) {
+	chain := Cat(NewData(seq(100)), NewData(seq(100)))
+	chain = AdjFront(chain, 150)
+	if ChainLen(chain) != 50 || ChainCount(chain) != 1 {
+		t.Fatalf("len=%v count=%v", ChainLen(chain), ChainCount(chain))
+	}
+	if !bytes.Equal(chain.Bytes(), seq(100)[50:]) {
+		t.Fatal("wrong bytes after AdjFront")
+	}
+	chain = AdjFront(chain, 50)
+	if chain != nil {
+		t.Fatal("fully consumed chain should be nil")
+	}
+}
+
+func TestAdjFrontFreesWCABRefs(t *testing.T) {
+	freed := 0
+	w := &WCAB{Valid: 100, FreeFn: func() { freed++ }}
+	chain := Cat(NewWCAB(w, 0, 100, nil), NewData(seq(10)))
+	chain = AdjFront(chain, 100)
+	if freed != 1 {
+		t.Fatalf("freed = %d, want 1", freed)
+	}
+	if ChainLen(chain) != 10 {
+		t.Fatalf("remaining = %v, want 10", ChainLen(chain))
+	}
+}
+
+func TestSplitAt(t *testing.T) {
+	sp := testSpace()
+	ub := sp.Alloc(1000, 4)
+	copy(ub.Bytes(), seq(1000))
+	u := mem.NewUIO(ub)
+	chain := Cat(NewData(seq(100)), NewUIO(u, 0, 1000, nil))
+	whole := Materialize(chain)
+
+	front, back := SplitAt(chain, 600) // splits inside the UIO mbuf
+	if ChainLen(front) != 600 || ChainLen(back) != 500 {
+		t.Fatalf("front=%v back=%v", ChainLen(front), ChainLen(back))
+	}
+	got := append(Materialize(front), Materialize(back)...)
+	if !bytes.Equal(got, whole) {
+		t.Fatal("split lost bytes")
+	}
+
+	// Split exactly at an mbuf boundary.
+	f2, b2 := SplitAt(front, 100)
+	if ChainLen(f2) != 100 || ChainLen(b2) != 500 {
+		t.Fatalf("boundary split: %v/%v", ChainLen(f2), ChainLen(b2))
+	}
+}
+
+func TestSplitAtZero(t *testing.T) {
+	m := NewData(seq(10))
+	f, b := SplitAt(m, 0)
+	if f != nil || b != m {
+		t.Fatal("SplitAt 0 should return (nil, chain)")
+	}
+}
+
+func TestHasDescriptors(t *testing.T) {
+	sp := testSpace()
+	u := mem.NewUIO(sp.Alloc(100, 4))
+	plain := Cat(NewData(seq(10)), NewCluster(seq(100)))
+	if HasDescriptors(plain) {
+		t.Fatal("plain chain misreported")
+	}
+	mixed := Cat(NewData(seq(10)), NewUIO(u, 0, 100, nil))
+	if !HasDescriptors(mixed) {
+		t.Fatal("UIO chain not detected")
+	}
+}
+
+func TestBytesOnDescriptorPanics(t *testing.T) {
+	sp := testSpace()
+	u := mem.NewUIO(sp.Alloc(100, 4))
+	m := NewUIO(u, 0, 100, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	_ = m.Bytes()
+}
+
+func TestReadRangeOffsets(t *testing.T) {
+	chain := Cat(NewData(seq(64)), NewCluster(seq(256)))
+	dst := make([]byte, 16)
+	ReadRange(chain, 60, 16, dst)
+	want := append(seq(64)[60:], seq(256)[:12]...)
+	if !bytes.Equal(dst, want) {
+		t.Fatalf("got %v want %v", dst, want)
+	}
+}
+
+func TestSplitCopyRangeProperty(t *testing.T) {
+	// Property: for random chains, SplitAt(n) preserves content and
+	// lengths.
+	f := func(lens []uint8, splitSeed uint16) bool {
+		var chain *Mbuf
+		total := units.Size(0)
+		for _, l := range lens {
+			n := int(l%100) + 1
+			chain = Cat(chain, NewData(seq(n)))
+			total += units.Size(n)
+		}
+		if chain == nil {
+			return true
+		}
+		whole := Materialize(chain)
+		n := units.Size(splitSeed) % (total + 1)
+		front, back := SplitAt(chain, n)
+		if ChainLen(front) != n || ChainLen(back) != total-n {
+			return false
+		}
+		got := append(Materialize(front), Materialize(back)...)
+		return bytes.Equal(got, whole)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTypesDiagnostics(t *testing.T) {
+	sp := testSpace()
+	u := mem.NewUIO(sp.Alloc(100, 4))
+	chain := Cat(NewData(seq(10)), NewUIO(u, 0, 100, nil))
+	ts := Types(chain)
+	if len(ts) != 2 || ts[0] != TData || ts[1] != TUIO {
+		t.Fatalf("types = %v", ts)
+	}
+	if ts[1].String() != "uio" {
+		t.Fatalf("string = %q", ts[1].String())
+	}
+}

@@ -1,0 +1,147 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine advances a virtual clock by executing scheduled events in
+// (time, sequence) order. On top of raw events it offers blocking
+// *processes* (goroutines that park between simulation steps, in the style
+// of SimPy), counting semaphore *resources* with priorities, condition
+// *signals*, and FIFO *queues*. All scheduling is deterministic: ties are
+// broken by insertion order and the only source of randomness is an
+// explicitly seeded generator.
+//
+// The engine is single-threaded from the caller's point of view: events and
+// process steps never run concurrently, so simulation code needs no locks.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/units"
+)
+
+// Engine is a discrete-event simulator instance.
+type Engine struct {
+	now     units.Time
+	events  eventHeap
+	seq     int64
+	running bool
+	stopped bool
+	live    map[*Proc]struct{}
+	rng     *rand.Rand
+}
+
+type event struct {
+	at  units.Time
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// NewEngine returns an engine with its clock at zero and a deterministic
+// random source seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		live: make(map[*Proc]struct{}),
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() units.Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn to run at virtual time t. Scheduling in the past panics:
+// it would silently corrupt causality.
+func (e *Engine) At(t units.Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d units.Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// Step executes the next pending event, advancing the clock to its time.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain or Stop is called. Processes that
+// are blocked with no pending event to wake them simply remain parked.
+func (e *Engine) Run() {
+	e.stopped = false
+	e.running = true
+	defer func() { e.running = false }()
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ t, then sets the clock to t.
+func (e *Engine) RunUntil(t units.Time) {
+	e.stopped = false
+	e.running = true
+	defer func() { e.running = false }()
+	for !e.stopped && len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if !e.stopped && t > e.now {
+		e.now = t
+	}
+}
+
+// Stop halts Run/RunUntil after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// LiveProcs returns the number of processes that have been spawned and have
+// not yet finished (they may be runnable or parked).
+func (e *Engine) LiveProcs() int { return len(e.live) }
+
+// KillAll terminates every parked process by unwinding its goroutine. It is
+// intended for teardown after a simulation completes; killed processes do
+// not run deferred simulation logic beyond their own defers.
+func (e *Engine) KillAll() {
+	for p := range e.live {
+		if p.parkedNow {
+			e.deliver(p, procMsg{kill: true})
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Proc is a simulation process: a goroutine whose execution is interleaved
+// with the event loop. At any instant at most one process (or event) is
+// running; a process gives up control by blocking in Sleep, Signal.Wait,
+// Resource.Acquire, or Queue.Get.
+//
+// Proc methods that block must only be called from the process's own
+// goroutine. Methods that wake other processes (Signal.Broadcast and
+// friends) may be called from any simulation context; they take effect via
+// scheduled events.
+type Proc struct {
+	eng       *Engine
+	name      string
+	resume    chan procMsg
+	parked    chan struct{}
+	done      bool
+	parkedNow bool
+	panicVal  any
+}
+
+type procMsg struct {
+	kill bool
+}
+
+// killSentinel unwinds a killed process goroutine.
+type killSentinel struct{}
+
+// Go spawns a new process named name running fn. The process starts at the
+// current virtual time (after already-scheduled events at that time).
+func (e *Engine) Go(name string, fn func(*Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan procMsg),
+		parked: make(chan struct{}),
+	}
+	e.live[p] = struct{}{}
+	go func() {
+		defer func() {
+			r := recover()
+			if r != nil {
+				if _, ok := r.(killSentinel); !ok {
+					// Hand the panic to the engine goroutine (the caller
+					// of Run), where tests can recover it.
+					p.panicVal = r
+				}
+			}
+			p.done = true
+			p.parked <- struct{}{}
+		}()
+		if m := <-p.resume; m.kill {
+			panic(killSentinel{})
+		}
+		fn(p)
+	}()
+	e.At(e.now, func() { e.deliver(p, procMsg{}) })
+	return p
+}
+
+// Name returns the process name (for diagnostics).
+func (p *Proc) Name() string { return p.name }
+
+// Done reports whether the process function has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() units.Time { return p.eng.now }
+
+// deliver hands control to p and waits for it to park or finish. It must be
+// called from event context (never from another process's goroutine).
+func (e *Engine) deliver(p *Proc, m procMsg) {
+	if p.done {
+		return
+	}
+	p.parkedNow = false
+	p.resume <- m
+	<-p.parked
+	if p.done {
+		delete(e.live, p)
+		if p.panicVal != nil {
+			panic(p.panicVal)
+		}
+	}
+}
+
+// park blocks the calling process goroutine until the engine wakes it.
+func (p *Proc) park() {
+	p.parkedNow = true
+	p.parked <- struct{}{}
+	if m := <-p.resume; m.kill {
+		panic(killSentinel{})
+	}
+}
+
+// wake schedules the engine to resume p at the current time.
+func (p *Proc) wake() {
+	p.eng.At(p.eng.now, func() { p.eng.deliver(p, procMsg{}) })
+}
+
+// Sleep blocks the process for d of virtual time.
+func (p *Proc) Sleep(d units.Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative sleep %v in %s", d, p.name))
+	}
+	p.eng.After(d, func() { p.eng.deliver(p, procMsg{}) })
+	p.park()
+}
+
+// Yield blocks the process and immediately reschedules it, letting other
+// work scheduled at the same instant run first.
+func (p *Proc) Yield() { p.Sleep(0) }

@@ -1,0 +1,81 @@
+package sim
+
+import "repro/internal/units"
+
+// Signal is a broadcast/signal condition variable for processes.
+// The zero value is not usable; create one with NewSignal.
+type Signal struct {
+	eng     *Engine
+	waiters []*waitToken
+}
+
+type waitToken struct {
+	p        *Proc
+	done     bool
+	timedOut bool
+}
+
+// NewSignal returns a signal bound to e.
+func NewSignal(e *Engine) *Signal { return &Signal{eng: e} }
+
+// Wait blocks p until the signal is signaled or broadcast.
+func (s *Signal) Wait(p *Proc) {
+	t := &waitToken{p: p}
+	s.waiters = append(s.waiters, t)
+	p.park()
+}
+
+// WaitTimeout blocks p until the signal fires or d elapses. It reports
+// whether the signal fired (false means timeout).
+func (s *Signal) WaitTimeout(p *Proc, d units.Time) bool {
+	t := &waitToken{p: p}
+	s.waiters = append(s.waiters, t)
+	s.eng.After(d, func() {
+		if t.done {
+			return
+		}
+		t.done = true
+		t.timedOut = true
+		s.eng.deliver(t.p, procMsg{})
+	})
+	p.park()
+	return !t.timedOut
+}
+
+// Signal wakes the longest-waiting process, if any.
+func (s *Signal) Signal() {
+	for len(s.waiters) > 0 {
+		t := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		if t.done {
+			continue
+		}
+		t.done = true
+		t.p.wake()
+		return
+	}
+}
+
+// Broadcast wakes every waiting process.
+func (s *Signal) Broadcast() {
+	ws := s.waiters
+	s.waiters = nil
+	for _, t := range ws {
+		if t.done {
+			continue
+		}
+		t.done = true
+		t.p.wake()
+	}
+}
+
+// Waiting returns the number of processes currently waiting.
+func (s *Signal) Waiting() int {
+	n := 0
+	for _, t := range s.waiters {
+		if !t.done {
+			n++
+		}
+	}
+	return n
+}

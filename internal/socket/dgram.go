@@ -1,0 +1,95 @@
+package socket
+
+import (
+	"repro/internal/kern"
+	"repro/internal/mbuf"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/tcpip"
+	"repro/internal/units"
+	"repro/internal/wire"
+)
+
+// DGram is a UDP socket with copy semantics.
+type DGram struct {
+	K    *kern.Kernel
+	VM   *kern.VM
+	Task *kern.Task
+	Sock *tcpip.UDPSock
+	Cfg  Config
+}
+
+// NewDGram binds a UDP socket (port 0 selects an ephemeral port).
+func NewDGram(k *kern.Kernel, vm *kern.VM, task *kern.Task, stk *tcpip.Stack, port uint16, cfg Config) *DGram {
+	return &DGram{K: k, VM: vm, Task: task, Sock: stk.UDPBind(port), Cfg: cfg}
+}
+
+// SendTo transmits buf as one datagram. On the single-copy path the call
+// blocks until the data is outboard; the driver frees the outboard packet
+// after the media send (UDP has no retransmission state).
+func (d *DGram) SendTo(p *sim.Proc, buf mem.Buf, dst wire.Addr, dport uint16) error {
+	ctx := d.K.TaskCtx(p, d.Task)
+	ctx.Charge(d.K.Mach.SyscallCost, kern.CatSyscall)
+	ctx.Charge(d.K.Mach.SocketPerPacket, kern.CatProto)
+	u := mem.NewUIO(buf)
+	useUIO := d.Cfg.Mode == ModeSingleCopy &&
+		buf.Len >= d.Cfg.UIOThreshold &&
+		u.AlignedTo(0, buf.Len, 4)
+	if !useUIO {
+		tmp := make([]byte, buf.Len)
+		d.K.CopyFromUIO(p, d.Task, u, 0, buf.Len, tmp, buf.Len)
+		var head, tail *mbuf.Mbuf
+		for off := units.Size(0); off < buf.Len; off += mbuf.MCLBYTES {
+			n := buf.Len - off
+			if n > mbuf.MCLBYTES {
+				n = mbuf.MCLBYTES
+			}
+			cl := mbuf.NewCluster(tmp[off : off+n])
+			if head == nil {
+				head = cl
+			} else {
+				tail.SetNext(cl)
+			}
+			tail = cl
+		}
+		d.Sock.SendTo(ctx, head, buf.Len, dst, dport)
+		return nil
+	}
+	d.VM.MapUIO(p, d.Task, u, 0, buf.Len)
+	d.VM.PinUIO(p, d.Task, u, 0, buf.Len)
+	trk := newTracker(d.K.Eng)
+	trk.add(buf.Len)
+	m := mbuf.NewUIO(u, 0, buf.Len, &mbuf.Hdr{Owner: trk})
+	d.Sock.SendTo(ctx, m, buf.Len, dst, dport)
+	trk.wait(p)
+	d.VM.UnpinUIO(p, d.Task, u, 0, buf.Len)
+	for _, seg := range u.Segments(0, buf.Len) {
+		d.VM.UnmapBuf(u.Space, seg.Addr, seg.Len)
+	}
+	return nil
+}
+
+// RecvFrom receives one datagram into buf, returning the byte count and
+// source. Datagrams longer than buf are truncated (BSD semantics).
+func (d *DGram) RecvFrom(p *sim.Proc, buf mem.Buf) (units.Size, wire.Addr, uint16) {
+	ctx := d.K.TaskCtx(p, d.Task)
+	ctx.Charge(d.K.Mach.SyscallCost, kern.CatSyscall)
+	dg := d.Sock.RecvFrom(p)
+	if dg == nil {
+		return 0, 0, 0
+	}
+	n := dg.Len
+	if n > buf.Len {
+		n = buf.Len
+	}
+	u := mem.NewUIO(buf)
+	take, rest := mbuf.SplitAt(dg.Chain, n)
+	s := &Socket{K: d.K, VM: d.VM, Task: d.Task, Cfg: d.Cfg}
+	s.copyOut(ctx, u, take, n)
+	mbuf.FreeChain(take)
+	mbuf.FreeChain(rest)
+	return n, dg.Src, dg.SPort
+}
+
+// Close unbinds the socket.
+func (d *DGram) Close() { d.Sock.Close() }

@@ -1,0 +1,374 @@
+// Package socket implements the Berkeley sockets layer with copy
+// semantics — the API whose efficient support is the point of the paper.
+//
+// On the traditional path, Write copies user data into kernel cluster
+// mbufs and Read copies it back out. On the single-copy path, Write
+// instead maps and pins the user pages and appends M_UIO descriptor mbufs;
+// the write returns only after every byte has been secured outboard (the
+// outstanding-DMA counter of Section 4.4.2), preserving copy semantics
+// without a host copy. Read issues SDMA copy-out for M_WCAB data straight
+// into the user's buffer.
+//
+// Per Section 4.4.3 the path is chosen per operation: small or unaligned
+// reads/writes use the traditional copy path even in single-copy mode.
+package socket
+
+import (
+	"errors"
+
+	"repro/internal/kern"
+	"repro/internal/mbuf"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/tcpip"
+	"repro/internal/units"
+	"repro/internal/wire"
+)
+
+// Mode selects the stack variant (Figure 2: original vs modified).
+type Mode int
+
+// Stack variants.
+const (
+	// ModeUnmodified is the original stack: data is always channeled
+	// through kernel buffers and checksummed in software.
+	ModeUnmodified Mode = iota
+	// ModeSingleCopy is the modified stack with descriptor mbufs and
+	// outboard checksumming.
+	ModeSingleCopy
+)
+
+// ErrEOF is returned by Read at orderly end of stream.
+var ErrEOF = errors.New("socket: end of stream")
+
+// Config carries per-socket policy.
+type Config struct {
+	Mode Mode
+	// UIOThreshold is the smallest write that uses the single-copy path
+	// (Section 4.4.3). Zero means always (the paper's measured
+	// configuration).
+	UIOThreshold units.Size
+	// ChunkSize is how much is mapped/pinned and appended per iteration —
+	// "one socket buffer worth at a time" (Section 4.4.1). Defaults to
+	// the connection's maximum segment size.
+	ChunkSize units.Size
+	// AlignFirstPacket enables the Section 4.5 optimization the paper
+	// describes but did not implement: for a large but misaligned write,
+	// send a short first chunk through the copy path so the bulk of the
+	// data becomes word-aligned and can be DMAed. "This might pay off for
+	// very large writes."
+	AlignFirstPacket bool
+	// AlignMinWrite is the smallest write the alignment optimization
+	// applies to (default 64 KB).
+	AlignMinWrite units.Size
+}
+
+// Socket is a connected stream (TCP) socket.
+type Socket struct {
+	K    *kern.Kernel
+	VM   *kern.VM
+	Task *kern.Task
+	Conn *tcpip.TCPConn
+	Cfg  Config
+
+	// Stats.
+	UIOWrites, CopyWrites int
+	UIOReads, CopyReads   int
+	// AlignedWrites counts misaligned writes salvaged by the Section 4.5
+	// short-first-packet optimization.
+	AlignedWrites int
+}
+
+// NewSocket wraps an established connection.
+func NewSocket(k *kern.Kernel, vm *kern.VM, task *kern.Task, conn *tcpip.TCPConn, cfg Config) *Socket {
+	s := &Socket{K: k, VM: vm, Task: task, Conn: conn, Cfg: cfg}
+	if cfg.Mode == ModeSingleCopy {
+		conn.NoCoalesce = true
+	}
+	return s
+}
+
+// tracker is the outstanding-DMA (UIO) counter that synchronizes
+// application wakeup with the driver (Section 4.4.2).
+type tracker struct {
+	pending units.Size
+	sig     *sim.Signal
+}
+
+func newTracker(e *sim.Engine) *tracker { return &tracker{sig: sim.NewSignal(e)} }
+
+func (t *tracker) add(n units.Size) { t.pending += n }
+
+// DMAStarted implements mbuf.Notifier.
+func (t *tracker) DMAStarted(units.Size) {}
+
+// DMADone implements mbuf.Notifier.
+func (t *tracker) DMADone(n units.Size) {
+	t.pending -= n
+	if t.pending <= 0 {
+		t.sig.Broadcast()
+	}
+}
+
+func (t *tracker) wait(p *sim.Proc) {
+	for t.pending > 0 {
+		t.sig.Wait(p)
+	}
+}
+
+// chunkSize resolves the per-iteration unit.
+func (s *Socket) chunkSize() units.Size {
+	if s.Cfg.ChunkSize > 0 {
+		return s.Cfg.ChunkSize
+	}
+	return s.Conn.MaxSeg
+}
+
+// Write sends the whole buffer, blocking until it may be reused (copy
+// semantics): on the traditional path when the last byte is copied into
+// kernel buffers, on the single-copy path when the last byte is secured
+// outboard.
+func (s *Socket) Write(p *sim.Proc, buf mem.Buf) (units.Size, error) {
+	ctx := s.K.TaskCtx(p, s.Task)
+	ctx.Charge(s.K.Mach.SyscallCost, kern.CatSyscall)
+
+	u := mem.NewUIO(buf)
+	aligned := u.AlignedTo(0, buf.Len, 4) // word alignment (Section 4.5)
+	useUIO := s.Cfg.Mode == ModeSingleCopy &&
+		buf.Len >= s.Cfg.UIOThreshold &&
+		aligned
+	if useUIO {
+		s.UIOWrites++
+		return s.writeUIO(ctx, u, buf)
+	}
+	if !aligned && s.alignable(buf) {
+		// Section 4.5 extension: peel off a short misaligned prefix via
+		// the copy path; the remainder is word-aligned and takes the
+		// single-copy path.
+		prefix := 4 - buf.Addr%4
+		s.AlignedWrites++
+		n1, err := s.writeCopy(ctx, u, buf.Slice(0, prefix))
+		if err != nil {
+			return n1, err
+		}
+		rest := buf.Slice(prefix, buf.Len-prefix)
+		n2, err := s.writeUIO(ctx, mem.NewUIO(rest), rest)
+		return n1 + n2, err
+	}
+	s.CopyWrites++
+	return s.writeCopy(ctx, u, buf)
+}
+
+// alignable reports whether the alignment optimization applies to buf.
+func (s *Socket) alignable(buf mem.Buf) bool {
+	if s.Cfg.Mode != ModeSingleCopy || !s.Cfg.AlignFirstPacket {
+		return false
+	}
+	min := s.Cfg.AlignMinWrite
+	if min == 0 {
+		min = 64 * units.KB
+	}
+	return buf.Len >= min && buf.Len >= s.Cfg.UIOThreshold
+}
+
+// writeCopy is the traditional sosend: copy into cluster mbufs.
+func (s *Socket) writeCopy(ctx kern.Ctx, u *mem.UIO, buf mem.Buf) (units.Size, error) {
+	c := s.Conn
+	total := buf.Len
+	chunkMax := s.chunkSize()
+	boundary := true
+	for sent := units.Size(0); sent < total; {
+		if err := c.WaitSndSpace(ctx.P); err != nil {
+			return sent, err
+		}
+		chunk := total - sent
+		if avail := c.SndAvail(); chunk > avail {
+			chunk = avail
+		}
+		if chunk > chunkMax {
+			chunk = chunkMax
+		}
+		ctx.Charge(s.K.Mach.SocketPerPacket, kern.CatProto)
+		var head, tail *mbuf.Mbuf
+		for off := units.Size(0); off < chunk; off += mbuf.MCLBYTES {
+			n := chunk - off
+			if n > mbuf.MCLBYTES {
+				n = mbuf.MCLBYTES
+			}
+			tmp := make([]byte, n)
+			s.K.CopyFromUIO(ctx.P, s.Task, u, sent+off, n, tmp, total)
+			cl := mbuf.NewCluster(tmp)
+			if head == nil {
+				head = cl
+			} else {
+				tail.SetNext(cl)
+			}
+			tail = cl
+		}
+		if err := c.Append(ctx, head, chunk, boundary); err != nil {
+			return sent, err
+		}
+		boundary = false
+		sent += chunk
+	}
+	return total, nil
+}
+
+// writeUIO is the single-copy sosend: map and pin incrementally, append
+// M_UIO descriptors, and wait for the outstanding DMAs.
+func (s *Socket) writeUIO(ctx kern.Ctx, u *mem.UIO, buf mem.Buf) (units.Size, error) {
+	c := s.Conn
+	total := buf.Len
+	chunkMax := s.chunkSize()
+	trk := newTracker(s.K.Eng)
+	var pinned []mem.Iovec
+	boundary := true
+	for sent := units.Size(0); sent < total; {
+		if err := c.WaitSndSpace(ctx.P); err != nil {
+			s.unpinAll(ctx, u, pinned)
+			return sent, err
+		}
+		chunk := total - sent
+		if avail := c.SndAvail(); chunk > avail {
+			chunk = avail
+		}
+		if chunk > chunkMax {
+			chunk = chunkMax
+		}
+		// The socket layer, which has the application context OSF/1
+		// drivers lack, maps the chunk into kernel space and pins it for
+		// DMA (Section 4.4.1).
+		s.VM.MapUIO(ctx.P, s.Task, u, sent, chunk)
+		s.VM.PinUIO(ctx.P, s.Task, u, sent, chunk)
+		pinned = append(pinned, mem.Iovec{Addr: sent, Len: chunk})
+		trk.add(chunk)
+		ctx.Charge(s.K.Mach.SocketPerPacket, kern.CatProto)
+		m := mbuf.NewUIO(u, sent, chunk, &mbuf.Hdr{Owner: trk})
+		if err := c.Append(ctx, m, chunk, boundary); err != nil {
+			trk.DMADone(chunk) // never issued
+			s.unpinAll(ctx, u, pinned)
+			return sent, err
+		}
+		boundary = false
+		sent += chunk
+	}
+	// Copy semantics: return only after the last outstanding DMA
+	// completes (Section 4.4.2). A DMA, once issued, cannot be canceled.
+	trk.wait(ctx.P)
+	s.unpinAll(ctx, u, pinned)
+	return total, nil
+}
+
+// unpinAll releases the pinned chunks (lazily if the VM is so configured).
+func (s *Socket) unpinAll(ctx kern.Ctx, u *mem.UIO, pinned []mem.Iovec) {
+	for _, r := range pinned {
+		s.VM.UnpinUIO(ctx.P, s.Task, u, r.Addr, r.Len)
+		for _, seg := range u.Segments(r.Addr, r.Len) {
+			s.VM.UnmapBuf(u.Space, seg.Addr, seg.Len)
+		}
+	}
+}
+
+// Read receives into buf, blocking until at least one byte (or EOF) is
+// available, BSD-style. It returns the byte count.
+func (s *Socket) Read(p *sim.Proc, buf mem.Buf) (units.Size, error) {
+	ctx := s.K.TaskCtx(p, s.Task)
+	ctx.Charge(s.K.Mach.SyscallCost, kern.CatSyscall)
+	c := s.Conn
+	if !c.WaitRcvData(p) {
+		if c.Err != nil {
+			return 0, c.Err
+		}
+		return 0, ErrEOF
+	}
+	chain, n := c.DequeueRcv(buf.Len)
+	if n == 0 {
+		return 0, ErrEOF
+	}
+	u := mem.NewUIO(buf)
+	s.copyOut(ctx, u, chain, n)
+	mbuf.FreeChain(chain)
+	c.WindowUpdate(ctx)
+	return n, nil
+}
+
+// copyOut moves a dequeued chain into the user buffer: CPU copies for
+// resident mbufs, SDMA for M_WCAB descriptors when the destination is
+// word-aligned (the paper's receive-side single-copy; unaligned reads fall
+// back to the copy path, Section 4.5).
+func (s *Socket) copyOut(ctx kern.Ctx, u *mem.UIO, chain *mbuf.Mbuf, n units.Size) {
+	trk := newTracker(s.K.Eng)
+	var pinned []mem.Iovec
+	off := units.Size(0)
+	sawDMA := false
+	for m := chain; m != nil; m = m.Next() {
+		ln := m.Len()
+		switch m.Type() {
+		case mbuf.TData, mbuf.TCluster:
+			s.K.CopyToUIO(ctx.P, s.Task, u, off, m.Bytes(), n)
+		case mbuf.TWCAB:
+			w := m.WCABRef()
+			if s.Cfg.Mode == ModeSingleCopy && w.CopyOut != nil && u.AlignedTo(off, ln, 4) {
+				s.UIOReads++
+				sawDMA = true
+				s.VM.PinUIO(ctx.P, s.Task, u, off, ln)
+				pinned = append(pinned, mem.Iovec{Addr: off, Len: ln})
+				var scatter [][]byte
+				for _, seg := range u.Segments(off, ln) {
+					scatter = append(scatter, u.Space.Bytes(seg.Addr, seg.Len))
+				}
+				trk.add(ln)
+				ln := ln
+				w.CopyOut(m.Off(), ln, scatter, func() { trk.DMADone(ln) })
+			} else {
+				// Fallback: read outboard data with the CPU.
+				s.CopyReads++
+				ctx.Charge(s.K.Mach.CopyTime(ln, n), kern.CatCopy)
+				u.WriteAt(w.ReadFn(m.Off(), ln), off)
+			}
+		case mbuf.TUIO:
+			panic("socket: M_UIO mbuf in receive buffer")
+		}
+		off += ln
+	}
+	if sawDMA {
+		// The last SDMA is flagged to interrupt so the process can be
+		// rescheduled (Section 2.2).
+		ctx.Charge(s.K.Mach.InterruptCost, kern.CatIntr)
+		trk.wait(ctx.P)
+		for _, r := range pinned {
+			s.VM.UnpinUIO(ctx.P, s.Task, u, r.Addr, r.Len)
+		}
+	}
+}
+
+// WriteAll writes buf fully and returns an error only on connection
+// failure.
+func (s *Socket) WriteAll(p *sim.Proc, buf mem.Buf) error {
+	_, err := s.Write(p, buf)
+	return err
+}
+
+// Close closes the stream (half-close of the send side; full teardown
+// proceeds via FIN exchange).
+func (s *Socket) Close(p *sim.Proc) {
+	s.Conn.Close(s.K.TaskCtx(p, s.Task))
+}
+
+// Dial establishes a TCP connection and wraps it in a socket.
+func Dial(p *sim.Proc, k *kern.Kernel, vm *kern.VM, task *kern.Task, stk *tcpip.Stack,
+	raddr wire.Addr, rport uint16, cfg Config) (*Socket, error) {
+	ctx := k.TaskCtx(p, task)
+	conn, err := stk.Connect(ctx, raddr, rport)
+	if err != nil {
+		return nil, err
+	}
+	return NewSocket(k, vm, task, conn, cfg), nil
+}
+
+// Accept waits for an inbound connection on l and wraps it.
+func Accept(p *sim.Proc, k *kern.Kernel, vm *kern.VM, task *kern.Task,
+	l *tcpip.TCPListener, cfg Config) *Socket {
+	conn := l.Accept(p)
+	return NewSocket(k, vm, task, conn, cfg)
+}

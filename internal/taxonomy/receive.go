@@ -1,0 +1,114 @@
+package taxonomy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Receive-side taxonomy: the mirror of Table 1 for the read path, derived
+// from the corresponding constraints (Section 2.2's receive walk-through
+// and the host-interface design space of [19]):
+//
+//  1. With copy semantics the data arrives before the application posts
+//     its read buffer, so it must be staged somewhere. Without outboard
+//     buffering the staging is host kernel memory, and delivering to the
+//     user costs a memory-memory copy. With outboard buffering the packet
+//     waits in adaptor memory and a single device transfer lands it
+//     directly in the user's buffer at read time. Shared-semantics APIs
+//     deliver into the shared buffers either way.
+//  2. Checksum placement is irrelevant on receive — the whole packet is
+//     present before verification — but the verification still has to
+//     read every byte unless it merges with the device transfer (PIO, or
+//     a DMA checksum engine summing as the packet arrives) or with the
+//     staging copy.
+//  3. Single-packet adaptor buffering does not change the receive
+//     structure: it cannot hold data until an arbitrary later read.
+type _ = struct{} // (documentation anchor)
+
+// DeriveReceive computes the receive-path operation sequence for one
+// configuration.
+func DeriveReceive(cfg Config) Cell {
+	var ops []Op
+
+	needCopy := cfg.API == APICopy && cfg.Buf != BufOutboard
+
+	csumDone := false
+	// The arrival transfer: media → host kernel buffers (no outboard
+	// buffering) or media → network memory then device → destination
+	// buffer (outboard). Either way it is one device transfer from the
+	// host's point of view.
+	switch cfg.Move {
+	case MovePIO:
+		// The CPU touches the data anyway: verify during the transfer.
+		ops = append(ops, OpPIOC)
+		csumDone = true
+	case MoveDMA:
+		ops = append(ops, OpDMA)
+	case MoveDMACsum:
+		ops = append(ops, OpDMAC)
+		csumDone = true
+	}
+
+	if needCopy {
+		if !csumDone {
+			// Fold verification into the unavoidable staging copy.
+			ops = append(ops, OpCopyC)
+			csumDone = true
+		} else {
+			ops = append(ops, OpCopy)
+		}
+	}
+	if !csumDone {
+		ops = append(ops, OpReadC)
+	}
+
+	cell := Cell{Config: cfg, Ops: ops}
+	for _, op := range ops {
+		switch op {
+		case OpCopy, OpCopyC:
+			cell.HostDataAccesses += 2
+		case OpReadC, OpPIO, OpPIOC:
+			cell.HostDataAccesses++
+		}
+	}
+	cell.Class = classify(ops)
+	return cell
+}
+
+// AllReceive enumerates the receive-side table. Checksum placement does
+// not matter on receive, so rows collapse to API × buffering × movement.
+func AllReceive() []Cell {
+	var cells []Cell
+	for _, api := range []API{APICopy, APIShared} {
+		for _, buf := range []Buffering{BufNone, BufPacket, BufOutboard} {
+			for _, mv := range []Movement{MovePIO, MoveDMA, MoveDMACsum} {
+				cells = append(cells, DeriveReceive(Config{api, CsumHeader, buf, mv}))
+			}
+		}
+	}
+	return cells
+}
+
+// FormatReceive renders the receive-side grid.
+func FormatReceive() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s | %-22s | %-22s | %-22s\n",
+		"API", "no buffering", "packet buffering", "outboard buffering")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 88))
+	for _, api := range []API{APICopy, APIShared} {
+		for _, mv := range []Movement{MovePIO, MoveDMA, MoveDMACsum} {
+			cols := make([]string, 3)
+			for i, buf := range []Buffering{BufNone, BufPacket, BufOutboard} {
+				cell := DeriveReceive(Config{api, CsumHeader, buf, mv})
+				parts := make([]string, len(cell.Ops))
+				for j, op := range cell.Ops {
+					parts[j] = string(op)
+				}
+				cols[i] = strings.Join(parts, " ")
+			}
+			fmt.Fprintf(&b, "%-8s | %-22s | %-22s | %-22s  (%s)\n",
+				api, cols[0], cols[1], cols[2], mv)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,49 @@
+package tcpip
+
+import (
+	"fmt"
+
+	"repro/internal/checksum"
+	"repro/internal/mbuf"
+	"repro/internal/wire"
+)
+
+// DebugCsum, when set, dumps detail on transport checksum failures.
+var DebugCsum bool
+
+func debugCsumFailure(m *mbuf.Mbuf, iph wire.IPHdr, proto uint8) {
+	if !DebugCsum {
+		return
+	}
+	segLen := mbuf.ChainLen(m)
+	buf := make([]byte, segLen)
+	mbuf.ReadRange(m, 0, segLen, buf)
+	ps := pseudoSum(iph.Src, iph.Dst, proto, segLen)
+	sw := checksum.Add(ps, checksum.Sum(buf))
+	hw := uint32(0)
+	if h := m.Hdr(); h != nil && h.HWRxValid {
+		hw = checksum.Add(ps, h.HWRxSum)
+	}
+	thdr, _ := wire.ParseTCPHdr(buf)
+	fmt.Printf("CSUMFAIL %v->%v seq=%d ack=%d wnd=%d csum=%x len=%v flags=%x swOK=%v hwOK=%v bytes=%x\n",
+		iph.Src, iph.Dst, thdr.Seq, thdr.Ack, thdr.Wnd, thdr.Csum,
+		segLen-wire.TCPHdrLen, thdr.Flags,
+		checksum.VerifySum(sw), checksum.VerifySum(hw), buf[:20])
+}
+
+// DebugState dumps a connection's transmission state (diagnostics).
+func (c *TCPConn) DebugState() string {
+	return fmt.Sprintf("state=%v snd[una=%d nxt=%d max=%d len=%v wnd=%v] rcv[nxt=%d len=%v space=%v adv=%v] finSent=%v closePending=%v persist=%v rtx=%v ackPend=%d reass=%d bounds=%d",
+		c.state, c.sndUna, c.sndNxt, c.sndMax, c.sndLen, c.sndWnd,
+		c.rcvNxt, c.rcvLen, c.rcvSpace(), c.rcvAdvertised,
+		c.finSent, c.closePending, c.persistOn, c.rtxArmed, c.ackPending, len(c.reass), len(c.boundaries))
+}
+
+// Conns returns the live connections (diagnostics).
+func (s *Stack) Conns() []*TCPConn {
+	var out []*TCPConn
+	for _, c := range s.conns {
+		out = append(out, c)
+	}
+	return out
+}

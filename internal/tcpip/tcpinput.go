@@ -1,0 +1,357 @@
+package tcpip
+
+import (
+	"repro/internal/kern"
+	"repro/internal/mbuf"
+	"repro/internal/units"
+	"repro/internal/wire"
+)
+
+// tcpInput demultiplexes and processes a received TCP segment. m's first
+// mbuf starts with the TCP header; descriptor mbufs may follow (the CAB's
+// WCAB receive path). Runs in interrupt context.
+func (s *Stack) tcpInput(ctx kern.Ctx, m *mbuf.Mbuf, iph wire.IPHdr) {
+	s.Stats.TCPSegsIn++
+	if m.Len() < wire.TCPHdrLen {
+		s.Stats.IPHdrErrors++
+		mbuf.FreeChain(m)
+		return
+	}
+	hdr, err := wire.ParseTCPHdr(m.Bytes())
+	if err != nil {
+		s.Stats.IPHdrErrors++
+		mbuf.FreeChain(m)
+		return
+	}
+
+	// Verify the data checksum before any state changes. On the
+	// single-copy path this touches only the header: the CAB computed the
+	// sum during the media transfer (Section 4.3).
+	if !s.verifyTransportCsum(ctx, m, iph, wire.ProtoTCP) {
+		debugCsumFailure(m, iph, wire.ProtoTCP)
+		s.Stats.TCPCsumErrors++
+		mbuf.FreeChain(m)
+		return
+	}
+	ctx.Charge(s.K.Mach.TCPPerPacket/2, kern.CatProto)
+
+	key := connKey{raddr: iph.Src, lport: hdr.DPort, rport: hdr.SPort}
+	c, ok := s.conns[key]
+	if !ok {
+		// Passive open?
+		if l, lok := s.listeners[hdr.DPort]; lok && hdr.Flags&wire.FlagSYN != 0 && hdr.Flags&wire.FlagACK == 0 {
+			l.acceptSyn(ctx, key, hdr)
+		} else {
+			s.Stats.TCPDropNoConn++
+			if hdr.Flags&wire.FlagRST == 0 {
+				s.sendRst(ctx, key, hdr, mbuf.ChainLen(m)-wire.TCPHdrLen)
+			}
+		}
+		mbuf.FreeChain(m)
+		return
+	}
+
+	// Strip the TCP header; what remains is payload.
+	m.TrimFront(wire.TCPHdrLen)
+	seglen := mbuf.ChainLen(m)
+	c.segInput(ctx, hdr, m, seglen)
+}
+
+// acceptSyn creates a connection in SYN_RCVD and answers SYN|ACK.
+func (l *TCPListener) acceptSyn(ctx kern.Ctx, key connKey, hdr wire.TCPHdr) {
+	c := l.stk.newConn(key)
+	c.listener = l
+	c.setMaxSeg()
+	c.irs = hdr.Seq
+	c.rcvNxt = hdr.Seq + 1
+	c.iss = l.stk.K.Eng.Rand().Uint32()
+	c.sndUna, c.sndNxt = c.iss, c.iss
+	c.sndWnd = wire.UnscaleWindow(hdr.Wnd)
+	c.wl1, c.wl2 = hdr.Seq, hdr.Ack
+	c.state = StateSynRcvd
+	c.sendControl(ctx, c.sndNxt, wire.FlagSYN|wire.FlagACK)
+	c.sndNxt++
+	c.sndMax = c.sndNxt
+	c.armRtx()
+}
+
+// segInput is the per-connection segment processor.
+func (c *TCPConn) segInput(ctx kern.Ctx, hdr wire.TCPHdr, payload *mbuf.Mbuf, seglen units.Size) {
+	if hdr.Flags&wire.FlagRST != 0 {
+		// Only accept a RST that is plausibly in-window (blind-reset
+		// hardening; trivial here, but the check documents itself).
+		if c.state == StateSynSent || hdr.Seq == c.rcvNxt {
+			c.stk.Stats.TCPRstsIn++
+			c.teardown(ErrConnReset)
+		}
+		mbuf.FreeChain(payload)
+		return
+	}
+
+	switch c.state {
+	case StateSynSent:
+		if hdr.Flags&(wire.FlagSYN|wire.FlagACK) == wire.FlagSYN|wire.FlagACK &&
+			hdr.Ack == c.sndNxt {
+			c.irs = hdr.Seq
+			c.rcvNxt = hdr.Seq + 1
+			c.sndUna = hdr.Ack
+			c.sndWnd = wire.UnscaleWindow(hdr.Wnd)
+			c.wl1, c.wl2 = hdr.Seq, hdr.Ack
+			c.state = StateEstablished
+			c.cancelRtx()
+			c.ackNow = true
+			c.Output(ctx)
+			c.establishedSig.Broadcast()
+		}
+		mbuf.FreeChain(payload)
+		return
+
+	case StateSynRcvd:
+		if hdr.Flags&wire.FlagACK != 0 && hdr.Ack == c.sndNxt {
+			c.sndUna = hdr.Ack
+			c.state = StateEstablished
+			c.cancelRtx()
+			if c.listener != nil {
+				c.listener.backlog.Put(c)
+				c.listener = nil
+			}
+			// Fall through: the ACK may carry data.
+		} else {
+			mbuf.FreeChain(payload)
+			return
+		}
+
+	case StateClosed:
+		mbuf.FreeChain(payload)
+		return
+	}
+
+	if hdr.Flags&wire.FlagACK != 0 {
+		if seglen == 0 && hdr.Flags == wire.FlagACK && hdr.Ack == c.sndUna &&
+			c.state >= StateEstablished && seqGT(c.sndMax, c.sndUna) &&
+			wire.UnscaleWindow(hdr.Wnd) == c.sndWnd {
+			// A pure duplicate acknowledgement (any state with data
+			// outstanding — the writer may already have half-closed).
+			c.onDupAck(ctx)
+		}
+		c.processAck(ctx, hdr)
+		if c.state == StateClosed {
+			mbuf.FreeChain(payload)
+			return
+		}
+	}
+
+	fin := hdr.Flags&wire.FlagFIN != 0
+	if seglen > 0 || fin {
+		c.processData(ctx, hdr.Seq, payload, seglen, fin)
+	} else {
+		mbuf.FreeChain(payload)
+	}
+
+	if c.ackNow {
+		c.Output(ctx)
+	}
+}
+
+// processAck handles the acknowledgement and window fields.
+func (c *TCPConn) processAck(ctx kern.Ctx, hdr wire.TCPHdr) {
+	ack := hdr.Ack
+	if seqGT(ack, c.sndUna) && seqLEQ(ack, c.sndMax) {
+		c.takeRTTSample(ack)
+		advance := seqDiff(ack, c.sndUna)
+		c.onNewAck(advance)
+		// An acknowledgement past the buffered data covers the FIN's
+		// sequence slot.
+		finAcked := false
+		if advance > c.sndLen {
+			advance = c.sndLen
+			finAcked = true
+		}
+		if advance > 0 {
+			// Acknowledged data leaves the send buffer; M_WCAB mbufs
+			// dropping to zero references free their outboard packets —
+			// "freed when the data is acknowledged" (Section 4.2).
+			c.sndBuf = mbuf.AdjFront(c.sndBuf, advance)
+			c.sndLen -= advance
+			c.sndSpaceSig.Broadcast()
+		}
+		c.sndUna = ack
+		if seqGT(c.sndUna, c.sndNxt) {
+			// A rewound sndNxt cannot lag the acknowledged point.
+			c.sndNxt = c.sndUna
+		}
+		c.retries = 0
+		c.rto = baseRTO
+		if c.sndUna == c.sndMax {
+			c.cancelRtx()
+		} else {
+			c.armRtx()
+		}
+		if finAcked {
+			switch c.state {
+			case StateFinWait1:
+				c.state = StateFinWait2
+			case StateLastAck:
+				c.teardown(nil)
+				return
+			}
+		}
+		// The acknowledgement freed window space (advertised or
+		// congestion): move more data, as tcp_input always finishes by
+		// calling tcp_output.
+		c.Output(ctx)
+	}
+	// Window update (RFC 793 wl1/wl2 discipline).
+	if seqLT(c.wl1, hdr.Seq) || (c.wl1 == hdr.Seq && seqLEQ(c.wl2, ack)) {
+		newWnd := wire.UnscaleWindow(hdr.Wnd)
+		opened := newWnd > c.sndWnd
+		c.sndWnd = newWnd
+		c.wl1, c.wl2 = hdr.Seq, ack
+		if c.sndWnd > 0 {
+			c.cancelPersist()
+		}
+		if opened {
+			c.Output(ctx)
+		}
+	}
+}
+
+// processData accepts in-order payload, queues out-of-order segments for
+// reassembly, and handles FIN.
+func (c *TCPConn) processData(ctx kern.Ctx, seq uint32, payload *mbuf.Mbuf, seglen units.Size, fin bool) {
+	// Trim data that precedes rcvNxt (retransmitted overlap).
+	if seqLT(seq, c.rcvNxt) {
+		dup := seqDiff(c.rcvNxt, seq)
+		if dup >= seglen {
+			// Entirely duplicate (possibly a bare FIN retransmit).
+			c.stk.Stats.TCPDupSegs++
+			mbuf.FreeChain(payload)
+			if fin && seqDiff(c.rcvNxt, seq) == seglen && !c.peerFin {
+				c.acceptFin(ctx)
+			}
+			c.ackNow = true
+			return
+		}
+		payload = mbuf.AdjFront(payload, dup)
+		seq = c.rcvNxt
+		seglen -= dup
+	}
+
+	if seq == c.rcvNxt {
+		if seglen > c.rcvSpace() {
+			// Beyond our advertised window: drop, re-advertise.
+			mbuf.FreeChain(payload)
+			c.ackNow = true
+			return
+		}
+		c.enqueueRcv(payload, seglen)
+		if fin {
+			c.acceptFin(ctx)
+		}
+		c.pullReassembly(ctx)
+		c.ackPending++
+		if c.ackPending >= delAckThreshold || c.peerFin {
+			c.ackNow = true
+		} else {
+			c.armDelAck()
+		}
+		return
+	}
+
+	// Out of order: hold for reassembly (bounded by the offered window).
+	c.stk.Stats.TCPOutOfOrder++
+	if seglen <= c.rcvSpace() && len(c.reass) < 64 {
+		c.reass = append(c.reass, reassSeg{seq: seq, len: seglen, chain: payload, fin: fin})
+	} else {
+		mbuf.FreeChain(payload)
+	}
+	c.ackNow = true // duplicate ACK tells the sender where we are
+}
+
+// enqueueRcv appends in-order payload to the receive buffer.
+func (c *TCPConn) enqueueRcv(payload *mbuf.Mbuf, seglen units.Size) {
+	c.rcvBuf = mbuf.Cat(c.rcvBuf, payload)
+	c.rcvLen += seglen
+	c.rcvNxt += uint32(seglen)
+	c.rcvDataSig.Broadcast()
+}
+
+// pullReassembly drains any now-in-order held segments.
+func (c *TCPConn) pullReassembly(ctx kern.Ctx) {
+	for {
+		progress := false
+		for i, seg := range c.reass {
+			if seg.seq == c.rcvNxt {
+				c.reass = append(c.reass[:i], c.reass[i+1:]...)
+				c.enqueueRcv(seg.chain, seg.len)
+				if seg.fin {
+					c.acceptFin(ctx)
+				}
+				progress = true
+				break
+			}
+			if seqLT(seg.seq, c.rcvNxt) {
+				// Obsoleted by what we already have.
+				c.reass = append(c.reass[:i], c.reass[i+1:]...)
+				mbuf.FreeChain(seg.chain)
+				progress = true
+				break
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// acceptFin consumes the peer's FIN.
+func (c *TCPConn) acceptFin(ctx kern.Ctx) {
+	if c.peerFin {
+		return
+	}
+	c.peerFin = true
+	c.rcvNxt++
+	c.ackNow = true
+	c.rcvDataSig.Broadcast()
+	switch c.state {
+	case StateEstablished:
+		c.state = StateCloseWait
+	case StateFinWait1:
+		// Our FIN not yet acked: simultaneous close; treat as LastAck.
+		c.state = StateLastAck
+	case StateFinWait2:
+		// Orderly: ACK their FIN and finish.
+		c.ackNow = true
+		c.Output(ctx)
+		c.teardown(nil)
+	}
+}
+
+// sendRst answers a segment that reached no connection, as 4.3BSD's
+// tcp_respond does: RST with sequencing derived from the offending
+// segment so the peer accepts it.
+func (s *Stack) sendRst(ctx kern.Ctx, key connKey, in wire.TCPHdr, seglen units.Size) {
+	s.Stats.TCPRstsOut++
+	var hdr wire.TCPHdr
+	hdr.SPort, hdr.DPort = key.lport, key.rport
+	if in.Flags&wire.FlagACK != 0 {
+		hdr.Seq = in.Ack
+		hdr.Flags = wire.FlagRST
+	} else {
+		ack := in.Seq + uint32(seglen)
+		if in.Flags&wire.FlagSYN != 0 {
+			ack++
+		}
+		hdr.Seq = 0
+		hdr.Ack = ack
+		hdr.Flags = wire.FlagRST | wire.FlagACK
+	}
+	hb := make([]byte, wire.TCPHdrLen)
+	hdr.Marshal(hb)
+	ps := pseudoSum(s.Addr, key.raddr, wire.ProtoTCP, wire.TCPHdrLen)
+	hdr.Csum = checksumFinish(checksumAdd(ps, checksumSum(hb)))
+	hdr.Marshal(hb)
+	hm := mbuf.NewData(hb)
+	hm.MarkPktHdr(wire.TCPHdrLen)
+	s.IPOutput(ctx, hm, wire.ProtoTCP, key.raddr)
+}

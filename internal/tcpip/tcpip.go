@@ -1,0 +1,286 @@
+// Package tcpip implements the Internet protocol stack the paper modifies:
+// an IP-style network layer with routing and interface selection, TCP with
+// sliding windows, window scaling, and retransmission, and UDP — all
+// operating on mbuf chains that may mix regular storage with the M_UIO and
+// M_WCAB descriptors of the single-copy path.
+//
+// The package embodies the paper's central software idea (Section 3): the
+// layered stack is kept intact, but formatting operations on data are
+// performed symbolically on descriptors, checksum information is carried
+// with the descriptor so the checksum can be set up in the transport layer
+// yet calculated in the driver/hardware, and all data-touching operations
+// collapse into the driver.
+package tcpip
+
+import (
+	"fmt"
+
+	"repro/internal/checksum"
+	"repro/internal/kern"
+	"repro/internal/mbuf"
+	"repro/internal/netif"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/wire"
+)
+
+// Stats counts stack-level events.
+type Stats struct {
+	IPIn, IPOut           int
+	IPForwarded           int
+	IPDropNoRoute         int
+	IPHdrErrors           int
+	IPFragsOut, IPFragsIn int
+	IPReassembled         int
+	IPReassTimeouts       int
+	TCPSegsIn, TCPSegsOut int
+	TCPCsumErrors         int
+	TCPRetransmits        int
+	TCPFastRetransmits    int
+	TCPRstsIn, TCPRstsOut int
+	TCPDropNoConn         int
+	TCPOutOfOrder         int
+	TCPDupSegs            int
+	UDPIn, UDPOut         int
+	UDPCsumErrors         int
+	UDPDropNoPort         int
+	UDPOversize           int
+	HWCsumVerified        int
+	SWCsumVerified        int
+}
+
+// Stack is one host's network stack instance.
+type Stack struct {
+	K      *kern.Kernel
+	Addr   wire.Addr
+	Routes *netif.Table
+	Stats  Stats
+
+	// Tracer, if set, observes every packet crossing the stack boundary
+	// (see TraceEvent).
+	Tracer func(TraceEvent)
+
+	ipID  uint16
+	conns map[connKey]*TCPConn
+	// listeners by local port.
+	listeners map[uint16]*TCPListener
+	udps      map[uint16]*UDPSock
+	frags     map[fragKey]*fragQueue
+	nextPort  uint16
+
+	// spl serializes protocol-machine critical sections. The simulated
+	// CPU preempts at charge boundaries, so — exactly like splnet in the
+	// original kernel — input processing, output, and timers must not
+	// interleave mid-operation. Blocking waits never happen under spl.
+	spl *sim.Resource
+}
+
+type connKey struct {
+	raddr        wire.Addr
+	lport, rport uint16
+}
+
+// NewStack returns a stack for host address addr on kernel k.
+func NewStack(k *kern.Kernel, addr wire.Addr) *Stack {
+	return &Stack{
+		K:         k,
+		Addr:      addr,
+		Routes:    netif.NewTable(),
+		conns:     make(map[connKey]*TCPConn),
+		listeners: make(map[uint16]*TCPListener),
+		udps:      make(map[uint16]*UDPSock),
+		frags:     make(map[fragKey]*fragQueue),
+		nextPort:  10000,
+		spl:       sim.NewResource(k.Eng, 1),
+	}
+}
+
+// Splnet enters a protocol critical section (blocks until available).
+func (s *Stack) Splnet(p *sim.Proc) { s.spl.Acquire(p, 0) }
+
+// Splx leaves the critical section.
+func (s *Stack) Splx() { s.spl.Release() }
+
+// ephemeralPort allocates a local port.
+func (s *Stack) ephemeralPort() uint16 {
+	for {
+		s.nextPort++
+		if s.nextPort < 10000 {
+			s.nextPort = 10000
+		}
+		p := s.nextPort
+		used := false
+		for k := range s.conns {
+			if k.lport == p {
+				used = true
+				break
+			}
+		}
+		if _, ok := s.listeners[p]; !ok && !used {
+			return p
+		}
+	}
+}
+
+// RouteCaps reports whether dst is reached through a single-copy capable
+// interface, and that interface's MTU. The transport uses it to choose
+// between outboard and software checksumming at output time — interface
+// selection is a network-layer decision (Section 4.1).
+func (s *Stack) RouteCaps(dst wire.Addr) (singleCopy bool, mtu units.Size) {
+	r, err := s.Routes.Lookup(dst)
+	if err != nil {
+		return false, 1500
+	}
+	return r.If.Caps().SingleCopy, r.If.MTU()
+}
+
+// IPOutput routes and transmits a transport packet: it prepends the IP
+// header (with header checksum) and hands the frame to the selected
+// interface.
+func (s *Stack) IPOutput(ctx kern.Ctx, m *mbuf.Mbuf, proto uint8, dst wire.Addr) {
+	r, err := s.Routes.Lookup(dst)
+	if err != nil {
+		s.Stats.IPDropNoRoute++
+		mbuf.FreeChain(m)
+		return
+	}
+	if n := mbuf.ChainLen(m); n+wire.IPHdrLen > r.If.MTU() {
+		// Oversize for the route: fragment (fragments are not traced;
+		// only whole transport packets are).
+		ri := routeInfo{out: func(c kern.Ctx, pkt *mbuf.Mbuf) { r.If.Output(c, pkt, r.Link) }}
+		s.fragmentOutput(ctx, m, proto, dst, ri, n, r.If.MTU())
+		return
+	}
+	ctx.Charge(s.K.Mach.IPPerPacket, kern.CatProto)
+	s.ipID++
+	hdr := wire.IPHdr{
+		TotLen: mbuf.ChainLen(m) + wire.IPHdrLen,
+		ID:     s.ipID,
+		TTL:    30,
+		Proto:  proto,
+		Src:    s.Addr,
+		Dst:    dst,
+	}
+	s.trace(TraceOut, hdr, m)
+	hm := m.Prepend(wire.IPHdrLen)
+	hdr.Marshal(hm.Bytes()[:wire.IPHdrLen])
+	s.Stats.IPOut++
+	r.If.Output(ctx, hm, r.Link)
+}
+
+// Input is the stack's receive entry point (registered with drivers). m's
+// first mbuf starts with the IP header; drivers have stripped the link
+// header.
+func (s *Stack) Input(ctx kern.Ctx, m *mbuf.Mbuf, from netif.Interface) {
+	s.Splnet(ctx.P)
+	defer s.Splx()
+	first := m
+	if first.Len() < wire.IPHdrLen {
+		s.Stats.IPHdrErrors++
+		mbuf.FreeChain(m)
+		return
+	}
+	iph, err := wire.ParseIPHdr(first.Bytes())
+	if err != nil {
+		s.Stats.IPHdrErrors++
+		mbuf.FreeChain(m)
+		return
+	}
+	ctx.Charge(s.K.Mach.IPPerPacket, kern.CatProto)
+	s.Stats.IPIn++
+
+	if iph.Dst != s.Addr {
+		s.forward(ctx, m, iph)
+		return
+	}
+
+	// Trim any link-layer padding and strip the IP header.
+	if have := mbuf.ChainLen(m); have > iph.TotLen {
+		if DebugCsum && have > iph.TotLen+4 {
+			fmt.Printf("IPTRIM have=%v totlen=%v proto=%d %v->%v\n",
+				have, iph.TotLen, iph.Proto, iph.Src, iph.Dst)
+		}
+		m, _ = mbuf.SplitAt(m, iph.TotLen)
+	}
+	first.TrimFront(wire.IPHdrLen)
+
+	if iph.IsFragment() {
+		m = s.reassemble(ctx, m, iph)
+		if m == nil {
+			return // incomplete (or discarded)
+		}
+		iph.MF, iph.FragOff = false, 0
+		iph.TotLen = wire.IPHdrLen + mbuf.ChainLen(m)
+	}
+	s.trace(TraceIn, iph, m)
+
+	switch iph.Proto {
+	case wire.ProtoTCP:
+		s.tcpInput(ctx, m, iph)
+	case wire.ProtoUDP:
+		s.udpInput(ctx, m, iph)
+	default:
+		mbuf.FreeChain(m)
+	}
+}
+
+// forward routes a packet onward to another interface (the paper's
+// argument for a single stack: routing between unlike interfaces relies on
+// one network layer, Section 4.1). Descriptor chains are handed to the
+// outgoing driver as-is; legacy drivers convert at their entry point.
+func (s *Stack) forward(ctx kern.Ctx, m *mbuf.Mbuf, iph wire.IPHdr) {
+	if iph.TTL <= 1 {
+		mbuf.FreeChain(m)
+		return
+	}
+	r, err := s.Routes.Lookup(iph.Dst)
+	if err != nil {
+		s.Stats.IPDropNoRoute++
+		mbuf.FreeChain(m)
+		return
+	}
+	// Rewrite TTL (and header checksum) in place.
+	iph.TTL--
+	iph.Marshal(m.Bytes()[:wire.IPHdrLen])
+	s.Stats.IPForwarded++
+	r.If.Output(ctx, m, r.Link)
+}
+
+// routeInfo carries the bound output function for fragmentation.
+type routeInfo struct {
+	out func(kern.Ctx, *mbuf.Mbuf)
+}
+
+// pseudoSum returns the transport pseudo-header partial sum.
+func pseudoSum(src, dst wire.Addr, proto uint8, segLen units.Size) uint32 {
+	return checksum.PseudoHeaderSum(uint32(src), uint32(dst), proto, uint32(segLen))
+}
+
+// verifyTransportCsum checks a received transport segment's checksum,
+// using the hardware partial sum when the driver supplied one (the
+// single-copy path: only the header is touched) and a software read of the
+// whole segment otherwise.
+func (s *Stack) verifyTransportCsum(ctx kern.Ctx, m *mbuf.Mbuf, iph wire.IPHdr, proto uint8) bool {
+	segLen := mbuf.ChainLen(m)
+	ps := pseudoSum(iph.Src, iph.Dst, proto, segLen)
+	if h := m.Hdr(); h != nil && h.HWRxValid {
+		s.Stats.HWCsumVerified++
+		return checksum.VerifySum(checksum.Add(ps, h.HWRxSum))
+	}
+	s.Stats.SWCsumVerified++
+	buf := make([]byte, segLen)
+	mbuf.ReadRange(m, 0, segLen, buf)
+	sum := ctx.ChecksumRead(buf, segLen)
+	return checksum.VerifySum(checksum.Add(ps, sum))
+}
+
+// checksum helper aliases for files that build raw segments.
+var (
+	checksumFinish = checksum.Finish
+	checksumAdd    = checksum.Add
+	checksumSum    = checksum.Sum
+)
+
+func (s *Stack) String() string {
+	return fmt.Sprintf("stack(%v)", s.Addr)
+}

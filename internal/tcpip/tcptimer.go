@@ -1,0 +1,144 @@
+package tcpip
+
+import (
+	"repro/internal/kern"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/wire"
+)
+
+// TCP timers. Timer expirations are hardware (clock) events; the handlers
+// run in interrupt context via the kernel's interrupt daemon, like the
+// softclock-driven tcp_slowtimo of the original stack.
+
+// armRtx (re)starts the retransmission timer for the oldest outstanding
+// data.
+func (c *TCPConn) armRtx() {
+	c.rtxGen++
+	gen := c.rtxGen
+	c.rtxArmed = true
+	c.stk.K.Eng.After(c.rto, func() {
+		if gen != c.rtxGen || c.state == StateClosed {
+			return
+		}
+		c.stk.K.PostIntr("tcp-rtx", func(p *sim.Proc) {
+			c.stk.Splnet(p)
+			defer c.stk.Splx()
+			if gen != c.rtxGen || c.state == StateClosed {
+				return
+			}
+			c.rtxTimeout(c.stk.K.IntrCtx(p))
+		})
+	})
+}
+
+// cancelRtx stops the retransmission timer.
+func (c *TCPConn) cancelRtx() {
+	c.rtxGen++
+	c.rtxArmed = false
+}
+
+// rtxTimeout retransmits go-back-N from the last acknowledged byte with
+// exponential backoff.
+func (c *TCPConn) rtxTimeout(ctx kern.Ctx) {
+	c.retries++
+	if c.retries > maxRetries {
+		c.teardown(ErrConnTimeout)
+		return
+	}
+	c.rto *= 2
+	if c.rto > maxRTO {
+		c.rto = maxRTO
+	}
+	switch c.state {
+	case StateSynSent:
+		c.sendControl(ctx, c.iss, wire.FlagSYN)
+		c.armRtx()
+	case StateSynRcvd:
+		c.sendControl(ctx, c.iss, wire.FlagSYN|wire.FlagACK)
+		c.armRtx()
+	default:
+		// Multiplicative decrease, then rewind and resend; the driver
+		// retransmits M_WCAB data from network memory with a header-only
+		// SDMA (Section 4.3).
+		c.onRtxTimeout()
+		c.sndNxt = c.sndUna
+		c.finSent = false
+		c.Output(ctx)
+	}
+}
+
+// armPersist starts the zero-window probe timer.
+func (c *TCPConn) armPersist() {
+	if c.persistOn || c.state == StateClosed {
+		return
+	}
+	c.persistOn = true
+	c.persistGen++
+	gen := c.persistGen
+	c.stk.K.Eng.After(persistInterval, func() {
+		if gen != c.persistGen {
+			return
+		}
+		c.stk.K.PostIntr("tcp-persist", func(p *sim.Proc) {
+			c.stk.Splnet(p)
+			defer c.stk.Splx()
+			if gen != c.persistGen || c.state == StateClosed {
+				return
+			}
+			c.persistOn = false
+			c.persistProbe(c.stk.K.IntrCtx(p))
+		})
+	})
+}
+
+// cancelPersist stops the probe timer.
+func (c *TCPConn) cancelPersist() {
+	c.persistGen++
+	c.persistOn = false
+}
+
+// persistProbe forces one byte into a zero window so a lost window update
+// cannot deadlock the connection.
+func (c *TCPConn) persistProbe(ctx kern.Ctx) {
+	off := seqDiff(c.sndNxt, c.sndUna)
+	if c.finSent && off > 0 {
+		off--
+	}
+	avail := c.sndLen - off
+	if avail == 0 || c.sndWnd > off {
+		// Window opened (or nothing to probe with) in the meantime.
+		c.Output(ctx)
+		return
+	}
+	probe := units.Size(1)
+	c.sendSegment(ctx, c.sndNxt, probe, wire.FlagACK)
+	c.sndNxt += uint32(probe)
+	if seqGT(c.sndNxt, c.sndMax) {
+		c.sndMax = c.sndNxt
+	}
+	c.armRtx()
+}
+
+// armDelAck bounds how long an acknowledgement may be withheld.
+func (c *TCPConn) armDelAck() {
+	c.delAckGen++
+	gen := c.delAckGen
+	c.stk.K.Eng.After(delAckTimeout, func() {
+		if gen != c.delAckGen {
+			return
+		}
+		c.stk.K.PostIntr("tcp-delack", func(p *sim.Proc) {
+			c.stk.Splnet(p)
+			defer c.stk.Splx()
+			if gen != c.delAckGen || c.state == StateClosed || c.ackPending == 0 {
+				return
+			}
+			c.ackNow = true
+			c.Output(c.stk.K.IntrCtx(p))
+		})
+	})
+}
+
+// persistInterval is the zero-window probe period.
+const persistInterval = 500 * units.Millisecond

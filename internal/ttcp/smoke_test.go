@@ -1,0 +1,58 @@
+package ttcp_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/socket"
+	"repro/internal/ttcp"
+	"repro/internal/units"
+	"repro/internal/wire"
+)
+
+func run(t *testing.T, mode socket.Mode, total, rw units.Size) ttcp.Result {
+	t.Helper()
+	tb := core.NewTestbed(7)
+	a := tb.AddHost(core.HostConfig{Name: "A", Addr: wire.Addr(0x0a000001), Mode: mode, CABNode: 1})
+	b := tb.AddHost(core.HostConfig{Name: "B", Addr: wire.Addr(0x0a000002), Mode: mode, CABNode: 2})
+	tb.RouteCAB(a, b)
+	return ttcp.Run(tb, a, b, ttcp.Params{
+		Total: total, RWSize: rw, WithUtil: true, WithBackground: true,
+	})
+}
+
+func TestSmoke(t *testing.T) {
+	un := run(t, socket.ModeUnmodified, 8*units.MB, 64*units.KB)
+	sc := run(t, socket.ModeSingleCopy, 8*units.MB, 64*units.KB)
+	t.Logf("unmod: %v", un)
+	t.Logf("  breakdown: %v", un.Snd.Breakdown)
+	t.Logf("single: %v", sc)
+	t.Logf("  breakdown: %v", sc.Snd.Breakdown)
+	t.Logf("true util: un=%.2f sc=%.2f", un.Snd.TrueUtilization, sc.Snd.TrueUtilization)
+}
+
+func TestRawSmoke(t *testing.T) {
+	tb := core.NewTestbed(8)
+	a := tb.AddHost(core.HostConfig{Name: "A", Addr: wire.Addr(0x0a000001), CABNode: 1, NoDriver: true})
+	b := tb.AddHost(core.HostConfig{Name: "B", Addr: wire.Addr(0x0a000002), CABNode: 2, NoDriver: true})
+	res := ttcp.RunRaw(tb, a, b, ttcp.Params{Total: 16 * units.MB, RWSize: 32 * units.KB, WithUtil: true})
+	t.Logf("raw 32KB: %v", res)
+	if r := res.Throughput.Mbit(); r < 120 || r > 160 {
+		t.Fatalf("raw throughput %.1f, want ~140 (microcode-limited)", r)
+	}
+}
+
+func TestUDPSmoke(t *testing.T) {
+	tb := core.NewTestbed(9)
+	a := tb.AddHost(core.HostConfig{Name: "A", Addr: wire.Addr(0x0a000001), Mode: socket.ModeSingleCopy, CABNode: 1})
+	b := tb.AddHost(core.HostConfig{Name: "B", Addr: wire.Addr(0x0a000002), Mode: socket.ModeSingleCopy, CABNode: 2})
+	tb.RouteCAB(a, b)
+	res := ttcp.RunUDP(tb, a, b, ttcp.Params{Total: 8 * units.MB, RWSize: 16 * units.KB, WithUtil: true})
+	t.Logf("udp 16KB: %v loss=%.3f", res.Result, res.LossFraction)
+	if res.LossFraction > 0.2 {
+		t.Fatalf("loss %.2f too high on an idle fabric", res.LossFraction)
+	}
+	if r := res.Throughput.Mbit(); r < 40 || r > 160 {
+		t.Fatalf("udp throughput %.1f out of plausible range", r)
+	}
+}

@@ -1,0 +1,253 @@
+// Package ttcp reimplements the paper's measurement methodology (Section
+// 7.1): a ttcp-style bulk-transfer benchmark measuring user-process to
+// user-process throughput, plus the compute-bound low-priority `util`
+// process used to estimate the CPU utilization of communication.
+//
+// Because interrupt-driven work (ACK handling and the transmissions it
+// triggers) is charged to whatever process happens to be running, ttcp's
+// own CPU time understates the communication cost. util soaks up all
+// spare cycles at low priority, so any system time it accumulates is
+// misattributed communication work, and
+//
+//	utilization = (ttcp_user + ttcp_sys + util_sys) /
+//	              (ttcp_user + ttcp_sys + util_sys + util_user)
+//
+// estimates the fraction of the CPU communication consumes. A background
+// daemon consumes a further ~7% of cycles that are charged to neither
+// process — the "unaccounted" time the paper reports — which the ratio
+// form of the formula charges proportionally, as the paper assumes.
+package ttcp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kern"
+	"repro/internal/sim"
+	"repro/internal/socket"
+	"repro/internal/units"
+)
+
+// Params configures one transfer.
+type Params struct {
+	// Total is the byte count to move.
+	Total units.Size
+	// RWSize is the per-call read/write size (the x axis of Figures 5
+	// and 6).
+	RWSize units.Size
+	// Window overrides the TCP window / socket buffer size (default the
+	// experiment's 512 KB).
+	Window units.Size
+	// Port is the server port (default 5010).
+	Port uint16
+	// WithUtil runs the util methodology (else only ground-truth
+	// accounting is reported).
+	WithUtil bool
+	// WithBackground runs the ~7% background daemon load.
+	WithBackground bool
+	// UIOThreshold is passed to the sender's socket (0 = always
+	// single-copy, the paper's measured configuration).
+	UIOThreshold units.Size
+}
+
+// HostStats carries one side's measurements.
+type HostStats struct {
+	TTCPUser, TTCPSys units.Time
+	UtilUser, UtilSys units.Time
+	// Utilization is the paper-methodology estimate.
+	Utilization float64
+	// TrueUtilization is the simulator's ground truth: CPU busy time in
+	// communication categories over elapsed time.
+	TrueUtilization float64
+	// Efficiency = throughput / utilization: the Mbit/s the host could
+	// sustain at full CPU.
+	Efficiency units.Rate
+	// Breakdown is CPU time by accounting category.
+	Breakdown map[string]units.Time
+}
+
+// Result is one transfer's outcome.
+type Result struct {
+	Bytes      units.Size
+	Elapsed    units.Time
+	Throughput units.Rate
+	Snd, Rcv   HostStats
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%v in %v = %v (snd util %.2f eff %v; rcv util %.2f eff %v)",
+		r.Bytes, r.Elapsed, r.Throughput,
+		r.Snd.Utilization, r.Snd.Efficiency,
+		r.Rcv.Utilization, r.Rcv.Efficiency)
+}
+
+// side bundles the per-host measurement context.
+type side struct {
+	h        *core.Host
+	ttcpTask *kern.Task
+	utilTask *kern.Task
+	bgdTask  *kern.Task
+	stop     bool
+}
+
+// startUtil runs the compute-bound low-priority soaker in quantum-sized
+// slices so higher-priority work preempts it.
+func (s *side) startUtil(tb *core.Testbed) {
+	tb.Eng.Go(s.h.Name+"/util", func(p *sim.Proc) {
+		for !s.stop {
+			s.h.K.Work(p, s.utilTask, s.h.K.Quantum, kern.CatApp, false)
+		}
+	})
+}
+
+// startBackground runs the daemons responsible for the paper's 7-8% of
+// unaccounted time.
+func (s *side) startBackground(tb *core.Testbed) {
+	tb.Eng.Go(s.h.Name+"/bgd", func(p *sim.Proc) {
+		for !s.stop {
+			s.h.K.Work(p, s.bgdTask, 300*units.Microsecond, kern.CatApp, false)
+			p.Sleep(4 * units.Millisecond)
+		}
+	})
+}
+
+// snapshot computes the measurement window deltas for one side.
+func (s *side) snapshot(elapsed units.Time, thr units.Rate,
+	t0 taskTimes) HostStats {
+	hs := HostStats{
+		TTCPUser: s.ttcpTask.UserTime - t0.ttcpUser,
+		TTCPSys:  s.ttcpTask.SysTime - t0.ttcpSys,
+		UtilUser: s.utilTask.UserTime - t0.utilUser,
+		UtilSys:  s.utilTask.SysTime - t0.utilSys,
+	}
+	num := hs.TTCPUser + hs.TTCPSys + hs.UtilSys
+	den := num + hs.UtilUser
+	if den > 0 {
+		hs.Utilization = float64(num) / float64(den)
+	}
+	// Ground truth: all CPU time except the util and background tasks'
+	// own user-level work is communication support here.
+	comm := s.h.K.BusyTime() - t0.busy -
+		(hs.UtilUser) - (s.bgdTask.UserTime - t0.bgdUser)
+	if elapsed > 0 {
+		hs.TrueUtilization = float64(comm) / float64(elapsed)
+	}
+	if hs.Utilization > 0 {
+		hs.Efficiency = units.Rate(float64(thr) / hs.Utilization)
+	}
+	hs.Breakdown = s.h.K.CategoryBreakdown()
+	return hs
+}
+
+type taskTimes struct {
+	ttcpUser, ttcpSys, utilUser, utilSys, bgdUser, busy units.Time
+}
+
+func (s *side) times() taskTimes {
+	return taskTimes{
+		ttcpUser: s.ttcpTask.UserTime, ttcpSys: s.ttcpTask.SysTime,
+		utilUser: s.utilTask.UserTime, utilSys: s.utilTask.SysTime,
+		bgdUser: s.bgdTask.UserTime, busy: s.h.K.BusyTime(),
+	}
+}
+
+// Run performs one ttcp transfer from snd to rcv over their configured
+// stacks and returns the measurements. The testbed engine is driven to
+// completion.
+func Run(tb *core.Testbed, snd, rcv *core.Host, pr Params) Result {
+	if pr.Port == 0 {
+		pr.Port = 5010
+	}
+	if pr.Window == 0 {
+		pr.Window = 512 * units.KB
+	}
+
+	ss := &side{h: snd}
+	ss.ttcpTask = snd.NewUserTask("ttcp-snd", 16*units.MB)
+	ss.utilTask = snd.K.NewTask("util", kern.PrioIdle, nil)
+	ss.bgdTask = snd.K.NewTask("bgd", kern.PrioKern, nil)
+	rs := &side{h: rcv}
+	rs.ttcpTask = rcv.NewUserTask("ttcp-rcv", 16*units.MB)
+	rs.utilTask = rcv.K.NewTask("util", kern.PrioIdle, nil)
+	rs.bgdTask = rcv.K.NewTask("bgd", kern.PrioKern, nil)
+
+	lis := rcv.Stk.Listen(pr.Port)
+
+	var (
+		t0, t1     units.Time
+		snd0, rcv0 taskTimes
+		received   units.Size
+	)
+
+	// Receiver: accept and read until the FIN.
+	tb.Eng.Go("ttcp-rcv", func(p *sim.Proc) {
+		cfg := rcv.SocketConfig()
+		s := socket.Accept(p, rcv.K, rcv.VM, rs.ttcpTask, lis, cfg)
+		buf := rs.ttcpTask.Space.Alloc(pr.RWSize, 8)
+		for {
+			n, err := s.Read(p, buf)
+			received += n
+			// Trivial app-level work per read (ttcp counts bytes).
+			rcv.K.Work(p, rs.ttcpTask, 2*units.Microsecond, kern.CatApp, false)
+			if err != nil {
+				break
+			}
+		}
+		t1 = p.Now()
+		ss.stop, rs.stop = true, true
+	})
+
+	// Sender: connect, then stream Total bytes from one reused buffer.
+	tb.Eng.Go("ttcp-snd", func(p *sim.Proc) {
+		cfg := snd.SocketConfig()
+		cfg.UIOThreshold = pr.UIOThreshold
+		conn, err := snd.Stk.Connect(snd.K.TaskCtx(p, ss.ttcpTask), rcv.Cfg.Addr, pr.Port)
+		if err != nil {
+			panic("ttcp: connect failed: " + err.Error())
+		}
+		conn.SndLimit = pr.Window
+		conn.RcvLimit = pr.Window
+		s := socket.NewSocket(snd.K, snd.VM, ss.ttcpTask, conn, cfg)
+
+		// Start the measurement window at first write.
+		t0 = p.Now()
+		snd0, rcv0 = ss.times(), rs.times()
+
+		buf := ss.ttcpTask.Space.Alloc(pr.RWSize, 8)
+		for i := range buf.Bytes() {
+			buf.Bytes()[i] = byte(i)
+		}
+		for sent := units.Size(0); sent < pr.Total; sent += pr.RWSize {
+			snd.K.Work(p, ss.ttcpTask, 2*units.Microsecond, kern.CatApp, false)
+			if err := s.WriteAll(p, buf); err != nil {
+				panic("ttcp: write failed: " + err.Error())
+			}
+		}
+		s.Close(p)
+	})
+
+	if pr.WithUtil {
+		ss.startUtil(tb)
+		rs.startUtil(tb)
+	}
+	if pr.WithBackground {
+		ss.startBackground(tb)
+		rs.startBackground(tb)
+	}
+
+	tb.Eng.Run()
+	tb.Eng.KillAll()
+
+	if received < pr.Total {
+		panic(fmt.Sprintf("ttcp: transfer incomplete: %v of %v", received, pr.Total))
+	}
+	elapsed := t1 - t0
+	res := Result{
+		Bytes:      received,
+		Elapsed:    elapsed,
+		Throughput: units.RateOf(received, elapsed),
+	}
+	res.Snd = ss.snapshot(elapsed, res.Throughput, snd0)
+	res.Rcv = rs.snapshot(elapsed, res.Throughput, rcv0)
+	return res
+}

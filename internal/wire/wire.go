@@ -1,0 +1,257 @@
+// Package wire defines the simulated wire formats: a HIPPI-FP-style link
+// header, an IPv4-style network header with a header checksum, and
+// TCP/UDP-style transport headers whose data checksums can be produced
+// either in software or by the CAB's outboard checksum engines.
+//
+// The geometry is chosen so that the CAB's fixed receive checksum offset of
+// 20 words (80 bytes, Section 4.3) exactly covers the link and IP headers:
+// the hardware sums the transport header and payload, and the host adjusts
+// with the pseudo-header.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/checksum"
+	"repro/internal/units"
+)
+
+// Header geometry.
+const (
+	// LinkHdrLen is the HIPPI-FP style link header length.
+	LinkHdrLen = 60 * units.Byte
+	// IPHdrLen is the network header length.
+	IPHdrLen = 20 * units.Byte
+	// TCPHdrLen is the TCP header length (no options on the wire; window
+	// scaling uses a fixed, pre-agreed shift as RFC 1323 would negotiate).
+	TCPHdrLen = 20 * units.Byte
+	// UDPHdrLen is the UDP header length.
+	UDPHdrLen = 8 * units.Byte
+
+	// TCPCsumOff / UDPCsumOff are the checksum field offsets within the
+	// transport header, used to program the CAB's transmit engine.
+	TCPCsumOff = 16 * units.Byte
+	UDPCsumOff = 6 * units.Byte
+)
+
+// IP protocol numbers.
+const (
+	ProtoTCP uint8 = 6
+	ProtoUDP uint8 = 17
+)
+
+// TCP header flags.
+const (
+	FlagFIN uint16 = 1 << iota
+	FlagSYN
+	FlagRST
+	FlagPSH
+	FlagACK
+)
+
+// WindowShift is the fixed RFC 1323 window-scale factor both ends use
+// (the paper's stack "also supports TCP window scaling"); it lets a 16-bit
+// window field advertise the 512 KByte windows the experiments need.
+const WindowShift = 4
+
+// Addr is a 32-bit network-layer address.
+type Addr uint32
+
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// LinkHdr is the media framing header. Src and Dst are switch port
+// addresses (hippi.NodeID values for the CAB, arbitrary station ids for
+// other media).
+type LinkHdr struct {
+	Dst, Src uint32
+	Type     uint16 // 0x0800 for IP
+	Len      uint32 // total frame length
+}
+
+// EtherTypeIP marks an IP payload.
+const EtherTypeIP uint16 = 0x0800
+
+// Marshal writes the link header into b[:LinkHdrLen].
+func (h LinkHdr) Marshal(b []byte) {
+	if len(b) < int(LinkHdrLen) {
+		panic("wire: short link header buffer")
+	}
+	binary.BigEndian.PutUint32(b[0:], h.Dst)
+	binary.BigEndian.PutUint32(b[4:], h.Src)
+	binary.BigEndian.PutUint16(b[8:], h.Type)
+	binary.BigEndian.PutUint32(b[10:], h.Len)
+	for i := 14; i < int(LinkHdrLen); i++ {
+		b[i] = 0
+	}
+}
+
+// ParseLinkHdr reads a link header from b.
+func ParseLinkHdr(b []byte) (LinkHdr, error) {
+	if len(b) < int(LinkHdrLen) {
+		return LinkHdr{}, fmt.Errorf("wire: link header truncated: %d bytes", len(b))
+	}
+	return LinkHdr{
+		Dst:  binary.BigEndian.Uint32(b[0:]),
+		Src:  binary.BigEndian.Uint32(b[4:]),
+		Type: binary.BigEndian.Uint16(b[8:]),
+		Len:  binary.BigEndian.Uint32(b[10:]),
+	}, nil
+}
+
+// IPHdr is the network header.
+type IPHdr struct {
+	TotLen units.Size // header + payload
+	ID     uint16
+	// MF is the more-fragments flag; FragOff is the fragment's payload
+	// offset in bytes (a multiple of 8, as the wire encoding requires).
+	MF       bool
+	FragOff  units.Size
+	TTL      uint8
+	Proto    uint8
+	Src, Dst Addr
+}
+
+// IsFragment reports whether the header describes anything other than a
+// whole datagram.
+func (h IPHdr) IsFragment() bool { return h.MF || h.FragOff != 0 }
+
+// Marshal writes the header with a valid header checksum into
+// b[:IPHdrLen].
+func (h IPHdr) Marshal(b []byte) {
+	if len(b) < int(IPHdrLen) {
+		panic("wire: short IP header buffer")
+	}
+	b[0] = 0x45 // version 4, 5 words
+	b[1] = 0
+	binary.BigEndian.PutUint16(b[2:], uint16(h.TotLen))
+	binary.BigEndian.PutUint16(b[4:], h.ID)
+	if h.FragOff%8 != 0 {
+		panic("wire: fragment offset must be a multiple of 8")
+	}
+	frag := uint16(h.FragOff / 8)
+	if h.MF {
+		frag |= 0x2000
+	}
+	binary.BigEndian.PutUint16(b[6:], frag)
+	b[8] = h.TTL
+	b[9] = h.Proto
+	binary.BigEndian.PutUint16(b[10:], 0) // checksum placeholder
+	binary.BigEndian.PutUint32(b[12:], uint32(h.Src))
+	binary.BigEndian.PutUint32(b[16:], uint32(h.Dst))
+	c := checksum.Checksum(b[:IPHdrLen])
+	binary.BigEndian.PutUint16(b[10:], c)
+}
+
+// ParseIPHdr reads and validates the header checksum.
+func ParseIPHdr(b []byte) (IPHdr, error) {
+	if len(b) < int(IPHdrLen) {
+		return IPHdr{}, fmt.Errorf("wire: IP header truncated: %d bytes", len(b))
+	}
+	if b[0] != 0x45 {
+		return IPHdr{}, fmt.Errorf("wire: bad IP version/ihl %#x", b[0])
+	}
+	if !checksum.Verify(b[:IPHdrLen]) {
+		return IPHdr{}, fmt.Errorf("wire: IP header checksum failure")
+	}
+	frag := binary.BigEndian.Uint16(b[6:])
+	return IPHdr{
+		TotLen:  units.Size(binary.BigEndian.Uint16(b[2:])),
+		ID:      binary.BigEndian.Uint16(b[4:]),
+		MF:      frag&0x2000 != 0,
+		FragOff: units.Size(frag&0x1fff) * 8,
+		TTL:     b[8],
+		Proto:   b[9],
+		Src:     Addr(binary.BigEndian.Uint32(b[12:])),
+		Dst:     Addr(binary.BigEndian.Uint32(b[16:])),
+	}, nil
+}
+
+// TCPHdr is the transport header for TCP.
+type TCPHdr struct {
+	SPort, DPort uint16
+	Seq, Ack     uint32
+	Flags        uint16
+	Wnd          uint16 // scaled by WindowShift
+	Csum         uint16
+}
+
+// Marshal writes the header into b[:TCPHdrLen]; the checksum field is
+// written as given (a zero, a seed, or a finished software checksum).
+func (h TCPHdr) Marshal(b []byte) {
+	if len(b) < int(TCPHdrLen) {
+		panic("wire: short TCP header buffer")
+	}
+	binary.BigEndian.PutUint16(b[0:], h.SPort)
+	binary.BigEndian.PutUint16(b[2:], h.DPort)
+	binary.BigEndian.PutUint32(b[4:], h.Seq)
+	binary.BigEndian.PutUint32(b[8:], h.Ack)
+	binary.BigEndian.PutUint16(b[12:], 5<<12|h.Flags) // data offset 5 words
+	binary.BigEndian.PutUint16(b[14:], h.Wnd)
+	binary.BigEndian.PutUint16(b[16:], h.Csum)
+	binary.BigEndian.PutUint16(b[18:], 0) // urgent pointer
+}
+
+// ParseTCPHdr reads a TCP header; checksum verification is the caller's
+// job (it needs the pseudo-header and the payload).
+func ParseTCPHdr(b []byte) (TCPHdr, error) {
+	if len(b) < int(TCPHdrLen) {
+		return TCPHdr{}, fmt.Errorf("wire: TCP header truncated: %d bytes", len(b))
+	}
+	return TCPHdr{
+		SPort: binary.BigEndian.Uint16(b[0:]),
+		DPort: binary.BigEndian.Uint16(b[2:]),
+		Seq:   binary.BigEndian.Uint32(b[4:]),
+		Ack:   binary.BigEndian.Uint32(b[8:]),
+		Flags: binary.BigEndian.Uint16(b[12:]) & 0x3f,
+		Wnd:   binary.BigEndian.Uint16(b[14:]),
+		Csum:  binary.BigEndian.Uint16(b[16:]),
+	}, nil
+}
+
+// ScaleWindow converts a byte count to the scaled 16-bit window field.
+func ScaleWindow(n units.Size) uint16 {
+	w := n >> WindowShift
+	if w > 0xffff {
+		w = 0xffff
+	}
+	return uint16(w)
+}
+
+// UnscaleWindow converts a window field back to bytes.
+func UnscaleWindow(w uint16) units.Size {
+	return units.Size(w) << WindowShift
+}
+
+// UDPHdr is the transport header for UDP.
+type UDPHdr struct {
+	SPort, DPort uint16
+	Len          units.Size // header + payload
+	Csum         uint16
+}
+
+// Marshal writes the header into b[:UDPHdrLen].
+func (h UDPHdr) Marshal(b []byte) {
+	if len(b) < int(UDPHdrLen) {
+		panic("wire: short UDP header buffer")
+	}
+	binary.BigEndian.PutUint16(b[0:], h.SPort)
+	binary.BigEndian.PutUint16(b[2:], h.DPort)
+	binary.BigEndian.PutUint16(b[4:], uint16(h.Len))
+	binary.BigEndian.PutUint16(b[6:], h.Csum)
+}
+
+// ParseUDPHdr reads a UDP header.
+func ParseUDPHdr(b []byte) (UDPHdr, error) {
+	if len(b) < int(UDPHdrLen) {
+		return UDPHdr{}, fmt.Errorf("wire: UDP header truncated: %d bytes", len(b))
+	}
+	return UDPHdr{
+		SPort: binary.BigEndian.Uint16(b[0:]),
+		DPort: binary.BigEndian.Uint16(b[2:]),
+		Len:   units.Size(binary.BigEndian.Uint16(b[4:])),
+		Csum:  binary.BigEndian.Uint16(b[6:]),
+	}, nil
+}

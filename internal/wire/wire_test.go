@@ -1,0 +1,188 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/checksum"
+	"repro/internal/units"
+)
+
+func TestGeometryMatchesCAB(t *testing.T) {
+	// The CAB's receive checksum engine starts at a fixed 20-word offset;
+	// our link + IP headers must fill exactly those 80 bytes.
+	if LinkHdrLen+IPHdrLen != 80 {
+		t.Fatalf("link+IP = %v, want 80 (20 words)", LinkHdrLen+IPHdrLen)
+	}
+}
+
+func TestLinkHdrRoundTrip(t *testing.T) {
+	h := LinkHdr{Dst: 7, Src: 3, Type: EtherTypeIP, Len: 12345}
+	b := make([]byte, LinkHdrLen)
+	h.Marshal(b)
+	got, err := ParseLinkHdr(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("got %+v, want %+v", got, h)
+	}
+}
+
+func TestLinkHdrTruncated(t *testing.T) {
+	if _, err := ParseLinkHdr(make([]byte, 10)); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestIPHdrRoundTripAndChecksum(t *testing.T) {
+	h := IPHdr{TotLen: 1500, ID: 42, TTL: 30, Proto: ProtoTCP,
+		Src: 0x0a000001, Dst: 0x0a000002}
+	b := make([]byte, IPHdrLen)
+	h.Marshal(b)
+	if !checksum.Verify(b) {
+		t.Fatal("marshaled IP header fails checksum")
+	}
+	got, err := ParseIPHdr(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("got %+v, want %+v", got, h)
+	}
+	// Corruption must be detected.
+	b[12] ^= 1
+	if _, err := ParseIPHdr(b); err == nil {
+		t.Fatal("corrupted header accepted")
+	}
+}
+
+func TestTCPHdrRoundTrip(t *testing.T) {
+	h := TCPHdr{SPort: 5001, DPort: 5002, Seq: 0xdeadbeef, Ack: 0x01020304,
+		Flags: FlagACK | FlagPSH, Wnd: 32768, Csum: 0xabcd}
+	b := make([]byte, TCPHdrLen)
+	h.Marshal(b)
+	got, err := ParseTCPHdr(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("got %+v, want %+v", got, h)
+	}
+}
+
+func TestTCPCsumFieldOffset(t *testing.T) {
+	h := TCPHdr{Csum: 0x1234}
+	b := make([]byte, TCPHdrLen)
+	h.Marshal(b)
+	got := uint16(b[TCPCsumOff])<<8 | uint16(b[TCPCsumOff+1])
+	if got != 0x1234 {
+		t.Fatalf("checksum not at offset %d", TCPCsumOff)
+	}
+}
+
+func TestUDPHdrRoundTrip(t *testing.T) {
+	h := UDPHdr{SPort: 9, DPort: 10, Len: 520, Csum: 0x5678}
+	b := make([]byte, UDPHdrLen)
+	h.Marshal(b)
+	got, err := ParseUDPHdr(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("got %+v, want %+v", got, h)
+	}
+	gotC := uint16(b[UDPCsumOff])<<8 | uint16(b[UDPCsumOff+1])
+	if gotC != 0x5678 {
+		t.Fatalf("checksum not at offset %d", UDPCsumOff)
+	}
+}
+
+func TestWindowScaling(t *testing.T) {
+	// The 512 KB experiment window must survive the scaled field.
+	w := ScaleWindow(512 * units.KB)
+	if got := UnscaleWindow(w); got != 512*units.KB {
+		t.Fatalf("512KB window round-trips to %v", got)
+	}
+	// Saturation rather than wraparound for absurd windows.
+	if UnscaleWindow(ScaleWindow(64*units.MB)) != units.Size(0xffff)<<WindowShift {
+		t.Fatal("window should saturate")
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	if Addr(0x0a000102).String() != "10.0.1.2" {
+		t.Fatalf("got %s", Addr(0x0a000102).String())
+	}
+}
+
+func TestHeaderRoundTripProperties(t *testing.T) {
+	tcp := func(sport, dport uint16, seq, ack uint32, flags, wnd, csum uint16) bool {
+		h := TCPHdr{SPort: sport, DPort: dport, Seq: seq, Ack: ack,
+			Flags: flags & 0x3f, Wnd: wnd, Csum: csum}
+		b := make([]byte, TCPHdrLen)
+		h.Marshal(b)
+		got, err := ParseTCPHdr(b)
+		return err == nil && got == h
+	}
+	if err := quick.Check(tcp, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	ip := func(totlen uint16, id uint16, ttl, proto uint8, src, dst uint32) bool {
+		h := IPHdr{TotLen: units.Size(totlen), ID: id, TTL: ttl, Proto: proto,
+			Src: Addr(src), Dst: Addr(dst)}
+		b := make([]byte, IPHdrLen)
+		h.Marshal(b)
+		got, err := ParseIPHdr(b)
+		return err == nil && got == h && checksum.Verify(b)
+	}
+	if err := quick.Check(ip, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	udp := func(sport, dport, ln, csum uint16) bool {
+		h := UDPHdr{SPort: sport, DPort: dport, Len: units.Size(ln), Csum: csum}
+		b := make([]byte, UDPHdrLen)
+		h.Marshal(b)
+		got, err := ParseUDPHdr(b)
+		return err == nil && got == h
+	}
+	if err := quick.Check(udp, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIPFragmentFields(t *testing.T) {
+	h := IPHdr{TotLen: 1500, ID: 7, MF: true, FragOff: 4096, TTL: 9,
+		Proto: ProtoUDP, Src: 1, Dst: 2}
+	b := make([]byte, IPHdrLen)
+	h.Marshal(b)
+	got, err := ParseIPHdr(b)
+	if err != nil || got != h {
+		t.Fatalf("round trip: %+v %v", got, err)
+	}
+	if !got.IsFragment() {
+		t.Fatal("fragment not detected")
+	}
+	last := IPHdr{TotLen: 100, FragOff: 8192, TTL: 1, Proto: 1, Src: 1, Dst: 2}
+	last.Marshal(b)
+	got, _ = ParseIPHdr(b)
+	if got.MF || got.FragOff != 8192 || !got.IsFragment() {
+		t.Fatalf("final fragment: %+v", got)
+	}
+	whole := IPHdr{TotLen: 40, TTL: 1, Proto: 6, Src: 1, Dst: 2}
+	whole.Marshal(b)
+	got, _ = ParseIPHdr(b)
+	if got.IsFragment() {
+		t.Fatal("whole datagram misdetected as fragment")
+	}
+}
+
+func TestIPFragOffMisalignmentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h := IPHdr{FragOff: 5}
+	h.Marshal(make([]byte, IPHdrLen))
+}
