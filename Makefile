@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One pass over the Figure 5 sweep; the simulation is deterministic, so a
+# single iteration gives the full virtual-time result set.
+bench-smoke:
+	$(GO) test -run - -bench BenchmarkFigure5 -benchtime 1x .
+
+ci: vet build race bench-smoke

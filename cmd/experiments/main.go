@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/analysis"
 	"repro/internal/exp"
@@ -22,11 +23,24 @@ func main() {
 	which := flag.String("exp", "all", "experiment: fig5, fig6, table1, table2, analysis, hol, window, lazy, threshold, all")
 	quick := flag.Bool("quick", false, "use a reduced size sweep for the figures")
 	csv := flag.Bool("csv", false, "emit figures as CSV instead of tables")
+	metricsOut := flag.String("metrics", "", "write a telemetry snapshot of one instrumented transfer to this JSON file")
+	benchDir := flag.String("benchdir", ".", "directory for the BENCH_fig5.json / BENCH_fig6.json perf-trajectory files")
 	flag.Parse()
 
 	sizes := exp.DefaultSizes()
 	if *quick {
 		sizes = []units.Size{4 * units.KB, 16 * units.KB, 64 * units.KB, 256 * units.KB}
+	}
+
+	// writeBench records a figure's curves as machine-readable JSON so
+	// future changes have a perf trajectory to diff against.
+	writeBench := func(file string, fig exp.Figure) {
+		path := filepath.Join(*benchDir, file)
+		if err := os.WriteFile(path, fig.JSON(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	}
 
 	run := func(name string) {
@@ -38,6 +52,7 @@ func main() {
 			} else {
 				fmt.Println(fig.Format())
 			}
+			writeBench("BENCH_fig5.json", fig)
 		case "fig6":
 			fig := exp.Figure6(sizes)
 			if *csv {
@@ -45,6 +60,7 @@ func main() {
 			} else {
 				fmt.Println(fig.Format())
 			}
+			writeBench("BENCH_fig6.json", fig)
 		case "table1":
 			fmt.Println(taxonomy.Format())
 		case "table2":
@@ -72,6 +88,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)
 		}
+	}
+
+	if *metricsOut != "" {
+		snap := exp.MetricsRun(64*units.KB, 1)
+		if err := os.WriteFile(*metricsOut, snap.JSON(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *metricsOut)
 	}
 
 	if *which == "all" {

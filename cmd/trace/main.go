@@ -1,12 +1,21 @@
 // Command trace runs a short single-copy transfer and prints a
-// tcpdump-style trace of every packet crossing the sender's stack,
+// tcpdump-style trace of every packet crossing a host's stack,
 // showing the handshake, the descriptor-bearing data segments, the
 // acknowledgement clock, and the FIN exchange.
+//
+// Usage:
+//
+//	trace [-n 40] [-host A|B|both] [-dir in|out|both] [-json]
+//
+// -json emits one JSON object per event (machine-readable) instead of the
+// tcpdump-style line.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -18,7 +27,15 @@ import (
 
 func main() {
 	n := flag.Int("n", 40, "maximum trace lines to print")
+	hostF := flag.String("host", "A", "which host's stack to trace: A (sender), B (receiver), both")
+	dirF := flag.String("dir", "both", "direction filter: in, out, both")
+	jsonF := flag.Bool("json", false, "emit events as JSON lines")
 	flag.Parse()
+
+	if *dirF != "in" && *dirF != "out" && *dirF != "both" {
+		fmt.Fprintf(os.Stderr, "trace: bad -dir %q (want in, out, or both)\n", *dirF)
+		os.Exit(2)
+	}
 
 	tb := core.NewTestbed(5)
 	a := tb.AddHost(core.HostConfig{Name: "A", Addr: wire.Addr(0x0a000001),
@@ -27,12 +44,46 @@ func main() {
 		Mode: socket.ModeSingleCopy, CABNode: 2})
 	tb.RouteCAB(a, b)
 
+	both := *hostF == "both"
 	lines := 0
-	a.Stk.Tracer = func(e tcpip.TraceEvent) {
-		if lines < *n {
-			fmt.Println(e)
+	mkTracer := func(host string) func(tcpip.TraceEvent) {
+		return func(e tcpip.TraceEvent) {
+			if *dirF != "both" && e.Dir.String() != *dirF {
+				return
+			}
+			lines++
+			if lines > *n {
+				return
+			}
+			switch {
+			case *jsonF:
+				out, err := json.Marshal(struct {
+					Host string `json:"host"`
+					tcpip.TraceEvent
+				}{host, e})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "trace:", err)
+					os.Exit(1)
+				}
+				fmt.Println(string(out))
+			case both:
+				fmt.Printf("%s %v\n", host, e)
+			default:
+				fmt.Println(e)
+			}
 		}
-		lines++
+	}
+	switch *hostF {
+	case "A":
+		a.Stk.Tracer = mkTracer("A")
+	case "B":
+		b.Stk.Tracer = mkTracer("B")
+	case "both":
+		a.Stk.Tracer = mkTracer("A")
+		b.Stk.Tracer = mkTracer("B")
+	default:
+		fmt.Fprintf(os.Stderr, "trace: bad -host %q (want A, B, or both)\n", *hostF)
+		os.Exit(2)
 	}
 
 	lis := b.Stk.Listen(5001)

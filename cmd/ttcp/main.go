@@ -6,6 +6,12 @@
 //
 //	ttcp [-mode single|unmodified|raw] [-size 64K] [-total 16M]
 //	     [-machine alpha400|alpha300] [-window 512K] [-lazy]
+//	     [-stats] [-trace out.json] [-metrics out.json]
+//
+// -stats prints the telemetry counter table and the per-packet virtual-time
+// latency histogram with its per-stage breakdown; -trace writes a Chrome
+// trace-event file (load in Perfetto or chrome://tracing); -metrics writes
+// the deterministic JSON metrics snapshot.
 package main
 
 import (
@@ -47,6 +53,9 @@ func main() {
 	windowS := flag.String("window", "512K", "TCP window / socket buffer")
 	machine := flag.String("machine", "alpha400", "host model: alpha400, alpha300")
 	lazy := flag.Bool("lazy", false, "enable the lazy-unpin buffer cache")
+	stats := flag.Bool("stats", false, "print telemetry counters and the per-packet latency histogram")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file to this path")
+	metricsOut := flag.String("metrics", "", "write the JSON metrics snapshot to this path")
 	flag.Parse()
 
 	size, err := parseSize(*sizeS)
@@ -62,9 +71,26 @@ func main() {
 	}
 
 	tb := core.NewTestbed(1)
+	if *stats || *traceOut != "" || *metricsOut != "" {
+		tb.EnableTelemetry()
+	}
 	params := ttcp.Params{
 		Total: total, RWSize: size, Window: window,
 		WithUtil: true, WithBackground: true,
+	}
+	emitTelemetry := func() {
+		if tb.Tel == nil {
+			return
+		}
+		if *stats {
+			fmt.Print("\n" + tb.Tel.Snapshot().Format())
+		}
+		if *metricsOut != "" {
+			die(os.WriteFile(*metricsOut, tb.Tel.Snapshot().JSON(), 0o644))
+		}
+		if *traceOut != "" {
+			die(os.WriteFile(*traceOut, tb.Tel.Chrome(), 0o644))
+		}
 	}
 
 	var res ttcp.Result
@@ -87,6 +113,7 @@ func main() {
 			ur.Snd.Utilization, ur.Snd.Efficiency.Mbit())
 		fmt.Printf("  receiver     util %.2f  efficiency %.1f Mb/s\n",
 			ur.Rcv.Utilization, ur.Rcv.Efficiency.Mbit())
+		emitTelemetry()
 		return
 	}
 	if *mode == "raw" {
@@ -122,6 +149,7 @@ func main() {
 			fmt.Printf("    %-8s %v\n", cat, d)
 		}
 	}
+	emitTelemetry()
 }
 
 func die(err error) {

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/hippi"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -69,6 +70,9 @@ type RxEvent struct {
 	// the packet from RxCsumSkip to its end, available to the host as
 	// soon as the packet is (Section 2.1).
 	BodySum uint32
+	// Span is the sender's data-path span carried across the wire (nil
+	// when telemetry is disabled).
+	Span *obs.Span
 }
 
 // Stats counts adaptor activity.
@@ -111,6 +115,25 @@ type CAB struct {
 	OnRx func(ev *RxEvent)
 
 	Stats Stats
+
+	// pagesUsed tracks network-memory page occupancy (with high-water
+	// mark) when telemetry is enabled; nil otherwise.
+	pagesUsed *obs.Gauge
+}
+
+// SetObs registers the adaptor's metrics on r (nil: no-op).
+func (c *CAB) SetObs(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.Func("cab.tx_pkts", func() int64 { return int64(c.Stats.TxPackets) })
+	r.Func("cab.rx_pkts", func() int64 { return int64(c.Stats.RxPackets) })
+	r.Func("cab.sdma_ops", func() int64 { return int64(c.Stats.SDMAOps) })
+	r.Func("cab.sdma_bytes", func() int64 { return int64(c.Stats.SDMABytes) })
+	r.Func("cab.drop_no_mem", func() int64 { return int64(c.Stats.DropNoMem) })
+	r.Func("cab.drop_no_buf", func() int64 { return int64(c.Stats.DropNoBuf) })
+	r.Func("cab.retransmit_overlays", func() int64 { return int64(c.Stats.RetransmitOverlays) })
+	c.pagesUsed = r.Gauge("cab.netmem_pages")
 }
 
 // New attaches a CAB to the network as node id.
@@ -194,6 +217,7 @@ func (pk *Packet) Free() {
 	pk.freed = true
 	pk.cab.freePages += pk.pages
 	delete(pk.cab.live, pk.ID)
+	pk.cab.pagesUsed.Set(int64(pk.cab.totalPages - pk.cab.freePages))
 	pk.cab.freeSig.Broadcast()
 }
 
@@ -222,6 +246,7 @@ func (c *CAB) AllocPacket(n units.Size) (*Packet, bool) {
 	c.nextPktID++
 	pk := &Packet{cab: c, ID: c.nextPktID, buf: make([]byte, n), pages: pages}
 	c.live[pk.ID] = pk
+	c.pagesUsed.Set(int64(c.totalPages - c.freePages))
 	return pk, true
 }
 

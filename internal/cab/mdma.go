@@ -3,6 +3,7 @@ package cab
 import (
 	"repro/internal/checksum"
 	"repro/internal/hippi"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -11,6 +12,7 @@ import (
 type txEntry struct {
 	pkt  *Packet
 	dst  hippi.NodeID
+	span *obs.Span
 	done func()
 }
 
@@ -18,13 +20,14 @@ type txEntry struct {
 // channel for that destination. done (optional) runs in hardware context
 // once the frame has fully left the adaptor. The packet is NOT freed: for
 // TCP it stays in network memory as retransmit data until the host frees
-// it (on acknowledgement).
-func (c *CAB) MDMATx(pk *Packet, dst hippi.NodeID, done func()) {
+// it (on acknowledgement). span (nil when telemetry is disabled) rides the
+// frame so the receiver continues the packet's data-path span.
+func (c *CAB) MDMATx(pk *Packet, dst hippi.NodeID, span *obs.Span, done func()) {
 	if pk.freed {
 		panic("cab: MDMATx on freed packet")
 	}
 	ch := int(dst) % len(c.channels)
-	c.channels[ch].Put(&txEntry{pkt: pk, dst: dst, done: done})
+	c.channels[ch].Put(&txEntry{pkt: pk, dst: dst, span: span, done: done})
 	c.txPend.Signal()
 }
 
@@ -63,7 +66,8 @@ func (c *CAB) mdmaTxProc(p *sim.Proc) {
 		data := make([]byte, e.pkt.Len())
 		copy(data, e.pkt.buf)
 		sent := sim.NewSignal(c.eng)
-		c.net.Send(c.nodeID, e.dst, data, func() { sent.Broadcast() })
+		c.net.SendFrame(hippi.Frame{Src: c.nodeID, Dst: e.dst, Data: data, Span: e.span},
+			func() { sent.Broadcast() })
 		sent.Wait(p)
 		c.Stats.TxPackets++
 		if e.done != nil {
@@ -77,6 +81,7 @@ func (c *CAB) mdmaTxProc(p *sim.Proc) {
 // in; the first L bytes are then auto-DMAed to a preallocated host buffer
 // and the host is notified (Section 2.2).
 func (c *CAB) rxFrame(f hippi.Frame) {
+	f.Span.Enter(obs.StageMDMA)
 	n := units.Size(len(f.Data))
 	pk, ok := c.AllocPacket(n)
 	if !ok {
@@ -103,6 +108,7 @@ func (c *CAB) rxFrame(f hippi.Frame) {
 	if l > n {
 		l = n
 	}
+	span := f.Span
 	c.SDMA(&SDMAReq{
 		Dir:     ToHost,
 		Pkt:     pk,
@@ -113,7 +119,7 @@ func (c *CAB) rxFrame(f hippi.Frame) {
 				pk.Free()
 				return
 			}
-			c.OnRx(&RxEvent{Pkt: pk, Buf: buf, HdrLen: l, BodySum: bodySum})
+			c.OnRx(&RxEvent{Pkt: pk, Buf: buf, HdrLen: l, BodySum: bodySum, Span: span})
 		},
 	})
 }

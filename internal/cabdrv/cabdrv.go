@@ -28,6 +28,7 @@ import (
 	"repro/internal/kern"
 	"repro/internal/mbuf"
 	"repro/internal/netif"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/units"
 	"repro/internal/wire"
@@ -105,6 +106,15 @@ func New(name string, k *kern.Kernel, c *cab.CAB, singleCopy bool) *Driver {
 	}
 	c.OnRx = d.hwRx
 	k.Eng.Go(name+"/txd", d.txd)
+	if r := k.Obs; r != nil {
+		r.Func("cabdrv.tx_pkts", func() int64 { return int64(d.Stats.TxPackets) })
+		r.Func("cabdrv.rx_pkts", func() int64 { return int64(d.Stats.RxPackets) })
+		r.Func("cabdrv.tx_overlays", func() int64 { return int64(d.Stats.TxOverlays) })
+		r.Func("cabdrv.tx_fallback_reads", func() int64 { return int64(d.Stats.TxFallbackReads) })
+		r.Func("cabdrv.legacy_converted", func() int64 { return int64(d.Stats.Converted) })
+		r.Func("cabdrv.auto_dma_hits", func() int64 { return int64(d.Stats.RxSmall) })
+		r.Func("cabdrv.wcab_rx", func() int64 { return int64(d.Stats.RxLarge) })
+	}
 	return d
 }
 
@@ -202,6 +212,7 @@ func (d *Driver) sendSingleCopy(p *sim.Proc, job *txJob) {
 	}
 	d.pendingTxSDMA++
 	req.Done = func(*cab.SDMAReq) { d.txSDMADone(job, pk, hdrH) }
+	m.Span().Enter(obs.StageSDMA)
 	d.C.SDMA(req)
 }
 
@@ -221,7 +232,9 @@ func (d *Driver) txSDMADone(job *txJob, pk *cab.Packet, hdrH *mbuf.Hdr) {
 	if !transportOwns {
 		mdmaDone = func() { pk.Free() }
 	}
-	d.C.MDMATx(pk, hippi.NodeID(job.dst), mdmaDone)
+	sp := job.m.Span()
+	sp.Enter(obs.StageWire)
+	d.C.MDMATx(pk, hippi.NodeID(job.dst), sp, mdmaDone)
 
 	m := job.m
 	d.completeTx(func(ctx kern.Ctx) {
@@ -281,9 +294,12 @@ func (d *Driver) sendOverlay(job *txJob, op *outPkt, prefixLen units.Size) {
 	d.pendingTxSDMA++
 	req.Done = func(*cab.SDMAReq) {
 		d.Stats.TxPackets++
-		d.C.MDMATx(op.pk, hippi.NodeID(job.dst), nil)
+		sp := m.Span()
+		sp.Enter(obs.StageWire)
+		d.C.MDMATx(op.pk, hippi.NodeID(job.dst), sp, nil)
 		d.completeTx(func(kern.Ctx) { mbuf.FreeChain(m) })
 	}
+	m.Span().Enter(obs.StageSDMA)
 	d.C.SDMA(req)
 }
 
@@ -334,11 +350,14 @@ func (d *Driver) sendLegacy(p *sim.Proc, job *txJob) {
 		gather = append(gather, cur.Bytes())
 	}
 	d.pendingTxSDMA++
+	m.Span().Enter(obs.StageSDMA)
 	d.C.SDMA(&cab.SDMAReq{
 		Dir: cab.ToCAB, Pkt: pk, Gather: gather,
 		Done: func(*cab.SDMAReq) {
 			d.Stats.TxPackets++
-			d.C.MDMATx(pk, hippi.NodeID(job.dst), func() { pk.Free() })
+			sp := m.Span()
+			sp.Enter(obs.StageWire)
+			d.C.MDMATx(pk, hippi.NodeID(job.dst), sp, func() { pk.Free() })
 			d.completeTx(func(kern.Ctx) { mbuf.FreeChain(m) })
 		},
 	})

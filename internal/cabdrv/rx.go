@@ -4,6 +4,7 @@ import (
 	"repro/internal/cab"
 	"repro/internal/kern"
 	"repro/internal/mbuf"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/units"
 	"repro/internal/wire"
@@ -25,6 +26,7 @@ func (d *Driver) hwRx(ev *cab.RxEvent) {
 func (d *Driver) rxIntr(ctx kern.Ctx, ev *cab.RxEvent) {
 	ctx.Charge(d.K.Mach.DriverPerPacket, kern.CatDriver)
 	d.Stats.RxPackets++
+	ev.Span.Enter(obs.StageDeliver)
 
 	lh, err := wire.ParseLinkHdr(ev.Buf[:wire.LinkHdrLen])
 	if err != nil || lh.Type != wire.EtherTypeIP {
@@ -46,7 +48,7 @@ func (d *Driver) rxIntr(ctx kern.Ctx, ev *cab.RxEvent) {
 		d.Stats.RxSmall++
 		m := mbuf.AdoptCluster(ev.Buf, wire.LinkHdrLen, pktLen-wire.LinkHdrLen)
 		m.MarkPktHdr(pktLen - wire.LinkHdrLen)
-		m.SetHdr(&mbuf.Hdr{HWRxValid: true, HWRxSum: ev.BodySum})
+		m.SetHdr(&mbuf.Hdr{HWRxValid: true, HWRxSum: ev.BodySum, Span: ev.Span})
 		ev.Pkt.Free()
 		d.Input(ctx, m, d)
 		return
@@ -76,7 +78,7 @@ func (d *Driver) rxIntr(ctx kern.Ctx, ev *cab.RxEvent) {
 
 	head := mbuf.AdoptCluster(ev.Buf, wire.LinkHdrLen, ev.HdrLen-wire.LinkHdrLen)
 	head.MarkPktHdr(pktLen - wire.LinkHdrLen)
-	head.SetHdr(&mbuf.Hdr{HWRxValid: true, HWRxSum: ev.BodySum})
+	head.SetHdr(&mbuf.Hdr{HWRxValid: true, HWRxSum: ev.BodySum, Span: ev.Span})
 	head.SetNext(mbuf.NewWCAB(w, 0, pktLen-base, nil))
 	d.Input(ctx, head, d)
 }
@@ -87,6 +89,7 @@ func (d *Driver) rxIntr(ctx kern.Ctx, ev *cab.RxEvent) {
 func (d *Driver) rxLegacy(ctx kern.Ctx, ev *cab.RxEvent, pktLen units.Size) {
 	head := mbuf.AdoptCluster(ev.Buf, wire.LinkHdrLen, minSize(pktLen, ev.HdrLen)-wire.LinkHdrLen)
 	head.MarkPktHdr(pktLen - wire.LinkHdrLen)
+	head.AttachSpan(ev.Span)
 	if pktLen <= ev.HdrLen {
 		ev.Pkt.Free()
 		d.Input(ctx, head, d)

@@ -17,6 +17,7 @@ import (
 	"repro/internal/loop"
 	"repro/internal/mem"
 	"repro/internal/netif"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/socket"
 	"repro/internal/tcpip"
@@ -69,6 +70,9 @@ type Testbed struct {
 	Net    *hippi.Network
 	EthNet *hippi.Network
 	Hosts  []*Host
+	// Tel is the testbed-wide telemetry hub; nil unless EnableTelemetry
+	// was called before hosts were added.
+	Tel *obs.Telemetry
 }
 
 // EthRate is the legacy medium's line rate (FDDI-class, so the legacy
@@ -85,6 +89,22 @@ func NewTestbed(seed int64) *Testbed {
 	}
 }
 
+// EnableTelemetry turns on metrics and data-path tracing for every host
+// added afterwards. It must run before AddHost so subsystem constructors
+// can register their instruments.
+func (tb *Testbed) EnableTelemetry() *obs.Telemetry {
+	if len(tb.Hosts) > 0 {
+		panic("core: EnableTelemetry must be called before AddHost")
+	}
+	if tb.Tel == nil {
+		tb.Tel = obs.New(tb.Eng.Now)
+		r := tb.Tel.Registry("net")
+		tb.Net.SetObs(r, "hippi")
+		tb.EthNet.SetObs(r, "eth")
+	}
+	return tb.Tel
+}
+
 // AddHost assembles a host and joins it to the testbed fabrics.
 func (tb *Testbed) AddHost(cfg HostConfig) *Host {
 	if cfg.Mach == nil {
@@ -92,6 +112,10 @@ func (tb *Testbed) AddHost(cfg HostConfig) *Host {
 	}
 	h := &Host{Name: cfg.Name, Cfg: cfg}
 	h.K = kern.New(cfg.Name, tb.Eng, cfg.Mach)
+	if tb.Tel != nil {
+		h.K.Obs = tb.Tel.Registry(cfg.Name)
+		h.K.RegisterObs()
+	}
 	h.VM = kern.NewVM(h.K)
 	h.VM.LazyUnpin = cfg.LazyUnpin
 	h.Stk = tcpip.NewStack(h.K, cfg.Addr)
@@ -101,6 +125,7 @@ func (tb *Testbed) AddHost(cfg HostConfig) *Host {
 		cabCfg = *cfg.CABConfig
 	}
 	h.CAB = cab.New(tb.Eng, cfg.Mach, tb.Net, cfg.CABNode, cabCfg)
+	h.CAB.SetObs(h.K.Obs)
 	if !cfg.NoDriver {
 		h.Drv = cabdrv.New("cab0", h.K, h.CAB, cfg.Mode == socket.ModeSingleCopy)
 		h.Drv.Input = h.Stk.Input
@@ -116,6 +141,15 @@ func (tb *Testbed) AddHost(cfg HostConfig) *Host {
 	}
 	tb.Hosts = append(tb.Hosts, h)
 	return h
+}
+
+// Snapshot returns the host's current metric values (empty when telemetry
+// is disabled).
+func (h *Host) Snapshot() obs.HostMetrics {
+	if h.K.Obs == nil {
+		return obs.HostMetrics{Host: h.Name}
+	}
+	return h.K.Obs.Snapshot()
 }
 
 // RouteCAB installs host routes in both directions between a and b over

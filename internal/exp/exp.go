@@ -6,6 +6,7 @@
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/hippi"
+	"repro/internal/obs"
 	"repro/internal/socket"
 	"repro/internal/ttcp"
 	"repro/internal/units"
@@ -123,6 +125,24 @@ func RunFigure(name string, mach func() *cost.Machine, sizes []units.Size) Figur
 	return fig
 }
 
+// MetricsRun runs one instrumented Figure-5-style cell (single-copy stack,
+// Alpha 3000/400) and returns the full telemetry snapshot. Deterministic:
+// the same (rw, seed) always yields byte-identical Snapshot.JSON().
+func MetricsRun(rw units.Size, seed int64) obs.Snapshot {
+	tb := core.NewTestbed(seed)
+	tb.EnableTelemetry()
+	a := tb.AddHost(core.HostConfig{Name: "A", Addr: addrA, Mach: cost.Alpha400(),
+		Mode: socket.ModeSingleCopy, CABNode: 1})
+	b := tb.AddHost(core.HostConfig{Name: "B", Addr: addrB, Mach: cost.Alpha400(),
+		Mode: socket.ModeSingleCopy, CABNode: 2})
+	tb.RouteCAB(a, b)
+	ttcp.Run(tb, a, b, ttcp.Params{
+		Total: totalFor(rw), RWSize: rw,
+		WithUtil: true, WithBackground: true,
+	})
+	return tb.Tel.Snapshot()
+}
+
 // Figure5 regenerates Figure 5 (Alpha 3000/400).
 func Figure5(sizes []units.Size) Figure {
 	return RunFigure("Figure 5", cost.Alpha400, sizes)
@@ -211,6 +231,54 @@ func FormatHOL(rs []HOLResult) string {
 		fmt.Fprintf(&b, "%-8d %14.3f %20.3f\n", r.Ports, r.FIFOUtilization, r.ChannelsUtilization)
 	}
 	return b.String()
+}
+
+// jsonPoint is one measurement in the machine-readable figure export.
+type jsonPoint struct {
+	RWSizeBytes    int64   `json:"rwsize_bytes"`
+	ThroughputMbps float64 `json:"throughput_mbps"`
+	Utilization    float64 `json:"utilization"`
+	EfficiencyMbps float64 `json:"efficiency_mbps"`
+}
+
+// jsonSeries is one curve.
+type jsonSeries struct {
+	Name   string      `json:"name"`
+	Points []jsonPoint `json:"points"`
+}
+
+// jsonFigure is the machine-readable figure envelope.
+type jsonFigure struct {
+	Name    string       `json:"name"`
+	Machine string       `json:"machine"`
+	Series  []jsonSeries `json:"series"`
+}
+
+// JSON renders the figure as deterministic JSON: series in Order (slices,
+// not the Series map), so identical runs produce identical bytes.
+func (f Figure) JSON() []byte {
+	jf := jsonFigure{Name: f.Name, Machine: f.Machine}
+	for _, s := range f.Order {
+		pts, ok := f.Series[s]
+		if !ok {
+			continue
+		}
+		js := jsonSeries{Name: s, Points: []jsonPoint{}}
+		for _, p := range pts {
+			js.Points = append(js.Points, jsonPoint{
+				RWSizeBytes:    int64(p.RWSize),
+				ThroughputMbps: p.Throughput.Mbit(),
+				Utilization:    p.Utilization,
+				EfficiencyMbps: p.Efficiency.Mbit(),
+			})
+		}
+		jf.Series = append(jf.Series, js)
+	}
+	b, err := json.MarshalIndent(jf, "", "  ")
+	if err != nil {
+		panic("exp: figure marshal: " + err.Error())
+	}
+	return append(b, '\n')
 }
 
 // CSV renders the figure as plot-ready rows:

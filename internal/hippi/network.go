@@ -9,6 +9,7 @@ package hippi
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -19,10 +20,12 @@ const LineRate = 100 * units.MBytePerSec
 // NodeID identifies a host port on the switch.
 type NodeID int
 
-// Frame is one media frame: a fully formed packet.
+// Frame is one media frame: a fully formed packet. Span, when telemetry is
+// enabled, carries the sender's data-path span across the wire.
 type Frame struct {
 	Src, Dst NodeID
 	Data     []byte
+	Span     *obs.Span
 }
 
 // Network is a switch connecting host ports.
@@ -39,6 +42,24 @@ type Network struct {
 	// Counters.
 	Sent, Delivered, Dropped int
 	BytesSent                units.Size
+
+	// Telemetry (nil when disabled): port-busy stalls on transmit and
+	// receive — the head-of-line effects the logical channels address.
+	txStalls, rxStalls *obs.Counter
+}
+
+// SetObs registers the network's counters on r under prefix (e.g. "hippi",
+// "eth"). Safe to skip entirely; a nil registry is a no-op.
+func (n *Network) SetObs(r *obs.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	r.Func(prefix+".frames_sent", func() int64 { return int64(n.Sent) })
+	r.Func(prefix+".frames_delivered", func() int64 { return int64(n.Delivered) })
+	r.Func(prefix+".frames_dropped", func() int64 { return int64(n.Dropped) })
+	r.Func(prefix+".bytes_sent", func() int64 { return int64(n.BytesSent) })
+	n.txStalls = r.Counter(prefix + ".tx_stalls")
+	n.rxStalls = r.Counter(prefix + ".rx_stalls")
 }
 
 type port struct {
@@ -67,22 +88,28 @@ func (n *Network) Attach(id NodeID, recv func(Frame)) {
 // the source (the moment the sender's MDMA completes). Delivery to dst
 // happens after the switch delay plus receive-side serialization.
 func (n *Network) Send(src, dst NodeID, data []byte, sent func()) {
-	sp, ok := n.ports[src]
+	n.SendFrame(Frame{Src: src, Dst: dst, Data: data}, sent)
+}
+
+// SendFrame is Send for a caller-built frame (which may carry a telemetry
+// span across the wire).
+func (n *Network) SendFrame(f Frame, sent func()) {
+	sp, ok := n.ports[f.Src]
 	if !ok {
-		panic(fmt.Sprintf("hippi: send from unattached node %d", src))
+		panic(fmt.Sprintf("hippi: send from unattached node %d", f.Src))
 	}
 	now := n.eng.Now()
-	txTime := n.rate.TimeFor(units.Size(len(data)))
+	txTime := n.rate.TimeFor(units.Size(len(f.Data)))
 	start := now
 	if sp.txBusyUntil > start {
 		start = sp.txBusyUntil
+		n.txStalls.Inc()
 	}
 	end := start + txTime
 	sp.txBusyUntil = end
 	n.Sent++
-	n.BytesSent += units.Size(len(data))
+	n.BytesSent += units.Size(len(f.Data))
 
-	f := Frame{Src: src, Dst: dst, Data: data}
 	n.eng.At(end, func() {
 		if sent != nil {
 			sent()
@@ -91,7 +118,7 @@ func (n *Network) Send(src, dst NodeID, data []byte, sent func()) {
 			n.Dropped++
 			return
 		}
-		dp, ok := n.ports[dst]
+		dp, ok := n.ports[f.Dst]
 		if !ok {
 			n.Dropped++
 			return
@@ -99,6 +126,7 @@ func (n *Network) Send(src, dst NodeID, data []byte, sent func()) {
 		arriveStart := n.eng.Now() + n.delay
 		if dp.rxBusyUntil > arriveStart {
 			arriveStart = dp.rxBusyUntil
+			n.rxStalls.Inc()
 		}
 		arriveEnd := arriveStart + txTime
 		dp.rxBusyUntil = arriveEnd

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -84,6 +85,13 @@ type Kernel struct {
 	intrQ   *sim.Queue[intrWork]
 	started units.Time
 
+	// Obs is the host's telemetry registry (nil when disabled). Set by
+	// the assembler (core.AddHost) before subsystems are built, so each
+	// constructor can register its metrics through it.
+	Obs *obs.Registry
+
+	intrPosts *obs.Counter
+
 	// KernelTask absorbs kernel work with no better owner.
 	KernelTask *Task
 }
@@ -129,7 +137,23 @@ func (k *Kernel) intrd(p *sim.Proc) {
 // PostIntr queues fn to run in interrupt context. Safe to call from any
 // simulation context (device models post completions from event callbacks).
 func (k *Kernel) PostIntr(name string, fn func(*sim.Proc)) {
+	k.intrPosts.Inc()
 	k.intrQ.Put(intrWork{name: name, fn: fn})
+}
+
+// RegisterObs registers the kernel's metrics on k.Obs: interrupt counts and
+// the per-category CPU time re-exported from the existing accounting.
+func (k *Kernel) RegisterObs() {
+	r := k.Obs
+	if r == nil {
+		return
+	}
+	k.intrPosts = r.Counter("kern.intr_posts")
+	for c := Category(0); c < numCategories; c++ {
+		c := c
+		r.Func("kern.cpu_ns."+c.String(), func() int64 { return int64(k.byCat[c]) })
+	}
+	r.Func("kern.cpu_busy_ns", func() int64 { return int64(k.busy) })
 }
 
 // curSys charges d of system time to the currently running task.

@@ -42,7 +42,15 @@ type VM struct {
 // NewVM returns the VM interface for k with the lazy cache disabled (the
 // paper's measured configuration pins and unpins on every operation).
 func NewVM(k *Kernel) *VM {
-	return &VM{k: k, MaxLazyPages: 4096, PinHitCheck: 2 * units.Microsecond}
+	v := &VM{k: k, MaxLazyPages: 4096, PinHitCheck: 2 * units.Microsecond}
+	if r := k.Obs; r != nil {
+		r.Func("vm.pins", func() int64 { return int64(v.Pins) })
+		r.Func("vm.pin_hits", func() int64 { return int64(v.PinHits) })
+		r.Func("vm.unpins", func() int64 { return int64(v.Unpins) })
+		r.Func("vm.lazy_evictions", func() int64 { return int64(v.LazyEvictions) })
+		r.Func("vm.maps", func() int64 { return int64(v.Maps) })
+	}
+	return v
 }
 
 // PinBuf pins the pages of [addr, addr+n) in space on behalf of t,

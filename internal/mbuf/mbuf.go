@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/units"
 )
 
@@ -124,6 +125,11 @@ type Hdr struct {
 	// the transport can verify without reading the data (Section 4.3).
 	HWRxValid bool
 	HWRxSum   uint32
+
+	// Span, when telemetry is enabled, follows the packet through the
+	// data path (obs.Span); nil otherwise. Drivers hand it across the
+	// hardware boundary so receive processing continues the same span.
+	Span *obs.Span
 }
 
 // WCAB is the paper's wCAB structure: the handle of a packet resident in
@@ -278,6 +284,26 @@ func (m *Mbuf) Hdr() *Hdr { return m.hdr }
 
 // SetHdr attaches a uiowCABhdr.
 func (m *Mbuf) SetHdr(h *Hdr) { m.hdr = h }
+
+// Span returns the telemetry span attached to m's header, or nil.
+func (m *Mbuf) Span() *obs.Span {
+	if m == nil || m.hdr == nil {
+		return nil
+	}
+	return m.hdr.Span
+}
+
+// AttachSpan stores sp on m's header, creating an empty header if needed.
+// A nil sp is a no-op, so the call is free on uninstrumented paths.
+func (m *Mbuf) AttachSpan(sp *obs.Span) {
+	if sp == nil {
+		return
+	}
+	if m.hdr == nil {
+		m.hdr = &Hdr{}
+	}
+	m.hdr.Span = sp
+}
 
 // UIO returns the user-space region descriptor of a TUIO mbuf.
 func (m *Mbuf) UIO() *mem.UIO { return m.uio }

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"repro/internal/units"
+)
+
+// Histogram accumulates virtual-time durations in log2 buckets. Bucket i
+// counts observations with d <= 1µs·2^i; the top bucket absorbs overflow.
+// A nil *Histogram is a valid no-op sink.
+type Histogram struct {
+	count    int64
+	sum      units.Time
+	min, max units.Time
+	buckets  [histBuckets]int64
+}
+
+// histBuckets spans 1µs .. ~33.5s in 26 log2 steps, comfortably covering
+// per-packet latencies and retransmission timeouts alike.
+const histBuckets = 26
+
+// histBound returns bucket i's inclusive upper bound.
+func histBound(i int) units.Time {
+	return units.Microsecond << i
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d units.Time) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	if h.count == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.count++
+	h.sum += d
+	i := 0
+	for i < histBuckets-1 && d > histBound(i) {
+		i++
+	}
+	h.buckets[i]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// HistBucket is one exported histogram bucket.
+type HistBucket struct {
+	LeNs  int64 `json:"le_ns"`
+	Count int64 `json:"count"`
+}
+
+// HistSnapshot is a histogram's exported form. Only non-empty buckets are
+// listed.
+type HistSnapshot struct {
+	Count   int64        `json:"count"`
+	SumNs   int64        `json:"sum_ns"`
+	MinNs   int64        `json:"min_ns"`
+	MaxNs   int64        `json:"max_ns"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot exports the histogram.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil || h.count == 0 {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{
+		Count: h.count,
+		SumNs: int64(h.sum),
+		MinNs: int64(h.min),
+		MaxNs: int64(h.max),
+	}
+	for i, n := range h.buckets {
+		if n > 0 {
+			s.Buckets = append(s.Buckets, HistBucket{LeNs: int64(histBound(i)), Count: n})
+		}
+	}
+	return s
+}

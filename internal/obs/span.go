@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"repro/internal/units"
+)
+
+// Stage labels one leg of the packet data path, in transit order.
+type Stage int
+
+// Data-path stages: socket enqueue wait, protocol packetization, SDMA into
+// network memory, the wire (media serialization, switch, and channel
+// queueing), the receiver's MDMA/auto-DMA, and delivery up the receive
+// stack.
+const (
+	StageSocket Stage = iota
+	StagePacketize
+	StageSDMA
+	StageWire
+	StageMDMA
+	StageDeliver
+	numStages
+)
+
+var stageNames = [numStages]string{
+	"socket", "packetize", "sdma", "wire", "mdma", "deliver",
+}
+
+func (s Stage) String() string {
+	if s >= 0 && int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "stage?"
+}
+
+// maxTraceEvents bounds the Chrome event buffer; beyond it events are
+// counted as dropped (the drop count is exported — no silent truncation).
+const maxTraceEvents = 1 << 20
+
+// Trace collects packet spans: per-stage Chrome trace events, per-stage
+// virtual-time aggregates, and the end-to-end latency histogram. One Trace
+// is shared by all hosts of a testbed so a span can cross the wire. A nil
+// *Trace is a valid no-op sink.
+type Trace struct {
+	now       func() units.Time
+	nextID    int64
+	events    []chromeEvent
+	dropped   int64
+	spans     int64
+	latency   Histogram
+	stageTime [numStages]units.Time
+	stageN    [numStages]int64
+}
+
+// NewTrace returns a trace clocked by now.
+func NewTrace(now func() units.Time) *Trace {
+	return &Trace{now: now}
+}
+
+// chromeEvent is one Chrome trace-event ("X" complete event). Timestamps
+// and durations are microseconds of virtual time.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	PID  string  `json:"pid"`
+	TID  string  `json:"tid"`
+	Args evArgs  `json:"args"`
+}
+
+type evArgs struct {
+	Span int64 `json:"span"`
+	Rtx  bool  `json:"rtx,omitempty"`
+}
+
+func micros(t units.Time) float64 { return float64(t) / float64(units.Microsecond) }
+
+func (t *Trace) emit(ev chromeEvent) {
+	if len(t.events) >= maxTraceEvents {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, ev)
+}
+
+// Span follows one packet through the data path. Exactly one stage is open
+// at a time; Enter closes the current stage (emitting its trace event) and
+// opens the next. A nil *Span is a valid no-op, which is how uninstrumented
+// paths (UDP, raw, disabled telemetry) flow through the same code.
+type Span struct {
+	tr       *Trace
+	id       int64
+	host     string
+	start    units.Time
+	cur      Stage
+	curStart units.Time
+	open     bool
+	rtx      bool
+	done     bool
+}
+
+// StartSpan opens a span originating on host, beginning now.
+func (t *Trace) StartSpan(host string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.StartSpanAt(host, t.now())
+}
+
+// StartSpanAt opens a span whose life began at an earlier instant (e.g. the
+// socket-enqueue time recorded before the segment was cut).
+func (t *Trace) StartSpanAt(host string, at units.Time) *Span {
+	if t == nil {
+		return nil
+	}
+	t.nextID++
+	return &Span{tr: t, id: t.nextID, host: host, start: at}
+}
+
+// MarkRetransmit tags the span as a retransmission (carried into its trace
+// events).
+func (s *Span) MarkRetransmit() {
+	if s != nil {
+		s.rtx = true
+	}
+}
+
+// EnterAt closes the currently open stage at instant at and opens stage.
+func (s *Span) EnterAt(stage Stage, at units.Time) {
+	if s == nil || s.done {
+		return
+	}
+	s.closeStage(at)
+	s.cur, s.curStart, s.open = stage, at, true
+}
+
+// Enter is EnterAt at the trace's current virtual time.
+func (s *Span) Enter(stage Stage) {
+	if s == nil || s.done {
+		return
+	}
+	s.EnterAt(stage, s.tr.now())
+}
+
+func (s *Span) closeStage(end units.Time) {
+	if !s.open {
+		return
+	}
+	d := end - s.curStart
+	t := s.tr
+	t.stageTime[s.cur] += d
+	t.stageN[s.cur]++
+	t.emit(chromeEvent{
+		Name: stageNames[s.cur], Ph: "X",
+		TS: micros(s.curStart), Dur: micros(d),
+		PID: s.host, TID: stageNames[s.cur],
+		Args: evArgs{Span: s.id, Rtx: s.rtx},
+	})
+	s.open = false
+}
+
+// End closes the span: the open stage is finished and the end-to-end
+// latency observed. Spans that are dropped in flight simply never End —
+// their completed stage events remain in the trace, but they do not count
+// toward the latency histogram.
+func (s *Span) End() {
+	if s == nil || s.done {
+		return
+	}
+	end := s.tr.now()
+	s.closeStage(end)
+	s.done = true
+	s.tr.spans++
+	s.tr.latency.Observe(end - s.start)
+}
+
+// StageStat is one stage's exported aggregate.
+type StageStat struct {
+	Stage   string `json:"stage"`
+	Count   int64  `json:"count"`
+	TotalNs int64  `json:"total_ns"`
+	AvgNs   int64  `json:"avg_ns"`
+}
+
+// SpanStats is the exported span summary: completed-span count, end-to-end
+// latency histogram, and the per-stage breakdown in data-path order.
+type SpanStats struct {
+	Spans         int64        `json:"spans"`
+	Latency       HistSnapshot `json:"latency"`
+	Stages        []StageStat  `json:"stages"`
+	DroppedEvents int64        `json:"dropped_events,omitempty"`
+}
+
+// Stats exports the trace's aggregates.
+func (t *Trace) Stats() SpanStats {
+	if t == nil {
+		return SpanStats{}
+	}
+	s := SpanStats{Spans: t.spans, Latency: t.latency.Snapshot(), DroppedEvents: t.dropped}
+	for st := Stage(0); st < numStages; st++ {
+		if t.stageN[st] == 0 {
+			continue
+		}
+		s.Stages = append(s.Stages, StageStat{
+			Stage:   st.String(),
+			Count:   t.stageN[st],
+			TotalNs: int64(t.stageTime[st]),
+			AvgNs:   int64(t.stageTime[st]) / t.stageN[st],
+		})
+	}
+	return s
+}

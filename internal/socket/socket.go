@@ -19,6 +19,7 @@ import (
 	"repro/internal/kern"
 	"repro/internal/mbuf"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tcpip"
 	"repro/internal/units"
@@ -77,6 +78,12 @@ type Socket struct {
 	// AlignedWrites counts misaligned writes salvaged by the Section 4.5
 	// short-first-packet optimization.
 	AlignedWrites int
+
+	// Telemetry counters (shared across sockets on the same host through
+	// the registry; nil when telemetry is disabled).
+	ctrUIOWrites, ctrCopyWrites   *obs.Counter
+	ctrUIOReads, ctrCopyReads     *obs.Counter
+	ctrAlignedWrites, ctrDMAWaits *obs.Counter
 }
 
 // NewSocket wraps an established connection.
@@ -84,6 +91,14 @@ func NewSocket(k *kern.Kernel, vm *kern.VM, task *kern.Task, conn *tcpip.TCPConn
 	s := &Socket{K: k, VM: vm, Task: task, Conn: conn, Cfg: cfg}
 	if cfg.Mode == ModeSingleCopy {
 		conn.NoCoalesce = true
+	}
+	if r := k.Obs; r != nil {
+		s.ctrUIOWrites = r.Counter("socket.uio_writes")
+		s.ctrCopyWrites = r.Counter("socket.copy_writes")
+		s.ctrUIOReads = r.Counter("socket.uio_reads")
+		s.ctrCopyReads = r.Counter("socket.copy_reads")
+		s.ctrAlignedWrites = r.Counter("socket.aligned_writes")
+		s.ctrDMAWaits = r.Counter("socket.dma_wait_wakeups")
 	}
 	return s
 }
@@ -139,6 +154,7 @@ func (s *Socket) Write(p *sim.Proc, buf mem.Buf) (units.Size, error) {
 		aligned
 	if useUIO {
 		s.UIOWrites++
+		s.ctrUIOWrites.Inc()
 		return s.writeUIO(ctx, u, buf)
 	}
 	if !aligned && s.alignable(buf) {
@@ -147,6 +163,7 @@ func (s *Socket) Write(p *sim.Proc, buf mem.Buf) (units.Size, error) {
 		// single-copy path.
 		prefix := 4 - buf.Addr%4
 		s.AlignedWrites++
+		s.ctrAlignedWrites.Inc()
 		n1, err := s.writeCopy(ctx, u, buf.Slice(0, prefix))
 		if err != nil {
 			return n1, err
@@ -156,6 +173,7 @@ func (s *Socket) Write(p *sim.Proc, buf mem.Buf) (units.Size, error) {
 		return n1 + n2, err
 	}
 	s.CopyWrites++
+	s.ctrCopyWrites.Inc()
 	return s.writeCopy(ctx, u, buf)
 }
 
@@ -254,6 +272,9 @@ func (s *Socket) writeUIO(ctx kern.Ctx, u *mem.UIO, buf mem.Buf) (units.Size, er
 	}
 	// Copy semantics: return only after the last outstanding DMA
 	// completes (Section 4.4.2). A DMA, once issued, cannot be canceled.
+	if trk.pending > 0 {
+		s.ctrDMAWaits.Inc()
+	}
 	trk.wait(ctx.P)
 	s.unpinAll(ctx, u, pinned)
 	return total, nil
@@ -310,6 +331,7 @@ func (s *Socket) copyOut(ctx kern.Ctx, u *mem.UIO, chain *mbuf.Mbuf, n units.Siz
 			w := m.WCABRef()
 			if s.Cfg.Mode == ModeSingleCopy && w.CopyOut != nil && u.AlignedTo(off, ln, 4) {
 				s.UIOReads++
+				s.ctrUIOReads.Inc()
 				sawDMA = true
 				s.VM.PinUIO(ctx.P, s.Task, u, off, ln)
 				pinned = append(pinned, mem.Iovec{Addr: off, Len: ln})
@@ -323,6 +345,7 @@ func (s *Socket) copyOut(ctx kern.Ctx, u *mem.UIO, chain *mbuf.Mbuf, n units.Siz
 			} else {
 				// Fallback: read outboard data with the CPU.
 				s.CopyReads++
+				s.ctrCopyReads.Inc()
 				ctx.Charge(s.K.Mach.CopyTime(ln, n), kern.CatCopy)
 				u.WriteAt(w.ReadFn(m.Off(), ln), off)
 			}
@@ -335,6 +358,9 @@ func (s *Socket) copyOut(ctx kern.Ctx, u *mem.UIO, chain *mbuf.Mbuf, n units.Siz
 		// The last SDMA is flagged to interrupt so the process can be
 		// rescheduled (Section 2.2).
 		ctx.Charge(s.K.Mach.InterruptCost, kern.CatIntr)
+		if trk.pending > 0 {
+			s.ctrDMAWaits.Inc()
+		}
 		trk.wait(ctx.P)
 		for _, r := range pinned {
 			s.VM.UnpinUIO(ctx.P, s.Task, u, r.Addr, r.Len)

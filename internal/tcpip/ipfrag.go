@@ -86,6 +86,7 @@ func (s *Stack) fragmentOutput(ctx kern.Ctx, m *mbuf.Mbuf, proto uint8, dst wire
 			Src:     s.Addr,
 			Dst:     dst,
 		}
+		s.trace(TraceOut, hdr, piece)
 		hm := piece.Prepend(wire.IPHdrLen)
 		hdr.Marshal(hm.Bytes()[:wire.IPHdrLen])
 		if !hm.IsPktHdr() {

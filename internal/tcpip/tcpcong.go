@@ -107,6 +107,7 @@ func (c *TCPConn) openCwnd(acked units.Size) {
 // onDupAck handles a duplicate acknowledgement; at the threshold it fast
 // retransmits the missing segment and halves the window.
 func (c *TCPConn) onDupAck(ctx kern.Ctx) {
+	c.stk.ctrDupAcks.Inc()
 	c.dupAcks++
 	if c.dupAcks != dupAckThreshold {
 		return

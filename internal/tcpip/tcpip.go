@@ -19,6 +19,7 @@ import (
 	"repro/internal/kern"
 	"repro/internal/mbuf"
 	"repro/internal/netif"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/units"
 	"repro/internal/wire"
@@ -73,6 +74,14 @@ type Stack struct {
 	// original kernel — input processing, output, and timers must not
 	// interleave mid-operation. Blocking waits never happen under spl.
 	spl *sim.Resource
+
+	// Telemetry (all nil when disabled — the hot paths then skip every
+	// telemetry branch without allocating).
+	tr              *obs.Trace
+	ctrRtoFires     *obs.Counter
+	ctrDupAcks      *obs.Counter
+	ctrWindowStalls *obs.Counter
+	ctrWCABConv     *obs.Counter
 }
 
 type connKey struct {
@@ -80,9 +89,11 @@ type connKey struct {
 	lport, rport uint16
 }
 
-// NewStack returns a stack for host address addr on kernel k.
+// NewStack returns a stack for host address addr on kernel k. When the
+// kernel carries a telemetry registry the stack registers its counters and
+// joins the shared data-path trace.
 func NewStack(k *kern.Kernel, addr wire.Addr) *Stack {
-	return &Stack{
+	s := &Stack{
 		K:         k,
 		Addr:      addr,
 		Routes:    netif.NewTable(),
@@ -93,6 +104,31 @@ func NewStack(k *kern.Kernel, addr wire.Addr) *Stack {
 		nextPort:  10000,
 		spl:       sim.NewResource(k.Eng, 1),
 	}
+	if r := k.Obs; r != nil {
+		s.tr = r.TraceSink()
+		s.ctrRtoFires = r.Counter("tcp.rto_fires")
+		s.ctrDupAcks = r.Counter("tcp.dupacks")
+		s.ctrWindowStalls = r.Counter("tcp.window_stalls")
+		s.ctrWCABConv = r.Counter("tcp.wcab_conversions")
+		r.Func("tcp.segs_in", func() int64 { return int64(s.Stats.TCPSegsIn) })
+		r.Func("tcp.segs_out", func() int64 { return int64(s.Stats.TCPSegsOut) })
+		r.Func("tcp.retransmits", func() int64 { return int64(s.Stats.TCPRetransmits) })
+		r.Func("tcp.fast_retransmits", func() int64 { return int64(s.Stats.TCPFastRetransmits) })
+		r.Func("tcp.csum_errors", func() int64 { return int64(s.Stats.TCPCsumErrors) })
+		r.Func("tcp.out_of_order", func() int64 { return int64(s.Stats.TCPOutOfOrder) })
+		r.Func("tcp.dup_segs", func() int64 { return int64(s.Stats.TCPDupSegs) })
+		r.Func("ip.in", func() int64 { return int64(s.Stats.IPIn) })
+		r.Func("ip.out", func() int64 { return int64(s.Stats.IPOut) })
+		r.Func("ip.frags_in", func() int64 { return int64(s.Stats.IPFragsIn) })
+		r.Func("ip.frags_out", func() int64 { return int64(s.Stats.IPFragsOut) })
+		r.Func("ip.reassembled", func() int64 { return int64(s.Stats.IPReassembled) })
+		r.Func("ip.drop_no_route", func() int64 { return int64(s.Stats.IPDropNoRoute) })
+		r.Func("udp.in", func() int64 { return int64(s.Stats.UDPIn) })
+		r.Func("udp.out", func() int64 { return int64(s.Stats.UDPOut) })
+		r.Func("csum.hw_verified", func() int64 { return int64(s.Stats.HWCsumVerified) })
+		r.Func("csum.sw_verified", func() int64 { return int64(s.Stats.SWCsumVerified) })
+	}
+	return s
 }
 
 // Splnet enters a protocol critical section (blocks until available).
@@ -145,8 +181,8 @@ func (s *Stack) IPOutput(ctx kern.Ctx, m *mbuf.Mbuf, proto uint8, dst wire.Addr)
 		return
 	}
 	if n := mbuf.ChainLen(m); n+wire.IPHdrLen > r.If.MTU() {
-		// Oversize for the route: fragment (fragments are not traced;
-		// only whole transport packets are).
+		// Oversize for the route: fragment. Each fragment is traced as it
+		// is cut (with a fragment marker), inside fragmentOutput.
 		ri := routeInfo{out: func(c kern.Ctx, pkt *mbuf.Mbuf) { r.If.Output(c, pkt, r.Link) }}
 		s.fragmentOutput(ctx, m, proto, dst, ri, n, r.If.MTU())
 		return
@@ -205,6 +241,9 @@ func (s *Stack) Input(ctx kern.Ctx, m *mbuf.Mbuf, from netif.Interface) {
 	first.TrimFront(wire.IPHdrLen)
 
 	if iph.IsFragment() {
+		// Trace the fragment itself before reassembly swallows it; the
+		// whole datagram is traced again below once complete.
+		s.trace(TraceIn, iph, m)
 		m = s.reassemble(ctx, m, iph)
 		if m == nil {
 			return // incomplete (or discarded)
@@ -214,6 +253,7 @@ func (s *Stack) Input(ctx kern.Ctx, m *mbuf.Mbuf, from netif.Interface) {
 	}
 	s.trace(TraceIn, iph, m)
 
+	sp := m.Span()
 	switch iph.Proto {
 	case wire.ProtoTCP:
 		s.tcpInput(ctx, m, iph)
@@ -222,6 +262,9 @@ func (s *Stack) Input(ctx kern.Ctx, m *mbuf.Mbuf, from netif.Interface) {
 	default:
 		mbuf.FreeChain(m)
 	}
+	// The packet's data-path span (attached by the driver) ends once
+	// receive-side protocol processing has run.
+	sp.End()
 }
 
 // forward routes a packet onward to another interface (the paper's

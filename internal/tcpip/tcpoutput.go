@@ -6,6 +6,7 @@ import (
 	"repro/internal/checksum"
 	"repro/internal/kern"
 	"repro/internal/mbuf"
+	"repro/internal/obs"
 	"repro/internal/units"
 	"repro/internal/wire"
 )
@@ -110,6 +111,23 @@ func (c *TCPConn) sendSegment(ctx kern.Ctx, seq uint32, seglen units.Size, flags
 // the route's interface supports it, software otherwise), and hands the
 // packet to IP.
 func (c *TCPConn) sendSegmentRaw(ctx kern.Ctx, seq uint32, seglen units.Size, flags uint16, data *mbuf.Mbuf) {
+	// Open a data-path span for data segments. A fresh segment's span is
+	// backdated to when its first byte was enqueued (the socket stage); a
+	// retransmission starts now and is tagged.
+	var span *obs.Span
+	if tr := c.stk.tr; tr != nil && seglen > 0 {
+		rtx := seqLT(seq, c.sndMax)
+		if t, ok := c.enqueueTime(seq); ok && !rtx {
+			span = tr.StartSpanAt(c.stk.K.Name, t)
+			span.EnterAt(obs.StageSocket, t)
+		} else {
+			span = tr.StartSpan(c.stk.K.Name)
+		}
+		if rtx {
+			span.MarkRetransmit()
+		}
+		span.Enter(obs.StagePacketize)
+	}
 	singleCopy, _ := c.stk.RouteCaps(c.key.raddr)
 	segTotal := wire.TCPHdrLen + seglen
 	wnd := c.rcvSpace()
@@ -184,6 +202,7 @@ func (c *TCPConn) sendSegmentRaw(ctx kern.Ctx, seq uint32, seglen units.Size, fl
 	if phdr != nil {
 		hm.SetHdr(phdr)
 	}
+	hm.AttachSpan(span)
 	ctx.Charge(c.stk.K.Mach.TCPPerPacket, kern.CatProto)
 	c.stk.Stats.TCPSegsOut++
 	c.stk.IPOutput(ctx, hm, wire.ProtoTCP, c.key.raddr)
@@ -232,6 +251,7 @@ func (c *TCPConn) onOutboard(seq uint32, n units.Size, w *mbuf.WCAB) {
 	wm := mbuf.NewWCAB(w, skip, n, nil)
 	mbuf.FreeChain(mid)
 	c.sndBuf = mbuf.Cat(mbuf.Cat(front, wm), back)
+	c.stk.ctrWCABConv.Inc()
 }
 
 // onConverted is the legacy-device analogue of onOutboard: the driver-entry

@@ -41,6 +41,7 @@ func (c *TCPConn) cancelRtx() {
 // rtxTimeout retransmits go-back-N from the last acknowledged byte with
 // exponential backoff.
 func (c *TCPConn) rtxTimeout(ctx kern.Ctx) {
+	c.stk.ctrRtoFires.Inc()
 	c.retries++
 	if c.retries > maxRetries {
 		c.teardown(ErrConnTimeout)
@@ -73,6 +74,7 @@ func (c *TCPConn) armPersist() {
 	if c.persistOn || c.state == StateClosed {
 		return
 	}
+	c.stk.ctrWindowStalls.Inc()
 	c.persistOn = true
 	c.persistGen++
 	gen := c.persistGen

@@ -43,6 +43,12 @@ type TraceEvent struct {
 	PayloadLen units.Size
 	// Descriptor reports whether the chain carried M_UIO/M_WCAB mbufs.
 	Descriptor bool
+	// Frag marks an IP fragment (outbound as cut, inbound before
+	// reassembly); FragOff and MF mirror the IP header. Only a first
+	// fragment (FragOff 0) carries a parsed transport header.
+	Frag    bool
+	FragOff units.Size
+	MF      bool
 }
 
 // String renders the event tcpdump-style.
@@ -69,6 +75,13 @@ func (e TraceEvent) String() string {
 	default:
 		fmt.Fprintf(&b, " proto %d len %v", e.IP.Proto, e.PayloadLen)
 	}
+	if e.Frag {
+		more := ""
+		if e.MF {
+			more = "+"
+		}
+		fmt.Fprintf(&b, " frag id %d off %d%s", e.IP.ID, int64(e.FragOff), more)
+	}
 	if e.Descriptor {
 		b.WriteString(" (descriptor)")
 	}
@@ -88,7 +101,17 @@ func (s *Stack) trace(dir TraceDir, iph wire.IPHdr, m *mbuf.Mbuf) {
 		IP:         iph,
 		Descriptor: mbuf.HasDescriptors(m),
 	}
+	if iph.IsFragment() {
+		ev.Frag, ev.FragOff, ev.MF = true, iph.FragOff, iph.MF
+	}
 	total := mbuf.ChainLen(m)
+	if ev.Frag && ev.FragOff > 0 {
+		// A non-first fragment starts mid-payload: no transport header to
+		// parse.
+		ev.PayloadLen = total
+		s.Tracer(ev)
+		return
+	}
 	switch iph.Proto {
 	case wire.ProtoTCP:
 		if m.Len() >= wire.TCPHdrLen {

@@ -1,0 +1,87 @@
+package tcpip
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mbuf"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// TestFragmentTracing covers the former tracing blind spot: fragmented
+// output and pre-reassembly input must both emit fragment-marked
+// TraceEvents, and only first fragments carry a parsed transport header.
+func TestFragmentTracing(t *testing.T) {
+	r := newRig(t, 61)
+	var aOut, bIn []TraceEvent
+	r.sa.Tracer = func(e TraceEvent) {
+		if e.Dir == TraceOut {
+			aOut = append(aOut, e)
+		}
+	}
+	r.sb.Tracer = func(e TraceEvent) {
+		if e.Dir == TraceIn {
+			bIn = append(bIn, e)
+		}
+	}
+
+	rx := r.sb.UDPBind(9000)
+	r.eng.Go("rx", func(p *sim.Proc) { rx.RecvFrom(p) })
+	data := pattern(48*1024, 3) // far beyond the 8KB pipe MTU
+	r.eng.Go("tx", func(p *sim.Proc) {
+		ctx := r.ka.TaskCtx(p, r.ka.KernelTask)
+		tx := r.sa.UDPBind(0)
+		var chain *mbuf.Mbuf
+		for off := 0; off < len(data); off += int(mbuf.MCLBYTES) {
+			e := off + int(mbuf.MCLBYTES)
+			if e > len(data) {
+				e = len(data)
+			}
+			chain = mbuf.Cat(chain, mbuf.NewCluster(data[off:e]))
+		}
+		tx.SendTo(ctx, chain, units.Size(len(data)), r.sb.Addr, 9000)
+	})
+	r.eng.Run()
+	defer r.eng.KillAll()
+
+	check := func(name string, evs []TraceEvent) {
+		t.Helper()
+		frags, firsts, reassembled := 0, 0, 0
+		for _, e := range evs {
+			if !e.Frag {
+				reassembled++
+				continue
+			}
+			frags++
+			if e.FragOff == 0 {
+				firsts++
+				if e.UDP == nil {
+					t.Errorf("%s: first fragment lacks the UDP header", name)
+				}
+				if !e.MF {
+					t.Errorf("%s: first fragment not marked MF", name)
+				}
+			} else if e.UDP != nil || e.TCP != nil {
+				t.Errorf("%s: non-first fragment parsed a transport header", name)
+			}
+			if s := e.String(); !strings.Contains(s, "frag id") {
+				t.Errorf("%s: fragment event renders without marker: %s", name, s)
+			}
+		}
+		if frags < 6 {
+			t.Errorf("%s: traced %d fragments, want ≥ 6", name, frags)
+		}
+		if firsts != 1 {
+			t.Errorf("%s: traced %d first fragments, want 1", name, firsts)
+		}
+		if name == "B in" && reassembled != 1 {
+			t.Errorf("%s: traced %d reassembled datagrams, want 1", name, reassembled)
+		}
+	}
+	check("A out", aOut)
+	check("B in", bIn)
+	if r.sa.Stats.IPFragsOut < 6 {
+		t.Fatalf("fragments out = %d, want ≥ 6", r.sa.Stats.IPFragsOut)
+	}
+}
