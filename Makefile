@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke ci
+.PHONY: all build vet test race bench-smoke bench benchcheck ci
 
 all: build
 
@@ -21,4 +21,18 @@ race:
 bench-smoke:
 	$(GO) test -run - -bench BenchmarkFigure5 -benchtime 1x .
 
-ci: vet build race bench-smoke
+# Regenerate the committed BENCH_fig*.json perf baselines in place. Run
+# this (and commit the result) when a change intentionally moves the
+# numbers.
+bench:
+	$(GO) run ./cmd/experiments -exp bench
+
+# The perf-regression gate: regenerate every figure into a scratch
+# directory and diff it against the committed baselines. The simulation is
+# deterministic, so any drift is a real behavior change.
+benchcheck:
+	rm -rf .benchfresh && mkdir -p .benchfresh
+	$(GO) run ./cmd/experiments -exp bench -benchdir .benchfresh
+	$(GO) run ./cmd/benchdiff -baseline . -fresh .benchfresh
+
+ci: vet build race bench-smoke benchcheck

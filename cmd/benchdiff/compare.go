@@ -1,0 +1,85 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Compare walks two parsed JSON trees (the committed baseline and a fresh
+// regeneration) and returns one violation per structural mismatch or
+// numeric leaf outside tolerance. Numbers pass when
+//
+//	|fresh-base| <= abs + rel·max(|base|, |fresh|)
+//
+// so rel gates large values (throughput, ns) and abs absorbs rounding
+// noise near zero. The walk is deterministic: map keys are visited sorted.
+func Compare(path string, base, fresh any, rel, abs float64) []string {
+	switch b := base.(type) {
+	case map[string]any:
+		f, ok := fresh.(map[string]any)
+		if !ok {
+			return []string{fmt.Sprintf("%s: baseline is an object, fresh is %T", path, fresh)}
+		}
+		keys := map[string]bool{}
+		for k := range b {
+			keys[k] = true
+		}
+		for k := range f {
+			keys[k] = true
+		}
+		var sorted []string
+		for k := range keys {
+			sorted = append(sorted, k)
+		}
+		sort.Strings(sorted)
+		var out []string
+		for _, k := range sorted {
+			bv, inB := b[k]
+			fv, inF := f[k]
+			sub := path + "." + k
+			switch {
+			case !inB:
+				out = append(out, fmt.Sprintf("%s: not in baseline", sub))
+			case !inF:
+				out = append(out, fmt.Sprintf("%s: missing from fresh output", sub))
+			default:
+				out = append(out, Compare(sub, bv, fv, rel, abs)...)
+			}
+		}
+		return out
+	case []any:
+		f, ok := fresh.([]any)
+		if !ok {
+			return []string{fmt.Sprintf("%s: baseline is an array, fresh is %T", path, fresh)}
+		}
+		if len(b) != len(f) {
+			return []string{fmt.Sprintf("%s: length %d != baseline %d", path, len(f), len(b))}
+		}
+		var out []string
+		for i := range b {
+			out = append(out, Compare(fmt.Sprintf("%s[%d]", path, i), b[i], f[i], rel, abs)...)
+		}
+		return out
+	case float64:
+		f, ok := fresh.(float64)
+		if !ok {
+			return []string{fmt.Sprintf("%s: baseline is a number, fresh is %T", path, fresh)}
+		}
+		tol := abs + rel*math.Max(math.Abs(b), math.Abs(f))
+		if math.Abs(f-b) > tol {
+			delta := 0.0
+			if b != 0 {
+				delta = 100 * (f - b) / math.Abs(b)
+			}
+			return []string{fmt.Sprintf("%s: %g vs baseline %g (%+.1f%%, tolerance ±%g)",
+				path, f, b, delta, tol)}
+		}
+		return nil
+	default:
+		if base != fresh {
+			return []string{fmt.Sprintf("%s: %v != baseline %v", path, fresh, base)}
+		}
+		return nil
+	}
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func parse(t *testing.T, s string) any {
+	t.Helper()
+	var v any
+	if err := json.Unmarshal([]byte(s), &v); err != nil {
+		t.Fatalf("bad test JSON: %v", err)
+	}
+	return v
+}
+
+const baseFig = `{
+  "name": "Figure 7",
+  "series": [{
+    "name": "Modified",
+    "points": [
+      {"rwsize_bytes": 65536, "utilization": 0.27, "efficiency_mbps": 462.8},
+      {"rwsize_bytes": 262144, "utilization": 0.27, "efficiency_mbps": 485.2}
+    ]
+  }]
+}`
+
+func TestCompareIdentical(t *testing.T) {
+	if v := Compare("f", parse(t, baseFig), parse(t, baseFig), defaultRel, defaultAbs); len(v) != 0 {
+		t.Fatalf("identical trees produced violations: %v", v)
+	}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	fresh := `{
+  "name": "Figure 7",
+  "series": [{
+    "name": "Modified",
+    "points": [
+      {"rwsize_bytes": 65536, "utilization": 0.272, "efficiency_mbps": 464.0},
+      {"rwsize_bytes": 262144, "utilization": 0.268, "efficiency_mbps": 484.9}
+    ]
+  }]
+}`
+	if v := Compare("f", parse(t, baseFig), parse(t, fresh), defaultRel, defaultAbs); len(v) != 0 {
+		t.Fatalf("in-tolerance drift flagged: %v", v)
+	}
+}
+
+// TestCompareDetectsRegression is the gate's negative test: a 20%
+// utilization regression (CPU cost up, efficiency down) must fail.
+func TestCompareDetectsRegression(t *testing.T) {
+	fresh := `{
+  "name": "Figure 7",
+  "series": [{
+    "name": "Modified",
+    "points": [
+      {"rwsize_bytes": 65536, "utilization": 0.324, "efficiency_mbps": 385.7},
+      {"rwsize_bytes": 262144, "utilization": 0.27, "efficiency_mbps": 485.2}
+    ]
+  }]
+}`
+	v := Compare("f", parse(t, baseFig), parse(t, fresh), defaultRel, defaultAbs)
+	if len(v) != 2 {
+		t.Fatalf("want 2 violations (utilization + efficiency), got %v", v)
+	}
+}
+
+func TestCompareStructuralMismatch(t *testing.T) {
+	missing := `{"name": "Figure 7", "series": []}`
+	if v := Compare("f", parse(t, baseFig), parse(t, missing), defaultRel, defaultAbs); len(v) == 0 {
+		t.Fatal("dropped series not flagged")
+	}
+	extra := `{"name": "Figure 7", "extra": 1, "series": [{
+    "name": "Modified",
+    "points": [
+      {"rwsize_bytes": 65536, "utilization": 0.27, "efficiency_mbps": 462.8},
+      {"rwsize_bytes": 262144, "utilization": 0.27, "efficiency_mbps": 485.2}
+    ]
+  }]}`
+	if v := Compare("f", parse(t, baseFig), parse(t, extra), defaultRel, defaultAbs); len(v) == 0 {
+		t.Fatal("unexpected new key not flagged")
+	}
+	renamed := `{"name": "Figure 8", "series": [{
+    "name": "Modified",
+    "points": [
+      {"rwsize_bytes": 65536, "utilization": 0.27, "efficiency_mbps": 462.8},
+      {"rwsize_bytes": 262144, "utilization": 0.27, "efficiency_mbps": 485.2}
+    ]
+  }]}`
+	if v := Compare("f", parse(t, baseFig), parse(t, renamed), defaultRel, defaultAbs); len(v) == 0 {
+		t.Fatal("string change not flagged")
+	}
+}

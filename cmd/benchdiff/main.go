@@ -1,0 +1,98 @@
+// Command benchdiff is the perf-regression gate: it compares freshly
+// generated BENCH_*.json figure files against the committed baselines and
+// fails when any numeric leaf drifts outside tolerance. The simulator is
+// deterministic, so on unchanged code the files match byte-for-byte; the
+// tolerances only leave room for intentional small recalibrations.
+//
+// Usage:
+//
+//	benchdiff -baseline . -fresh /tmp/bench [-rel 0.05] [-abs 1e-6] [files...]
+//
+// With no file arguments it checks BENCH_fig5.json through BENCH_fig9.json.
+// Exit status 1 means at least one file regressed; each violation is
+// printed with its JSON path and percentage drift.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Default tolerances. The gate protects fractional leaves (utilization,
+// category shares, all in [0,1]) as strictly as large ones, so the
+// absolute term only absorbs float formatting noise — the simulator is
+// deterministic and unchanged code reproduces the baselines exactly.
+const (
+	defaultRel = 0.05
+	defaultAbs = 1e-6
+)
+
+// defaultFiles is the baseline set the CI gate checks.
+var defaultFiles = []string{
+	"BENCH_fig5.json",
+	"BENCH_fig6.json",
+	"BENCH_fig7.json",
+	"BENCH_fig8.json",
+	"BENCH_fig9.json",
+}
+
+func main() {
+	baseDir := flag.String("baseline", ".", "directory holding the committed BENCH_*.json baselines")
+	freshDir := flag.String("fresh", "", "directory holding the freshly generated BENCH_*.json files")
+	rel := flag.Float64("rel", defaultRel, "relative tolerance per numeric leaf")
+	abs := flag.Float64("abs", defaultAbs, "absolute tolerance per numeric leaf")
+	flag.Parse()
+
+	if *freshDir == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -fresh is required")
+		os.Exit(2)
+	}
+	files := flag.Args()
+	if len(files) == 0 {
+		files = defaultFiles
+	}
+
+	load := func(path string) (any, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var v any
+		if err := json.Unmarshal(data, &v); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return v, nil
+	}
+
+	failed := false
+	for _, f := range files {
+		base, err := load(filepath.Join(*baseDir, f))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: baseline: %v\n", err)
+			failed = true
+			continue
+		}
+		fresh, err := load(filepath.Join(*freshDir, f))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: fresh: %v\n", err)
+			failed = true
+			continue
+		}
+		violations := Compare(f, base, fresh, *rel, *abs)
+		if len(violations) == 0 {
+			fmt.Printf("ok   %s\n", f)
+			continue
+		}
+		failed = true
+		fmt.Printf("FAIL %s (%d violations)\n", f, len(violations))
+		for _, v := range violations {
+			fmt.Printf("  %s\n", v)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	experiments -exp fig5|fig6|table1|table2|analysis|hol|window|lazy|threshold|all
+//	experiments -exp fig5|fig6|fig7|fig8|fig9|table1|table2|analysis|hol|window|lazy|threshold|all
 //	experiments -exp fig5 -quick   # fewer sizes, faster
+//	experiments -exp bench         # regenerate every BENCH_fig*.json baseline
 package main
 
 import (
@@ -20,7 +21,7 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: fig5, fig6, table1, table2, analysis, hol, window, lazy, threshold, all")
+	which := flag.String("exp", "all", "experiment: fig5..fig9, table1, table2, analysis, hol, window, lazy, threshold, bench, all")
 	quick := flag.Bool("quick", false, "use a reduced size sweep for the figures")
 	csv := flag.Bool("csv", false, "emit figures as CSV instead of tables")
 	metricsOut := flag.String("metrics", "", "write a telemetry snapshot of one instrumented transfer to this JSON file")
@@ -34,13 +35,27 @@ func main() {
 
 	// writeBench records a figure's curves as machine-readable JSON so
 	// future changes have a perf trajectory to diff against.
-	writeBench := func(file string, fig exp.Figure) {
+	writeBench := func(file string, data []byte) {
 		path := filepath.Join(*benchDir, file)
-		if err := os.WriteFile(path, fig.JSON(), 0o644); err != nil {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+
+	// The Figure 7–9 family comes from one sweep; cache it across cases.
+	var (
+		bdDone     bool
+		fig7, fig8 exp.BreakdownFigure
+		fig9       exp.DecompFigure
+	)
+	breakdowns := func() (exp.BreakdownFigure, exp.BreakdownFigure, exp.DecompFigure) {
+		if !bdDone {
+			fig7, fig8, fig9 = exp.RunBreakdowns(sizes)
+			bdDone = true
+		}
+		return fig7, fig8, fig9
 	}
 
 	run := func(name string) {
@@ -52,7 +67,7 @@ func main() {
 			} else {
 				fmt.Println(fig.Format())
 			}
-			writeBench("BENCH_fig5.json", fig)
+			writeBench("BENCH_fig5.json", fig.JSON())
 		case "fig6":
 			fig := exp.Figure6(sizes)
 			if *csv {
@@ -60,7 +75,29 @@ func main() {
 			} else {
 				fmt.Println(fig.Format())
 			}
-			writeBench("BENCH_fig6.json", fig)
+			writeBench("BENCH_fig6.json", fig.JSON())
+		case "fig7":
+			f7, _, _ := breakdowns()
+			fmt.Println(f7.Format())
+			writeBench("BENCH_fig7.json", f7.JSON())
+		case "fig8":
+			_, f8, _ := breakdowns()
+			fmt.Println(f8.Format())
+			writeBench("BENCH_fig8.json", f8.JSON())
+		case "fig9":
+			_, _, f9 := breakdowns()
+			fmt.Println(f9.Format())
+			writeBench("BENCH_fig9.json", f9.JSON())
+		case "bench":
+			// Regenerate every perf baseline with the full size sweep,
+			// regardless of -quick: the committed files and the CI gate
+			// must agree on the grid.
+			writeBench("BENCH_fig5.json", exp.Figure5(nil).JSON())
+			writeBench("BENCH_fig6.json", exp.Figure6(nil).JSON())
+			f7, f8, f9 := exp.RunBreakdowns(nil)
+			writeBench("BENCH_fig7.json", f7.JSON())
+			writeBench("BENCH_fig8.json", f8.JSON())
+			writeBench("BENCH_fig9.json", f9.JSON())
 		case "table1":
 			fmt.Println(taxonomy.Format())
 		case "table2":
@@ -100,7 +137,7 @@ func main() {
 	}
 
 	if *which == "all" {
-		for _, name := range []string{"table1", "table2", "analysis", "hol", "window", "lazy", "threshold", "fig5", "fig6"} {
+		for _, name := range []string{"table1", "table2", "analysis", "hol", "window", "lazy", "threshold", "fig5", "fig6", "fig7", "fig8", "fig9"} {
 			fmt.Printf("=== %s ===\n", name)
 			run(name)
 		}

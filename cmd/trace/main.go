@@ -112,6 +112,8 @@ func main() {
 	tb.Eng.Run()
 	tb.Eng.KillAll()
 	if lines > *n {
-		fmt.Printf("... (%d more events)\n", lines-*n)
+		// Keep stdout machine-readable under -json: the truncation note
+		// is commentary, not an event.
+		fmt.Fprintf(os.Stderr, "... (%d more events)\n", lines-*n)
 	}
 }

@@ -7,16 +7,29 @@
 //	ttcp [-mode single|unmodified|raw] [-size 64K] [-total 16M]
 //	     [-machine alpha400|alpha300] [-window 512K] [-lazy]
 //	     [-stats] [-trace out.json] [-metrics out.json]
+//	     [-profile] [-profile-out out.folded] [-profile-json out.json]
+//	     [-series out.json] [-series-csv out.csv] [-series-interval-us 100]
 //
 // -stats prints the telemetry counter table and the per-packet virtual-time
 // latency histogram with its per-stage breakdown; -trace writes a Chrome
 // trace-event file (load in Perfetto or chrome://tracing); -metrics writes
 // the deterministic JSON metrics snapshot.
+//
+// -profile enables the virtual-time CPU profiler and prints folded stacks
+// (flamegraph.pl / speedscope "collapsed" format) whose values sum exactly
+// to each host's kern.cpu_busy_ns; with -profile the human report moves to
+// stderr so stdout pipes straight into flamegraph.pl.
+// -profile-out/-profile-json write the folded text / JSON snapshot to
+// files instead. -series samples CPU
+// utilization, per-category shares, netmem occupancy, and TCP queue peaks
+// every -series-interval-us of virtual time and writes the JSON series;
+// -series-csv writes the same rows as CSV.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -56,6 +69,12 @@ func main() {
 	stats := flag.Bool("stats", false, "print telemetry counters and the per-packet latency histogram")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file to this path")
 	metricsOut := flag.String("metrics", "", "write the JSON metrics snapshot to this path")
+	profile := flag.Bool("profile", false, "print folded-stacks CPU profile to stdout")
+	profileOut := flag.String("profile-out", "", "write the folded-stacks CPU profile to this path")
+	profileJSON := flag.String("profile-json", "", "write the CPU profile JSON snapshot to this path")
+	seriesOut := flag.String("series", "", "write the utilization time-series JSON to this path")
+	seriesCSV := flag.String("series-csv", "", "write the utilization time-series CSV to this path")
+	seriesIntervalUS := flag.Int64("series-interval-us", 100, "series sampling interval, µs of virtual time")
 	flag.Parse()
 
 	size, err := parseSize(*sizeS)
@@ -74,16 +93,48 @@ func main() {
 	if *stats || *traceOut != "" || *metricsOut != "" {
 		tb.EnableTelemetry()
 	}
+	if *profile || *profileOut != "" || *profileJSON != "" {
+		tb.EnableProfiling()
+	}
+	if *seriesOut != "" || *seriesCSV != "" {
+		tb.EnableSeries(units.Time(*seriesIntervalUS) * units.Microsecond)
+	}
 	params := ttcp.Params{
 		Total: total, RWSize: size, Window: window,
 		WithUtil: true, WithBackground: true,
 	}
+	// With -profile, stdout carries only the folded stacks (pipeable into
+	// flamegraph.pl); the human report moves to stderr.
+	report := io.Writer(os.Stdout)
+	if *profile {
+		report = os.Stderr
+	}
 	emitTelemetry := func() {
+		if tb.Prof != nil {
+			if *profile {
+				fmt.Print(tb.Prof.Folded())
+			}
+			if *profileOut != "" {
+				die(os.WriteFile(*profileOut, []byte(tb.Prof.Folded()), 0o644))
+			}
+			if *profileJSON != "" {
+				die(os.WriteFile(*profileJSON, tb.Prof.Snapshot().JSON(), 0o644))
+			}
+		}
+		if tb.Series != nil {
+			snap := tb.Series.Snapshot()
+			if *seriesOut != "" {
+				die(os.WriteFile(*seriesOut, snap.JSON(), 0o644))
+			}
+			if *seriesCSV != "" {
+				die(os.WriteFile(*seriesCSV, []byte(snap.CSV()), 0o644))
+			}
+		}
 		if tb.Tel == nil {
 			return
 		}
 		if *stats {
-			fmt.Print("\n" + tb.Tel.Snapshot().Format())
+			fmt.Fprint(report, "\n"+tb.Tel.Snapshot().Format())
 		}
 		if *metricsOut != "" {
 			die(os.WriteFile(*metricsOut, tb.Tel.Snapshot().JSON(), 0o644))
@@ -105,13 +156,13 @@ func main() {
 			Mach: mach(), Mode: m, CABNode: 2, LazyUnpin: *lazy})
 		tb.RouteCAB(a, b)
 		ur := ttcp.RunUDP(tb, a, b, params)
-		fmt.Printf("ttcp -u (%s stack, %s, %v datagrams)\n", *mode, mach().Name, size)
-		fmt.Printf("  sent %v, received %v (loss %.2f%%) in %v\n",
+		fmt.Fprintf(report, "ttcp -u (%s stack, %s, %v datagrams)\n", *mode, mach().Name, size)
+		fmt.Fprintf(report, "  sent %v, received %v (loss %.2f%%) in %v\n",
 			ur.Sent, ur.Received, 100*ur.LossFraction, ur.Elapsed)
-		fmt.Printf("  throughput   %.1f Mb/s\n", ur.Throughput.Mbit())
-		fmt.Printf("  sender       util %.2f  efficiency %.1f Mb/s\n",
+		fmt.Fprintf(report, "  throughput   %.1f Mb/s\n", ur.Throughput.Mbit())
+		fmt.Fprintf(report, "  sender       util %.2f  efficiency %.1f Mb/s\n",
 			ur.Snd.Utilization, ur.Snd.Efficiency.Mbit())
-		fmt.Printf("  receiver     util %.2f  efficiency %.1f Mb/s\n",
+		fmt.Fprintf(report, "  receiver     util %.2f  efficiency %.1f Mb/s\n",
 			ur.Rcv.Utilization, ur.Rcv.Efficiency.Mbit())
 		emitTelemetry()
 		return
@@ -135,18 +186,18 @@ func main() {
 		res = ttcp.Run(tb, a, b, params)
 	}
 
-	fmt.Printf("ttcp (%s stack, %s, %v writes, %v window)\n",
+	fmt.Fprintf(report, "ttcp (%s stack, %s, %v writes, %v window)\n",
 		*mode, mach().Name, size, window)
-	fmt.Printf("  transferred  %v in %v\n", res.Bytes, res.Elapsed)
-	fmt.Printf("  throughput   %.1f Mb/s\n", res.Throughput.Mbit())
-	fmt.Printf("  sender       util %.2f (true %.2f)  efficiency %.1f Mb/s\n",
+	fmt.Fprintf(report, "  transferred  %v in %v\n", res.Bytes, res.Elapsed)
+	fmt.Fprintf(report, "  throughput   %.1f Mb/s\n", res.Throughput.Mbit())
+	fmt.Fprintf(report, "  sender       util %.2f (true %.2f)  efficiency %.1f Mb/s\n",
 		res.Snd.Utilization, res.Snd.TrueUtilization, res.Snd.Efficiency.Mbit())
-	fmt.Printf("  receiver     util %.2f (true %.2f)  efficiency %.1f Mb/s\n",
+	fmt.Fprintf(report, "  receiver     util %.2f (true %.2f)  efficiency %.1f Mb/s\n",
 		res.Rcv.Utilization, res.Rcv.TrueUtilization, res.Rcv.Efficiency.Mbit())
-	fmt.Printf("  sender CPU breakdown:\n")
+	fmt.Fprintf(report, "  sender CPU breakdown:\n")
 	for _, cat := range []string{"copy", "csum", "vm", "proto", "driver", "intr", "syscall", "app"} {
 		if d, ok := res.Snd.Breakdown[cat]; ok {
-			fmt.Printf("    %-8s %v\n", cat, d)
+			fmt.Fprintf(report, "    %-8s %v\n", cat, d)
 		}
 	}
 	emitTelemetry()

@@ -1,0 +1,34 @@
+package analysis
+
+import "fmt"
+
+// Thresholds for the Section 7/8 structural claim. The paper's measured
+// breakdowns put copy+checksum at ~3/4 of the unmodified stack's CPU time;
+// the single-copy stack moves no payload bytes with the CPU, so its
+// data-touching share should be noise.
+const (
+	// UnmodDataShareMin is the least copy+checksum share at which the
+	// multi-copy stack still counts as "dominated by data touching".
+	UnmodDataShareMin = 0.50
+	// ModDataShareMax is the most copy+checksum share the single-copy
+	// stack may show (receiver-side auto-DMA head copies are the only
+	// residual).
+	ModDataShareMax = 0.05
+)
+
+// CheckOutboardClaim verifies the paper's central claim against measured
+// CPU-category shares: the unmodified (multi-copy) stack's copy+checksum
+// share must dominate its busy time, and the modified (single-copy)
+// stack's must be near zero — outboard buffering and checksumming really
+// did eliminate the data-touching operations, not just shuffle them.
+func CheckOutboardClaim(unmodDataShare, modDataShare float64) error {
+	if unmodDataShare < UnmodDataShareMin {
+		return fmt.Errorf("unmodified stack's copy+csum share %.2f < %.2f: data touching should dominate the multi-copy path",
+			unmodDataShare, UnmodDataShareMin)
+	}
+	if modDataShare > ModDataShareMax {
+		return fmt.Errorf("single-copy stack's copy+csum share %.2f > %.2f: outboard buffering should eliminate data touching",
+			modDataShare, ModDataShareMax)
+	}
+	return nil
+}

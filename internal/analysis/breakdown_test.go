@@ -1,0 +1,40 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/exp"
+	"repro/internal/units"
+)
+
+// dataShare sums the copy and csum shares of one breakdown point.
+func dataShare(p exp.BreakdownPoint) float64 {
+	return p.Share("copy") + p.Share("csum")
+}
+
+// TestOutboardClaimOnMeasuredBreakdown runs one Figure-7/8 cell and checks
+// the paper's structural claim on the measured shares: the multi-copy
+// stack is dominated by copy+checksum, the single-copy stack shows almost
+// none, on both the sender and the receiver.
+func TestOutboardClaimOnMeasuredBreakdown(t *testing.T) {
+	fig7, fig8, _ := exp.RunBreakdowns([]units.Size{64 * units.KB})
+	for _, fig := range []exp.BreakdownFigure{fig7, fig8} {
+		unmod := fig.Series["Unmodified"][0]
+		mod := fig.Series["Modified"][0]
+		if err := analysis.CheckOutboardClaim(dataShare(unmod), dataShare(mod)); err != nil {
+			t.Errorf("%s (%s): %v", fig.Name, fig.Side, err)
+		}
+	}
+}
+
+// TestCheckOutboardClaimRejects is the negative case: shares that
+// contradict the claim must fail.
+func TestCheckOutboardClaimRejects(t *testing.T) {
+	if err := analysis.CheckOutboardClaim(0.2, 0.01); err == nil {
+		t.Error("want error when the multi-copy data share does not dominate")
+	}
+	if err := analysis.CheckOutboardClaim(0.8, 0.3); err == nil {
+		t.Error("want error when the single-copy data share is large")
+	}
+}

@@ -134,6 +134,7 @@ func (d *Driver) Caps() netif.Caps { return netif.Caps{SingleCopy: d.SingleCopy}
 // daemon, converting descriptor chains first when running as a legacy
 // driver.
 func (d *Driver) Output(ctx kern.Ctx, m *mbuf.Mbuf, dst netif.LinkAddr) {
+	ctx = ctx.In("cabdrv")
 	ctx.Charge(d.K.Mach.DriverPerPacket, kern.CatDriver)
 	if m.IsPktHdr() && mbuf.ChainLen(m) != m.PktLen() {
 		panic(fmt.Sprintf("cabdrv: packet length %v does not match header %v (types %v)",
@@ -374,7 +375,7 @@ func (d *Driver) completeTx(work func(kern.Ctx)) {
 		list := d.doneWork
 		d.doneWork = nil
 		d.K.PostIntr("cab-tx-done", func(p *sim.Proc) {
-			ctx := d.K.IntrCtx(p)
+			ctx := d.K.IntrCtx(p).In("cabdrv_txdone")
 			for _, w := range list {
 				w(ctx)
 			}

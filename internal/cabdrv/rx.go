@@ -16,7 +16,7 @@ import (
 func (d *Driver) hwRx(ev *cab.RxEvent) {
 	// Keep the auto-DMA pool topped up.
 	d.C.ProvideRxBuf(make([]byte, d.C.Cfg.AutoDMALen))
-	d.K.PostIntr("cab-rx", func(p *sim.Proc) { d.rxIntr(d.K.IntrCtx(p), ev) })
+	d.K.PostIntr("cab-rx", func(p *sim.Proc) { d.rxIntr(d.K.IntrCtx(p).In("cabdrv_rx"), ev) })
 }
 
 // rxIntr is the receive interrupt handler: it parses the link header from
@@ -121,7 +121,7 @@ func (d *Driver) rxLegacy(ctx kern.Ctx, ev *cab.RxEvent, pktLen units.Size) {
 					tail.SetNext(c)
 					tail = c
 				}
-				d.Input(d.K.IntrCtx(p), head, d)
+				d.Input(d.K.IntrCtx(p).In("cabdrv_rx"), head, d)
 			})
 		},
 	})

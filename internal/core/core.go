@@ -18,6 +18,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/netif"
 	"repro/internal/obs"
+	"repro/internal/obs/prof"
 	"repro/internal/sim"
 	"repro/internal/socket"
 	"repro/internal/tcpip"
@@ -73,6 +74,14 @@ type Testbed struct {
 	// Tel is the testbed-wide telemetry hub; nil unless EnableTelemetry
 	// was called before hosts were added.
 	Tel *obs.Telemetry
+	// Prof is the virtual-time CPU profiler; nil unless EnableProfiling
+	// was called before hosts were added.
+	Prof *prof.Profiler
+	// Series is the utilization time-series sampler; nil unless
+	// EnableSeries was called before hosts were added.
+	Series *obs.SeriesSet
+
+	seriesStop bool
 }
 
 // EthRate is the legacy medium's line rate (FDDI-class, so the legacy
@@ -105,6 +114,51 @@ func (tb *Testbed) EnableTelemetry() *obs.Telemetry {
 	return tb.Tel
 }
 
+// EnableProfiling turns on the virtual-time CPU profiler for every host
+// added afterwards: all kernel CPU charges are attributed to a
+// (host, layer-stack, category, flow) node, exactly — no sampling. It
+// must run before AddHost so hosts get their profile roots.
+func (tb *Testbed) EnableProfiling() *prof.Profiler {
+	if len(tb.Hosts) > 0 {
+		panic("core: EnableProfiling must be called before AddHost")
+	}
+	if tb.Prof == nil {
+		tb.Prof = prof.New(kern.CategoryNames())
+	}
+	return tb.Prof
+}
+
+// EnableSeries turns on the utilization time-series sampler: every
+// interval of virtual time each host records CPU utilization (total and
+// per category, in per-mille), network-memory page occupancy, and TCP
+// queue/window high-water marks. Implies EnableTelemetry; must run before
+// AddHost. The sampler keeps an engine event pending, so call StopSeries
+// when the workload ends or Eng.Run will not return.
+func (tb *Testbed) EnableSeries(interval units.Time) *obs.SeriesSet {
+	if len(tb.Hosts) > 0 {
+		panic("core: EnableSeries must be called before AddHost")
+	}
+	if interval <= 0 {
+		interval = 100 * units.Microsecond
+	}
+	tb.EnableTelemetry()
+	if tb.Series == nil {
+		tb.Series = obs.NewSeriesSet(interval, obs.DefaultSeriesCapacity)
+		tb.Series.SetLatencySource(tb.Tel.Trace().Latency())
+		tb.Eng.Go("series-sampler", func(p *sim.Proc) {
+			for !tb.seriesStop {
+				p.Sleep(interval)
+				tb.Series.Sample(p.Now())
+			}
+		})
+	}
+	return tb.Series
+}
+
+// StopSeries retires the sampler: it takes one final row at the next tick
+// and exits, letting Eng.Run drain. Harmless when series are disabled.
+func (tb *Testbed) StopSeries() { tb.seriesStop = true }
+
 // AddHost assembles a host and joins it to the testbed fabrics.
 func (tb *Testbed) AddHost(cfg HostConfig) *Host {
 	if cfg.Mach == nil {
@@ -115,6 +169,9 @@ func (tb *Testbed) AddHost(cfg HostConfig) *Host {
 	if tb.Tel != nil {
 		h.K.Obs = tb.Tel.Registry(cfg.Name)
 		h.K.RegisterObs()
+	}
+	if tb.Prof != nil {
+		h.K.Prof = tb.Prof.Host(cfg.Name)
 	}
 	h.VM = kern.NewVM(h.K)
 	h.VM.LazyUnpin = cfg.LazyUnpin
@@ -139,8 +196,30 @@ func (tb *Testbed) AddHost(cfg HostConfig) *Host {
 		h.Lo.Input = h.Stk.Input
 		h.Stk.Routes.AddHost(cfg.Addr, h.Lo, 0)
 	}
+	if tb.Series != nil {
+		tb.registerSeries(h)
+	}
 	tb.Hosts = append(tb.Hosts, h)
 	return h
+}
+
+// registerSeries wires the host's utilization columns. Gauge columns
+// share instruments with the subsystems that set them via the registry's
+// name interning.
+func (tb *Testbed) registerSeries(h *Host) {
+	s := tb.Series.Series(h.Name)
+	k := h.K
+	s.UtilPerMille("cpu.util_pm", func() int64 { return int64(k.BusyTime()) })
+	for i, name := range kern.CategoryNames() {
+		c := kern.Category(i)
+		s.UtilPerMille("cpu."+name+"_pm", func() int64 { return int64(k.CategoryTime(c)) })
+	}
+	pages := h.K.Obs.Gauge("cab.netmem_pages")
+	s.Level("cab.netmem_pages", pages.Value)
+	s.Peak("cab.netmem_pages_peak", pages)
+	s.Peak("tcp.snd_q_peak", h.K.Obs.Gauge("tcp.snd_q"))
+	s.Peak("tcp.rcv_q_peak", h.K.Obs.Gauge("tcp.rcv_q"))
+	s.Peak("tcp.snd_wnd_peak", h.K.Obs.Gauge("tcp.snd_wnd"))
 }
 
 // Snapshot returns the host's current metric values (empty when telemetry

@@ -64,6 +64,7 @@ func (d *Driver) Caps() netif.Caps { return netif.Caps{} }
 // Output implements netif.Interface. Descriptor chains are materialized at
 // the entry point (Section 5): "a copy has merely been delayed".
 func (d *Driver) Output(ctx kern.Ctx, m *mbuf.Mbuf, dst netif.LinkAddr) {
+	ctx = ctx.In("ethdrv")
 	ctx.Charge(d.K.Mach.DriverPerPacket, kern.CatDriver)
 	if mbuf.HasDescriptors(m) {
 		d.Converted++
@@ -98,7 +99,7 @@ func (d *Driver) txd(p *sim.Proc) {
 // buffers; the interrupt handler builds a regular mbuf chain.
 func (d *Driver) hwRx(f hippi.Frame) {
 	d.K.PostIntr("eth-rx", func(p *sim.Proc) {
-		ctx := d.K.IntrCtx(p)
+		ctx := d.K.IntrCtx(p).In("ethdrv_rx")
 		ctx.Charge(d.K.Mach.DriverPerPacket, kern.CatDriver)
 		lh, err := wire.ParseLinkHdr(f.Data)
 		if err != nil || lh.Type != wire.EtherTypeIP {

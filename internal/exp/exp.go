@@ -143,6 +143,44 @@ func MetricsRun(rw units.Size, seed int64) obs.Snapshot {
 	return tb.Tel.Snapshot()
 }
 
+// ProfileRun runs one instrumented Figure-5-style cell with the
+// virtual-time profiler enabled (mode selects the stack) and returns the
+// testbed, whose Prof holds the exact per-stack CPU attribution.
+// Deterministic: the same (mode, rw, seed) always yields byte-identical
+// Prof.Folded().
+func ProfileRun(mode socket.Mode, rw units.Size, seed int64) *core.Testbed {
+	tb := core.NewTestbed(seed)
+	tb.EnableProfiling()
+	a := tb.AddHost(core.HostConfig{Name: "A", Addr: addrA, Mach: cost.Alpha400(),
+		Mode: mode, CABNode: 1})
+	b := tb.AddHost(core.HostConfig{Name: "B", Addr: addrB, Mach: cost.Alpha400(),
+		Mode: mode, CABNode: 2})
+	tb.RouteCAB(a, b)
+	ttcp.Run(tb, a, b, ttcp.Params{
+		Total: totalFor(rw), RWSize: rw,
+		WithUtil: true, WithBackground: true,
+	})
+	return tb
+}
+
+// SeriesRun runs one instrumented cell with the utilization time-series
+// sampler ticking every interval of virtual time, and returns the testbed
+// whose Series holds the recorded rows.
+func SeriesRun(rw units.Size, interval units.Time, seed int64) *core.Testbed {
+	tb := core.NewTestbed(seed)
+	tb.EnableSeries(interval)
+	a := tb.AddHost(core.HostConfig{Name: "A", Addr: addrA, Mach: cost.Alpha400(),
+		Mode: socket.ModeSingleCopy, CABNode: 1})
+	b := tb.AddHost(core.HostConfig{Name: "B", Addr: addrB, Mach: cost.Alpha400(),
+		Mode: socket.ModeSingleCopy, CABNode: 2})
+	tb.RouteCAB(a, b)
+	ttcp.Run(tb, a, b, ttcp.Params{
+		Total: totalFor(rw), RWSize: rw,
+		WithUtil: true, WithBackground: true,
+	})
+	return tb
+}
+
 // Figure5 regenerates Figure 5 (Alpha 3000/400).
 func Figure5(sizes []units.Size) Figure {
 	return RunFigure("Figure 5", cost.Alpha400, sizes)

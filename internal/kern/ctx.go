@@ -1,6 +1,8 @@
 package kern
 
 import (
+	"repro/internal/mem"
+	"repro/internal/obs/prof"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -9,11 +11,19 @@ import (
 // task's process context (a system call on its behalf) or interrupt
 // context. It lets shared stack code charge CPU time correctly without
 // caring who called it.
+//
+// Ctx also carries the layer-stack position for the virtual-time profiler:
+// each layer pushes a frame with In ("socket", "tcp_output", ...), and every
+// Charge issued under it accumulates on that node. When profiling is off
+// the node stays nil and the whole mechanism is free.
 type Ctx struct {
 	K    *Kernel
 	P    *sim.Proc
 	Task *Task // nil in interrupt context
 	Intr bool
+
+	node *prof.Node
+	flow int
 }
 
 // TaskCtx returns a process-context Ctx for task t running in p.
@@ -27,21 +37,66 @@ func (k *Kernel) IntrCtx(p *sim.Proc) Ctx {
 	return Ctx{K: k, P: p, Intr: true}
 }
 
+// base returns the node In stacks its first frame on: the per-task or
+// interrupt fallback, matching where Charge lands un-framed work.
+func (c Ctx) base() *prof.Node {
+	if c.Intr {
+		return c.K.intrNode()
+	}
+	return c.K.taskNode(c.Task)
+}
+
+// In returns a Ctx one layer frame deeper: CPU time charged through the
+// result is attributed to layer under this context's stack. Free (nil
+// node chain) when profiling is disabled.
+func (c Ctx) In(layer string) Ctx {
+	n := c.node
+	if n == nil {
+		if c.K.Prof == nil {
+			return c
+		}
+		n = c.base()
+	}
+	c.node = n.Child(layer)
+	return c
+}
+
+// WithFlow returns a Ctx whose charges are attributed to flow (a TCP local
+// port, say), so the profile can split time per connection.
+func (c Ctx) WithFlow(flow int) Ctx {
+	c.flow = flow
+	return c
+}
+
 // Charge accounts d of CPU time in category cat: as the task's system time
 // in process context, or misattributed to the current task in interrupt
 // context.
 func (c Ctx) Charge(d units.Time, cat Category) {
 	if c.Intr {
-		c.K.IntrWork(c.P, d, cat)
+		c.K.intrWorkAt(c.P, d, cat, c.node, c.flow)
 		return
 	}
-	c.K.Work(c.P, c.Task, d, cat, true)
+	c.K.workAt(c.P, c.Task, d, cat, true, c.node, c.flow)
 }
 
 // CopyBytes copies src to dst charging copy time in this context.
 func (c Ctx) CopyBytes(dst, src []byte, region units.Size) {
 	c.Charge(c.K.Mach.CopyTime(units.Size(len(src)), region), CatCopy)
 	copy(dst, src)
+}
+
+// CopyFromUIO copies n bytes at offset off of u into dst, charging copy
+// time in this context (the socket layer's copyin on the traditional path).
+func (c Ctx) CopyFromUIO(u *mem.UIO, off, n units.Size, dst []byte, region units.Size) {
+	c.Charge(c.K.Mach.CopyTime(n, region), CatCopy)
+	u.ReadAt(dst, off, n)
+}
+
+// CopyToUIO copies src into u at offset off, charging copy time in this
+// context (the traditional receive copyout).
+func (c Ctx) CopyToUIO(u *mem.UIO, off units.Size, src []byte, region units.Size) {
+	c.Charge(c.K.Mach.CopyTime(units.Size(len(src)), region), CatCopy)
+	u.WriteAt(src, off)
 }
 
 // ChecksumRead software-checksums b, charging read time in this context.

@@ -16,6 +16,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/mem"
 	"repro/internal/obs"
+	"repro/internal/obs/prof"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -47,6 +48,13 @@ const (
 
 var catNames = [numCategories]string{
 	"app", "syscall", "copy", "csum", "vm", "proto", "driver", "intr",
+}
+
+// CategoryNames returns the category labels indexed by Category value, for
+// consumers (the profiler) that need the axis without importing kern's
+// types.
+func CategoryNames() []string {
+	return catNames[:]
 }
 
 func (c Category) String() string {
@@ -90,6 +98,12 @@ type Kernel struct {
 	// constructor can register its metrics through it.
 	Obs *obs.Registry
 
+	// Prof is the host's root profiler node (nil when profiling is
+	// disabled). Every Work/IntrWork charge lands on a node under it —
+	// explicitly via Ctx.In layer frames, or on a per-task/interrupt
+	// fallback node — so the profile always sums exactly to busy.
+	Prof *prof.Node
+
 	intrPosts *obs.Counter
 
 	// KernelTask absorbs kernel work with no better owner.
@@ -129,7 +143,7 @@ func (k *Kernel) NewTask(name string, prio int, space *mem.AddrSpace) *Task {
 func (k *Kernel) intrd(p *sim.Proc) {
 	for {
 		w := k.intrQ.Get(p)
-		k.chargeSlices(p, PrioIntr, k.Mach.InterruptCost, CatIntr, k.curSys)
+		k.intrWorkAt(p, k.Mach.InterruptCost, CatIntr, nil, 0)
 		w.fn(p)
 	}
 }
@@ -178,13 +192,36 @@ func (k *Kernel) chargeSlices(p *sim.Proc, prio int, d units.Time, cat Category,
 	}
 }
 
-// Work runs d of CPU work on behalf of task t. If sys is true the time is
-// charged as system time (kernel work done for the task); otherwise as
-// user time. The caller must be in process context.
-func (k *Kernel) Work(p *sim.Proc, t *Task, d units.Time, cat Category, sys bool) {
+// taskNode returns the profiler fallback node for process-context work with
+// no explicit layer stack: a per-task child of the host root. Nil (free)
+// when profiling is off.
+func (k *Kernel) taskNode(t *Task) *prof.Node {
+	if k.Prof == nil {
+		return nil
+	}
+	return k.Prof.Child(t.Name)
+}
+
+// intrNode is the fallback for interrupt-context work with no explicit
+// stack.
+func (k *Kernel) intrNode() *prof.Node {
+	if k.Prof == nil {
+		return nil
+	}
+	return k.Prof.Child("intr")
+}
+
+// workAt is Work with an explicit profiler attribution: node (or the task's
+// fallback node when nil) accumulates exactly d in cat for flow, before the
+// quantum slicing, so the profile total always equals busy.
+func (k *Kernel) workAt(p *sim.Proc, t *Task, d units.Time, cat Category, sys bool, node *prof.Node, flow int) {
 	if d <= 0 {
 		return
 	}
+	if node == nil {
+		node = k.taskNode(t)
+	}
+	node.Add(int(cat), flow, int64(d))
 	k.chargeSlices(p, t.Prio, d, cat, func(slice units.Time) {
 		k.cur = t
 		if sys {
@@ -195,14 +232,31 @@ func (k *Kernel) Work(p *sim.Proc, t *Task, d units.Time, cat Category, sys bool
 	})
 }
 
+// intrWorkAt is IntrWork with an explicit profiler attribution (the
+// interrupt fallback node when nil).
+func (k *Kernel) intrWorkAt(p *sim.Proc, d units.Time, cat Category, node *prof.Node, flow int) {
+	if d <= 0 {
+		return
+	}
+	if node == nil {
+		node = k.intrNode()
+	}
+	node.Add(int(cat), flow, int64(d))
+	k.chargeSlices(p, PrioIntr, d, cat, k.curSys)
+}
+
+// Work runs d of CPU work on behalf of task t. If sys is true the time is
+// charged as system time (kernel work done for the task); otherwise as
+// user time. The caller must be in process context.
+func (k *Kernel) Work(p *sim.Proc, t *Task, d units.Time, cat Category, sys bool) {
+	k.workAt(p, t, d, cat, sys, nil, 0)
+}
+
 // IntrWork runs d of CPU work in interrupt/kernel context at top priority;
 // the time is charged as system time to whichever task is currently
 // scheduled (the misattribution the paper describes).
 func (k *Kernel) IntrWork(p *sim.Proc, d units.Time, cat Category) {
-	if d <= 0 {
-		return
-	}
-	k.chargeSlices(p, PrioIntr, d, cat, k.curSys)
+	k.intrWorkAt(p, d, cat, nil, 0)
 }
 
 // CategoryTime returns the accumulated CPU time in category c.

@@ -12,6 +12,10 @@ import (
 // applications that reuse the same buffers repeatedly keep them pinned and
 // mapped, amortizing the VM overhead over many IO operations, with lazy
 // eviction bounding the number of pages a task can keep pinned.
+//
+// All charging goes through a Ctx so callers inside a profiled layer stack
+// attribute the VM time under their frame; the (p, t) entry points are
+// plain process-context wrappers.
 
 // pinRange records a deferred unpin.
 type pinRange struct {
@@ -57,6 +61,10 @@ func NewVM(k *Kernel) *VM {
 // charging Table 2's pin cost. With the lazy cache enabled, re-pinning a
 // still-pinned buffer costs only the hit check.
 func (v *VM) PinBuf(p *sim.Proc, t *Task, space *mem.AddrSpace, addr, n units.Size) {
+	v.pin(v.k.TaskCtx(p, t), space, addr, n)
+}
+
+func (v *VM) pin(c Ctx, space *mem.AddrSpace, addr, n units.Size) {
 	pages := space.PageSpan(addr, n)
 	if pages == 0 {
 		return
@@ -67,19 +75,23 @@ func (v *VM) PinBuf(p *sim.Proc, t *Task, space *mem.AddrSpace, addr, n units.Si
 			v.deferredPages -= v.deferred[i].pages
 			v.deferred = append(v.deferred[:i], v.deferred[i+1:]...)
 			v.PinHits++
-			v.k.Work(p, t, v.PinHitCheck, CatVM, true)
+			c.Charge(v.PinHitCheck, CatVM)
 			return
 		}
 	}
 	v.Pins++
 	space.Pin(addr, n)
-	v.k.Work(p, t, v.k.Mach.PinTime(pages), CatVM, true)
+	c.Charge(v.k.Mach.PinTime(pages), CatVM)
 }
 
 // UnpinBuf undoes PinBuf. With the lazy cache the unpin is deferred; old
 // deferred ranges are evicted (really unpinned) once MaxLazyPages is
 // exceeded, charging their unpin cost at eviction time.
 func (v *VM) UnpinBuf(p *sim.Proc, t *Task, space *mem.AddrSpace, addr, n units.Size) {
+	v.unpin(v.k.TaskCtx(p, t), space, addr, n)
+}
+
+func (v *VM) unpin(c Ctx, space *mem.AddrSpace, addr, n units.Size) {
 	pages := space.PageSpan(addr, n)
 	if pages == 0 {
 		return
@@ -93,13 +105,13 @@ func (v *VM) UnpinBuf(p *sim.Proc, t *Task, space *mem.AddrSpace, addr, n units.
 			v.deferredPages -= old.pages
 			old.space.Unpin(old.addr, old.n)
 			v.LazyEvictions++
-			v.k.Work(p, t, v.k.Mach.UnpinTime(old.pages), CatVM, true)
+			c.Charge(v.k.Mach.UnpinTime(old.pages), CatVM)
 		}
 		return
 	}
 	v.Unpins++
 	space.Unpin(addr, n)
-	v.k.Work(p, t, v.k.Mach.UnpinTime(pages), CatVM, true)
+	c.Charge(v.k.Mach.UnpinTime(pages), CatVM)
 }
 
 // findDeferred locates a deferred range exactly covering [addr, addr+n).
@@ -114,9 +126,10 @@ func (v *VM) findDeferred(space *mem.AddrSpace, addr, n units.Size) int {
 
 // FlushDeferred really unpins everything in the lazy cache (teardown).
 func (v *VM) FlushDeferred(p *sim.Proc, t *Task) {
+	c := v.k.TaskCtx(p, t)
 	for _, r := range v.deferred {
 		r.space.Unpin(r.addr, r.n)
-		v.k.Work(p, t, v.k.Mach.UnpinTime(r.pages), CatVM, true)
+		c.Charge(v.k.Mach.UnpinTime(r.pages), CatVM)
 	}
 	v.deferred = nil
 	v.deferredPages = 0
@@ -127,13 +140,17 @@ func (v *VM) FlushDeferred(p *sim.Proc, t *Task) {
 // socket-buffer's worth at a time, because OSF/1 drivers lack the
 // application context needed to do it at DMA time (Section 4.4.1).
 func (v *VM) MapBuf(p *sim.Proc, t *Task, space *mem.AddrSpace, addr, n units.Size) {
+	v.mapKernel(v.k.TaskCtx(p, t), space, addr, n)
+}
+
+func (v *VM) mapKernel(c Ctx, space *mem.AddrSpace, addr, n units.Size) {
 	pages := space.PageSpan(addr, n)
 	if pages == 0 {
 		return
 	}
 	v.Maps++
 	space.MapKernel(addr, n)
-	v.k.Work(p, t, v.k.Mach.MapTime(pages), CatVM, true)
+	c.Charge(v.k.Mach.MapTime(pages), CatVM)
 }
 
 // UnmapBuf clears a kernel mapping; Table 2 lists no unmap cost and the
@@ -142,23 +159,23 @@ func (v *VM) UnmapBuf(space *mem.AddrSpace, addr, n units.Size) {
 	space.UnmapKernel(addr, n)
 }
 
-// PinUIO pins every segment of [off, off+n) of u.
-func (v *VM) PinUIO(p *sim.Proc, t *Task, u *mem.UIO, off, n units.Size) {
+// PinUIO pins every segment of [off, off+n) of u, charging in c.
+func (v *VM) PinUIO(c Ctx, u *mem.UIO, off, n units.Size) {
 	for _, seg := range u.Segments(off, n) {
-		v.PinBuf(p, t, u.Space, seg.Addr, seg.Len)
+		v.pin(c, u.Space, seg.Addr, seg.Len)
 	}
 }
 
 // UnpinUIO undoes PinUIO.
-func (v *VM) UnpinUIO(p *sim.Proc, t *Task, u *mem.UIO, off, n units.Size) {
+func (v *VM) UnpinUIO(c Ctx, u *mem.UIO, off, n units.Size) {
 	for _, seg := range u.Segments(off, n) {
-		v.UnpinBuf(p, t, u.Space, seg.Addr, seg.Len)
+		v.unpin(c, u.Space, seg.Addr, seg.Len)
 	}
 }
 
 // MapUIO maps every segment of [off, off+n) of u into kernel space.
-func (v *VM) MapUIO(p *sim.Proc, t *Task, u *mem.UIO, off, n units.Size) {
+func (v *VM) MapUIO(c Ctx, u *mem.UIO, off, n units.Size) {
 	for _, seg := range u.Segments(off, n) {
-		v.MapBuf(p, t, u.Space, seg.Addr, seg.Len)
+		v.mapKernel(c, u.Space, seg.Addr, seg.Len)
 	}
 }

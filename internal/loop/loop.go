@@ -43,6 +43,6 @@ func (l *Loopback) Output(ctx kern.Ctx, m *mbuf.Mbuf, dst netif.LinkAddr) {
 	}
 	l.TxPackets++
 	l.K.PostIntr("lo-rx", func(p *sim.Proc) {
-		l.Input(l.K.IntrCtx(p), m, l)
+		l.Input(l.K.IntrCtx(p).In("loop"), m, l)
 	})
 }

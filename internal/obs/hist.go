@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"math/bits"
+
 	"repro/internal/units"
 )
 
@@ -23,6 +25,23 @@ func histBound(i int) units.Time {
 	return units.Microsecond << i
 }
 
+// bucketIndex maps a duration to its bucket in O(1), with exact behavior at
+// power-of-two bounds: d == 1µs<<i lands in bucket i (its inclusive upper
+// bound), d one nanosecond above lands in bucket i+1.
+func bucketIndex(d units.Time) int {
+	if d <= units.Microsecond {
+		return 0
+	}
+	// Ceiling of d in microseconds; bucket i is the log2 of the smallest
+	// power of two ≥ that.
+	m := uint64((d + units.Microsecond - 1) / units.Microsecond)
+	i := bits.Len64(m - 1)
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
 // Observe records one duration.
 func (h *Histogram) Observe(d units.Time) {
 	if h == nil {
@@ -39,11 +58,7 @@ func (h *Histogram) Observe(d units.Time) {
 	}
 	h.count++
 	h.sum += d
-	i := 0
-	for i < histBuckets-1 && d > histBound(i) {
-		i++
-	}
-	h.buckets[i]++
+	h.buckets[bucketIndex(d)]++
 }
 
 // Count returns the number of observations.
@@ -52,6 +67,41 @@ func (h *Histogram) Count() int64 {
 		return 0
 	}
 	return h.count
+}
+
+// Quantile returns an upper bound on the p-quantile (0 ≤ p ≤ 1) of the
+// observed durations: the inclusive upper bound of the first bucket whose
+// cumulative count reaches ⌈p·count⌉, clamped to the observed [min, max].
+// Deterministic integer arithmetic throughout; 0 for nil or empty.
+func (h *Histogram) Quantile(p float64) units.Time {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.min
+	}
+	target := int64(p * float64(h.count))
+	if float64(target) < p*float64(h.count) {
+		target++
+	}
+	if target > h.count {
+		target = h.count
+	}
+	var cum int64
+	for i, n := range h.buckets {
+		cum += n
+		if cum >= target {
+			q := histBound(i)
+			if q > h.max {
+				q = h.max
+			}
+			if q < h.min {
+				q = h.min
+			}
+			return q
+		}
+	}
+	return h.max
 }
 
 // HistBucket is one exported histogram bucket.

@@ -52,11 +52,13 @@ func (c *Counter) Value() int64 {
 	return c.v
 }
 
-// Gauge is an instantaneous level that also tracks its high-water mark
-// (snapshots export both, the mark under "<name>.hwm"). A nil *Gauge is a
-// valid no-op sink.
+// Gauge is an instantaneous level that also tracks two high-water marks:
+// an all-time one (snapshots export it under "<name>.hwm") and an
+// interval one that samplers reset between measurement windows so each
+// window reports its own peak, not the run's. A nil *Gauge is a valid
+// no-op sink.
 type Gauge struct {
-	v, hwm int64
+	v, hwm, iwm int64
 }
 
 // Set records the current level.
@@ -67,6 +69,9 @@ func (g *Gauge) Set(v int64) {
 	g.v = v
 	if v > g.hwm {
 		g.hwm = v
+	}
+	if v > g.iwm {
+		g.iwm = v
 	}
 }
 
@@ -84,6 +89,25 @@ func (g *Gauge) HighWater() int64 {
 		return 0
 	}
 	return g.hwm
+}
+
+// IntervalHighWater returns the highest level since the last Reset (0 for
+// nil).
+func (g *Gauge) IntervalHighWater() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.iwm
+}
+
+// Reset starts a new measurement interval: the interval high-water mark
+// drops to the current level (the peak of any window containing now is at
+// least the present value). The all-time mark is untouched.
+func (g *Gauge) Reset() {
+	if g == nil {
+		return
+	}
+	g.iwm = g.v
 }
 
 type entryKind int

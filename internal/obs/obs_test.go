@@ -95,6 +95,87 @@ func TestCounterGauge(t *testing.T) {
 	}
 }
 
+// TestGaugeIntervalHighWater pins the sampler contract: Reset starts a new
+// measurement window whose peak is tracked independently of the all-time
+// mark, and a freshly reset window's peak is at least the current level.
+func TestGaugeIntervalHighWater(t *testing.T) {
+	var g Gauge
+	g.Set(9)
+	g.Set(4)
+	if g.IntervalHighWater() != 9 {
+		t.Fatalf("pre-reset iwm = %d, want 9", g.IntervalHighWater())
+	}
+	g.Reset()
+	if g.IntervalHighWater() != 4 {
+		t.Fatalf("post-reset iwm = %d, want current level 4", g.IntervalHighWater())
+	}
+	g.Set(6)
+	g.Set(2)
+	if g.IntervalHighWater() != 6 {
+		t.Fatalf("interval iwm = %d, want 6", g.IntervalHighWater())
+	}
+	if g.HighWater() != 9 {
+		t.Fatalf("all-time hwm = %d, want 9 (Reset must not touch it)", g.HighWater())
+	}
+	// Nil receiver stays a no-op.
+	var n *Gauge
+	n.Reset()
+	if n.IntervalHighWater() != 0 {
+		t.Fatal("nil gauge has an interval mark")
+	}
+}
+
+// TestHistogramBucketBounds pins the power-of-two boundary rule: an
+// observation exactly on a bucket's inclusive upper bound (d == 1µs<<i)
+// lands in bucket i, one nanosecond more lands in bucket i+1.
+func TestHistogramBucketBounds(t *testing.T) {
+	for i := 0; i < histBuckets-1; i++ {
+		if got := bucketIndex(histBound(i)); got != i {
+			t.Fatalf("bucketIndex(1µs<<%d) = %d, want %d", i, got, i)
+		}
+		if got := bucketIndex(histBound(i) + 1); got != i+1 {
+			t.Fatalf("bucketIndex(1µs<<%d + 1ns) = %d, want %d", i, got, i+1)
+		}
+	}
+	if got := bucketIndex(0); got != 0 {
+		t.Fatalf("bucketIndex(0) = %d, want 0", got)
+	}
+	if got := bucketIndex(3600 * units.Second); got != histBuckets-1 {
+		t.Fatalf("bucketIndex(1h) = %d, want top bucket %d", got, histBuckets-1)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram has a quantile")
+	}
+	// 90 fast observations, 10 slow: p50 in the fast bucket, p99 in the
+	// slow one.
+	for i := 0; i < 90; i++ {
+		h.Observe(3 * units.Microsecond) // bucket 2, bound 4µs
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(900 * units.Microsecond) // bound 1024µs
+	}
+	if q := h.Quantile(0.5); q != 4*units.Microsecond {
+		t.Fatalf("p50 = %v, want 4µs", q)
+	}
+	if q := h.Quantile(0.99); q != 900*units.Microsecond {
+		t.Fatalf("p99 = %v, want clamped max 900µs", q)
+	}
+	if q := h.Quantile(0); q != 3*units.Microsecond {
+		t.Fatalf("p0 = %v, want min", q)
+	}
+	if q := h.Quantile(1); q != 900*units.Microsecond {
+		t.Fatalf("p100 = %v, want max", q)
+	}
+	var nilh *Histogram
+	if nilh.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram has a quantile")
+	}
+}
+
 func TestFuncFirstRegistrationWins(t *testing.T) {
 	tel := New(func() units.Time { return 0 })
 	r := tel.Registry("h")

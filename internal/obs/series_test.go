@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestNilSeriesSetIsNoOp(t *testing.T) {
+	var ss *SeriesSet
+	s := ss.Series("A")
+	if s != nil {
+		t.Fatal("nil set returned a series")
+	}
+	s.Level("x", func() int64 { return 1 })
+	s.Delta("y", nil)
+	s.UtilPerMille("z", nil)
+	s.Peak("w", nil)
+	ss.Sample(0)
+	ss.SetLatencySource(nil)
+	if ss.Interval() != 0 {
+		t.Fatal("nil set has an interval")
+	}
+	if snap := ss.Snapshot(); len(snap.Hosts) != 0 {
+		t.Fatal("nil set snapshot non-empty")
+	}
+}
+
+func TestSeriesColumnKinds(t *testing.T) {
+	ss := NewSeriesSet(100*units.Microsecond, 8)
+	s := ss.Series("A")
+	var busy, level int64
+	var g Gauge
+	s.UtilPerMille("cpu.util_pm", func() int64 { return busy })
+	s.Delta("bytes", func() int64 { return level })
+	s.Level("pages", func() int64 { return level / 10 })
+	s.Peak("q.peak", &g)
+
+	busy, level = 50_000, 100 // half the interval busy
+	g.Set(7)
+	g.Set(2)
+	ss.Sample(100 * units.Microsecond)
+	busy, level = 150_000, 250 // fully busy this interval
+	g.Set(4)
+	ss.Sample(200 * units.Microsecond)
+
+	snap := ss.Snapshot()
+	if len(snap.Hosts) != 1 {
+		t.Fatalf("hosts = %d", len(snap.Hosts))
+	}
+	h := snap.Hosts[0]
+	wantCols := "cpu.util_pm,bytes,pages,q.peak"
+	if strings.Join(h.Columns, ",") != wantCols {
+		t.Fatalf("columns = %v", h.Columns)
+	}
+	if len(h.Samples) != 2 {
+		t.Fatalf("samples = %d", len(h.Samples))
+	}
+	r1, r2 := h.Samples[0], h.Samples[1]
+	if r1.TNs != 100_000 || r1.V[0] != 500 || r1.V[1] != 100 || r1.V[2] != 10 || r1.V[3] != 7 {
+		t.Fatalf("row1 = %+v", r1)
+	}
+	// Second interval: util 1000‰, delta 150, peak is 4 (reset dropped 7).
+	if r2.V[0] != 1000 || r2.V[1] != 150 || r2.V[3] != 4 {
+		t.Fatalf("row2 = %+v", r2)
+	}
+}
+
+func TestSeriesRingOverwrite(t *testing.T) {
+	ss := NewSeriesSet(units.Microsecond, 4)
+	s := ss.Series("A")
+	i := int64(0)
+	s.Level("i", func() int64 { return i })
+	for i = 1; i <= 10; i++ {
+		ss.Sample(units.Time(i) * units.Microsecond)
+	}
+	h := ss.Snapshot().Hosts[0]
+	if len(h.Samples) != 4 || h.Dropped != 6 {
+		t.Fatalf("samples=%d dropped=%d", len(h.Samples), h.Dropped)
+	}
+	// Oldest-first: values 7..10 survive.
+	for k, want := range []int64{7, 8, 9, 10} {
+		if h.Samples[k].V[0] != want {
+			t.Fatalf("sample %d = %+v, want %d", k, h.Samples[k], want)
+		}
+	}
+}
+
+func TestSeriesSnapshotDeterministicAndCSV(t *testing.T) {
+	mk := func() SeriesSnapshot {
+		ss := NewSeriesSet(10*units.Microsecond, 0)
+		var h Histogram
+		for k := 0; k < 10; k++ {
+			h.Observe(units.Time(k+1) * units.Microsecond)
+		}
+		ss.SetLatencySource(&h)
+		for _, host := range []string{"A", "B"} {
+			s := ss.Series(host)
+			v := int64(len(host))
+			s.Level("x", func() int64 { return v })
+		}
+		ss.Sample(10 * units.Microsecond)
+		ss.Sample(20 * units.Microsecond)
+		return ss.Snapshot()
+	}
+	s1, s2 := mk(), mk()
+	if !bytes.Equal(s1.JSON(), s2.JSON()) {
+		t.Fatal("series JSON not deterministic")
+	}
+	if len(s1.LatencyQ) != 3 || s1.LatencyQ[0].P != 0.5 || s1.LatencyQ[0].Ns <= 0 {
+		t.Fatalf("latency quantiles = %+v", s1.LatencyQ)
+	}
+	csv := s1.CSV()
+	if !strings.HasPrefix(csv, "host,t_ns,x\n") {
+		t.Fatalf("csv header:\n%s", csv)
+	}
+	if !strings.Contains(csv, "A,10000,1\n") || !strings.Contains(csv, "B,20000,1\n") {
+		t.Fatalf("csv rows:\n%s", csv)
+	}
+}

@@ -191,6 +191,15 @@ type SpanStats struct {
 	DroppedEvents int64        `json:"dropped_events,omitempty"`
 }
 
+// Latency returns the live end-to-end latency histogram (nil for a nil
+// trace), for samplers that want running quantiles mid-run.
+func (t *Trace) Latency() *Histogram {
+	if t == nil {
+		return nil
+	}
+	return &t.latency
+}
+
 // Stats exports the trace's aggregates.
 func (t *Trace) Stats() SpanStats {
 	if t == nil {

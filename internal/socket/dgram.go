@@ -28,7 +28,7 @@ func NewDGram(k *kern.Kernel, vm *kern.VM, task *kern.Task, stk *tcpip.Stack, po
 // blocks until the data is outboard; the driver frees the outboard packet
 // after the media send (UDP has no retransmission state).
 func (d *DGram) SendTo(p *sim.Proc, buf mem.Buf, dst wire.Addr, dport uint16) error {
-	ctx := d.K.TaskCtx(p, d.Task)
+	ctx := d.K.TaskCtx(p, d.Task).In("socket").WithFlow(int(d.Sock.Port()))
 	ctx.Charge(d.K.Mach.SyscallCost, kern.CatSyscall)
 	ctx.Charge(d.K.Mach.SocketPerPacket, kern.CatProto)
 	u := mem.NewUIO(buf)
@@ -37,7 +37,7 @@ func (d *DGram) SendTo(p *sim.Proc, buf mem.Buf, dst wire.Addr, dport uint16) er
 		u.AlignedTo(0, buf.Len, 4)
 	if !useUIO {
 		tmp := make([]byte, buf.Len)
-		d.K.CopyFromUIO(p, d.Task, u, 0, buf.Len, tmp, buf.Len)
+		ctx.CopyFromUIO(u, 0, buf.Len, tmp, buf.Len)
 		var head, tail *mbuf.Mbuf
 		for off := units.Size(0); off < buf.Len; off += mbuf.MCLBYTES {
 			n := buf.Len - off
@@ -55,14 +55,14 @@ func (d *DGram) SendTo(p *sim.Proc, buf mem.Buf, dst wire.Addr, dport uint16) er
 		d.Sock.SendTo(ctx, head, buf.Len, dst, dport)
 		return nil
 	}
-	d.VM.MapUIO(p, d.Task, u, 0, buf.Len)
-	d.VM.PinUIO(p, d.Task, u, 0, buf.Len)
+	d.VM.MapUIO(ctx, u, 0, buf.Len)
+	d.VM.PinUIO(ctx, u, 0, buf.Len)
 	trk := newTracker(d.K.Eng)
 	trk.add(buf.Len)
 	m := mbuf.NewUIO(u, 0, buf.Len, &mbuf.Hdr{Owner: trk})
 	d.Sock.SendTo(ctx, m, buf.Len, dst, dport)
 	trk.wait(p)
-	d.VM.UnpinUIO(p, d.Task, u, 0, buf.Len)
+	d.VM.UnpinUIO(ctx, u, 0, buf.Len)
 	for _, seg := range u.Segments(0, buf.Len) {
 		d.VM.UnmapBuf(u.Space, seg.Addr, seg.Len)
 	}
@@ -72,7 +72,7 @@ func (d *DGram) SendTo(p *sim.Proc, buf mem.Buf, dst wire.Addr, dport uint16) er
 // RecvFrom receives one datagram into buf, returning the byte count and
 // source. Datagrams longer than buf are truncated (BSD semantics).
 func (d *DGram) RecvFrom(p *sim.Proc, buf mem.Buf) (units.Size, wire.Addr, uint16) {
-	ctx := d.K.TaskCtx(p, d.Task)
+	ctx := d.K.TaskCtx(p, d.Task).In("socket").WithFlow(int(d.Sock.Port()))
 	ctx.Charge(d.K.Mach.SyscallCost, kern.CatSyscall)
 	dg := d.Sock.RecvFrom(p)
 	if dg == nil {

@@ -144,7 +144,7 @@ func (s *Socket) chunkSize() units.Size {
 // kernel buffers, on the single-copy path when the last byte is secured
 // outboard.
 func (s *Socket) Write(p *sim.Proc, buf mem.Buf) (units.Size, error) {
-	ctx := s.K.TaskCtx(p, s.Task)
+	ctx := s.K.TaskCtx(p, s.Task).In("socket").WithFlow(int(s.Conn.LocalPort()))
 	ctx.Charge(s.K.Mach.SyscallCost, kern.CatSyscall)
 
 	u := mem.NewUIO(buf)
@@ -214,7 +214,7 @@ func (s *Socket) writeCopy(ctx kern.Ctx, u *mem.UIO, buf mem.Buf) (units.Size, e
 				n = mbuf.MCLBYTES
 			}
 			tmp := make([]byte, n)
-			s.K.CopyFromUIO(ctx.P, s.Task, u, sent+off, n, tmp, total)
+			ctx.CopyFromUIO(u, sent+off, n, tmp, total)
 			cl := mbuf.NewCluster(tmp)
 			if head == nil {
 				head = cl
@@ -256,8 +256,8 @@ func (s *Socket) writeUIO(ctx kern.Ctx, u *mem.UIO, buf mem.Buf) (units.Size, er
 		// The socket layer, which has the application context OSF/1
 		// drivers lack, maps the chunk into kernel space and pins it for
 		// DMA (Section 4.4.1).
-		s.VM.MapUIO(ctx.P, s.Task, u, sent, chunk)
-		s.VM.PinUIO(ctx.P, s.Task, u, sent, chunk)
+		s.VM.MapUIO(ctx, u, sent, chunk)
+		s.VM.PinUIO(ctx, u, sent, chunk)
 		pinned = append(pinned, mem.Iovec{Addr: sent, Len: chunk})
 		trk.add(chunk)
 		ctx.Charge(s.K.Mach.SocketPerPacket, kern.CatProto)
@@ -283,7 +283,7 @@ func (s *Socket) writeUIO(ctx kern.Ctx, u *mem.UIO, buf mem.Buf) (units.Size, er
 // unpinAll releases the pinned chunks (lazily if the VM is so configured).
 func (s *Socket) unpinAll(ctx kern.Ctx, u *mem.UIO, pinned []mem.Iovec) {
 	for _, r := range pinned {
-		s.VM.UnpinUIO(ctx.P, s.Task, u, r.Addr, r.Len)
+		s.VM.UnpinUIO(ctx, u, r.Addr, r.Len)
 		for _, seg := range u.Segments(r.Addr, r.Len) {
 			s.VM.UnmapBuf(u.Space, seg.Addr, seg.Len)
 		}
@@ -293,7 +293,7 @@ func (s *Socket) unpinAll(ctx kern.Ctx, u *mem.UIO, pinned []mem.Iovec) {
 // Read receives into buf, blocking until at least one byte (or EOF) is
 // available, BSD-style. It returns the byte count.
 func (s *Socket) Read(p *sim.Proc, buf mem.Buf) (units.Size, error) {
-	ctx := s.K.TaskCtx(p, s.Task)
+	ctx := s.K.TaskCtx(p, s.Task).In("socket").WithFlow(int(s.Conn.LocalPort()))
 	ctx.Charge(s.K.Mach.SyscallCost, kern.CatSyscall)
 	c := s.Conn
 	if !c.WaitRcvData(p) {
@@ -326,14 +326,14 @@ func (s *Socket) copyOut(ctx kern.Ctx, u *mem.UIO, chain *mbuf.Mbuf, n units.Siz
 		ln := m.Len()
 		switch m.Type() {
 		case mbuf.TData, mbuf.TCluster:
-			s.K.CopyToUIO(ctx.P, s.Task, u, off, m.Bytes(), n)
+			ctx.CopyToUIO(u, off, m.Bytes(), n)
 		case mbuf.TWCAB:
 			w := m.WCABRef()
 			if s.Cfg.Mode == ModeSingleCopy && w.CopyOut != nil && u.AlignedTo(off, ln, 4) {
 				s.UIOReads++
 				s.ctrUIOReads.Inc()
 				sawDMA = true
-				s.VM.PinUIO(ctx.P, s.Task, u, off, ln)
+				s.VM.PinUIO(ctx, u, off, ln)
 				pinned = append(pinned, mem.Iovec{Addr: off, Len: ln})
 				var scatter [][]byte
 				for _, seg := range u.Segments(off, ln) {
@@ -363,7 +363,7 @@ func (s *Socket) copyOut(ctx kern.Ctx, u *mem.UIO, chain *mbuf.Mbuf, n units.Siz
 		}
 		trk.wait(ctx.P)
 		for _, r := range pinned {
-			s.VM.UnpinUIO(ctx.P, s.Task, u, r.Addr, r.Len)
+			s.VM.UnpinUIO(ctx, u, r.Addr, r.Len)
 		}
 	}
 }
@@ -378,13 +378,13 @@ func (s *Socket) WriteAll(p *sim.Proc, buf mem.Buf) error {
 // Close closes the stream (half-close of the send side; full teardown
 // proceeds via FIN exchange).
 func (s *Socket) Close(p *sim.Proc) {
-	s.Conn.Close(s.K.TaskCtx(p, s.Task))
+	s.Conn.Close(s.K.TaskCtx(p, s.Task).In("socket").WithFlow(int(s.Conn.LocalPort())))
 }
 
 // Dial establishes a TCP connection and wraps it in a socket.
 func Dial(p *sim.Proc, k *kern.Kernel, vm *kern.VM, task *kern.Task, stk *tcpip.Stack,
 	raddr wire.Addr, rport uint16, cfg Config) (*Socket, error) {
-	ctx := k.TaskCtx(p, task)
+	ctx := k.TaskCtx(p, task).In("socket")
 	conn, err := stk.Connect(ctx, raddr, rport)
 	if err != nil {
 		return nil, err

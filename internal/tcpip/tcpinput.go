@@ -23,6 +23,7 @@ func (s *Stack) tcpInput(ctx kern.Ctx, m *mbuf.Mbuf, iph wire.IPHdr) {
 		mbuf.FreeChain(m)
 		return
 	}
+	ctx = ctx.In("tcp_input").WithFlow(int(hdr.DPort))
 
 	// Verify the data checksum before any state changes. On the
 	// single-copy path this touches only the header: the CAB computed the
@@ -214,6 +215,7 @@ func (c *TCPConn) processAck(ctx kern.Ctx, hdr wire.TCPHdr) {
 			c.Output(ctx)
 		}
 	}
+	c.noteQueues()
 }
 
 // processData accepts in-order payload, queues out-of-order segments for
@@ -273,6 +275,7 @@ func (c *TCPConn) enqueueRcv(payload *mbuf.Mbuf, seglen units.Size) {
 	c.rcvBuf = mbuf.Cat(c.rcvBuf, payload)
 	c.rcvLen += seglen
 	c.rcvNxt += uint32(seglen)
+	c.noteQueues()
 	c.rcvDataSig.Broadcast()
 }
 

@@ -82,6 +82,10 @@ type Stack struct {
 	ctrDupAcks      *obs.Counter
 	ctrWindowStalls *obs.Counter
 	ctrWCABConv     *obs.Counter
+	// Queue/window gauges for the utilization time-series sampler: the
+	// host-wide aggregates updated by every connection (last writer wins,
+	// which for the sampler's per-interval peaks is what we want).
+	gSndQ, gRcvQ, gSndWnd *obs.Gauge
 }
 
 type connKey struct {
@@ -106,6 +110,9 @@ func NewStack(k *kern.Kernel, addr wire.Addr) *Stack {
 	}
 	if r := k.Obs; r != nil {
 		s.tr = r.TraceSink()
+		s.gSndQ = r.Gauge("tcp.snd_q")
+		s.gRcvQ = r.Gauge("tcp.rcv_q")
+		s.gSndWnd = r.Gauge("tcp.snd_wnd")
 		s.ctrRtoFires = r.Counter("tcp.rto_fires")
 		s.ctrDupAcks = r.Counter("tcp.dupacks")
 		s.ctrWindowStalls = r.Counter("tcp.window_stalls")
@@ -174,6 +181,7 @@ func (s *Stack) RouteCaps(dst wire.Addr) (singleCopy bool, mtu units.Size) {
 // header (with header checksum) and hands the frame to the selected
 // interface.
 func (s *Stack) IPOutput(ctx kern.Ctx, m *mbuf.Mbuf, proto uint8, dst wire.Addr) {
+	ctx = ctx.In("ip_output")
 	r, err := s.Routes.Lookup(dst)
 	if err != nil {
 		s.Stats.IPDropNoRoute++
@@ -208,6 +216,7 @@ func (s *Stack) IPOutput(ctx kern.Ctx, m *mbuf.Mbuf, proto uint8, dst wire.Addr)
 // first mbuf starts with the IP header; drivers have stripped the link
 // header.
 func (s *Stack) Input(ctx kern.Ctx, m *mbuf.Mbuf, from netif.Interface) {
+	ctx = ctx.In("ip_input")
 	s.Splnet(ctx.P)
 	defer s.Splx()
 	first := m

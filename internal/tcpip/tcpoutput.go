@@ -111,6 +111,7 @@ func (c *TCPConn) sendSegment(ctx kern.Ctx, seq uint32, seglen units.Size, flags
 // the route's interface supports it, software otherwise), and hands the
 // packet to IP.
 func (c *TCPConn) sendSegmentRaw(ctx kern.Ctx, seq uint32, seglen units.Size, flags uint16, data *mbuf.Mbuf) {
+	ctx = ctx.In("tcp_output").WithFlow(int(c.key.lport))
 	// Open a data-path span for data segments. A fresh segment's span is
 	// backdated to when its first byte was enqueued (the socket stage); a
 	// retransmission starts now and is tagged.

@@ -27,7 +27,7 @@ func (c *TCPConn) armRtx() {
 			if gen != c.rtxGen || c.state == StateClosed {
 				return
 			}
-			c.rtxTimeout(c.stk.K.IntrCtx(p))
+			c.rtxTimeout(c.stk.K.IntrCtx(p).In("tcp_timer"))
 		})
 	})
 }
@@ -89,7 +89,7 @@ func (c *TCPConn) armPersist() {
 				return
 			}
 			c.persistOn = false
-			c.persistProbe(c.stk.K.IntrCtx(p))
+			c.persistProbe(c.stk.K.IntrCtx(p).In("tcp_timer"))
 		})
 	})
 }
@@ -137,7 +137,7 @@ func (c *TCPConn) armDelAck() {
 				return
 			}
 			c.ackNow = true
-			c.Output(c.stk.K.IntrCtx(p))
+			c.Output(c.stk.K.IntrCtx(p).In("tcp_timer"))
 		})
 	})
 }

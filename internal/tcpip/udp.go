@@ -62,6 +62,7 @@ func (u *UDPSock) Close() {
 // outboard packet after the media send (UDP keeps no retransmit state), as
 // directed by FreeAfterSend.
 func (u *UDPSock) SendTo(ctx kern.Ctx, m *mbuf.Mbuf, n units.Size, dst wire.Addr, dport uint16) {
+	ctx = ctx.In("udp_output").WithFlow(int(u.port))
 	if wire.IPHdrLen+wire.UDPHdrLen+n > maxDatagram {
 		// IPv4's 16-bit total length (and 13-bit fragment offset) cannot
 		// represent it: EMSGSIZE in a real stack.
@@ -145,6 +146,7 @@ func (s *Stack) udpInput(ctx kern.Ctx, m *mbuf.Mbuf, iph wire.IPHdr) {
 		mbuf.FreeChain(m)
 		return
 	}
+	ctx = ctx.In("udp_input").WithFlow(int(hdr.DPort))
 	if hdr.Csum != 0 && !s.verifyTransportCsum(ctx, m, iph, wire.ProtoUDP) {
 		s.Stats.UDPCsumErrors++
 		mbuf.FreeChain(m)

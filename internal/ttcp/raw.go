@@ -73,6 +73,7 @@ func RunRaw(tb *core.Testbed, snd, rcv *core.Host, pr Params) Result {
 					if received >= want {
 						t1 = p.Now()
 						ss.stop, rs.stop = true, true
+						tb.StopSeries()
 					}
 				})
 			},

@@ -195,6 +195,7 @@ func Run(tb *core.Testbed, snd, rcv *core.Host, pr Params) Result {
 		}
 		t1 = p.Now()
 		ss.stop, rs.stop = true, true
+		tb.StopSeries()
 	})
 
 	// Sender: connect, then stream Total bytes from one reused buffer.

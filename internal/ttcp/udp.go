@@ -59,6 +59,7 @@ func RunUDP(tb *core.Testbed, snd, rcv *core.Host, pr Params) UDPResult {
 		}
 		t1 = p.Now()
 		ss.stop, rs.stop = true, true
+		tb.StopSeries()
 	})
 
 	tb.Eng.Go("ttcp-udp-snd", func(p *sim.Proc) {
