@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench benchcheck ci
+.PHONY: all build vet test race bench-smoke bench benchcheck soak ci
 
 all: build
 
@@ -35,4 +35,9 @@ benchcheck:
 	$(GO) run ./cmd/experiments -exp bench -benchdir .benchfresh
 	$(GO) run ./cmd/benchdiff -baseline . -fresh .benchfresh
 
-ci: vet build race bench-smoke benchcheck
+# The adversarial soak suite: seeded fault plans against full transfers,
+# under the race detector, plus the determinism and recovery-corner tests.
+soak:
+	$(GO) test -race -count 1 ./internal/fault/...
+
+ci: vet build race bench-smoke soak benchcheck

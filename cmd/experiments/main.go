@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments -exp fig5|fig6|fig7|fig8|fig9|table1|table2|analysis|hol|window|lazy|threshold|all
+//	experiments -exp fig5|fig6|fig7|fig8|fig9|table1|table2|analysis|hol|window|lazy|threshold|chaos|all
 //	experiments -exp fig5 -quick   # fewer sizes, faster
 //	experiments -exp bench         # regenerate every BENCH_fig*.json baseline
 package main
@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: fig5..fig9, table1, table2, analysis, hol, window, lazy, threshold, bench, all")
+	which := flag.String("exp", "all", "experiment: fig5..fig9, table1, table2, analysis, hol, window, lazy, threshold, chaos, bench, all")
 	quick := flag.Bool("quick", false, "use a reduced size sweep for the figures")
 	csv := flag.Bool("csv", false, "emit figures as CSV instead of tables")
 	metricsOut := flag.String("metrics", "", "write a telemetry snapshot of one instrumented transfer to this JSON file")
@@ -121,6 +121,13 @@ func main() {
 			fmt.Println(exp.FormatLazyPin(exp.RunLazyPinAblation()))
 		case "threshold":
 			fmt.Println(exp.FormatThreshold(exp.RunThresholdAblation(nil)))
+		case "chaos":
+			rs := exp.RunChaos()
+			fmt.Println(exp.FormatChaos(rs))
+			if exp.ChaosFailed(rs) {
+				fmt.Fprintln(os.Stderr, "chaos: invariant violations")
+				os.Exit(1)
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)

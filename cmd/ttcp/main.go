@@ -9,6 +9,12 @@
 //	     [-stats] [-trace out.json] [-metrics out.json]
 //	     [-profile] [-profile-out out.folded] [-profile-json out.json]
 //	     [-series out.json] [-series-csv out.csv] [-series-interval-us 100]
+//	     [-fault 'drop:every=13,min=1000;corrupt:p=0.01'] [-fault-seed 1]
+//
+// -fault injects a deterministic fault plan (grammar in internal/fault's
+// ParsePlan) on the wire, the adaptor, and the kernel; the run then also
+// reports which faults fired. The same plan and -fault-seed replay the
+// exact same faults.
 //
 // -stats prints the telemetry counter table and the per-packet virtual-time
 // latency histogram with its per-stage breakdown; -trace writes a Chrome
@@ -36,6 +42,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/fault"
 	"repro/internal/socket"
 	"repro/internal/ttcp"
 	"repro/internal/units"
@@ -75,6 +82,8 @@ func main() {
 	seriesOut := flag.String("series", "", "write the utilization time-series JSON to this path")
 	seriesCSV := flag.String("series-csv", "", "write the utilization time-series CSV to this path")
 	seriesIntervalUS := flag.Int64("series-interval-us", 100, "series sampling interval, µs of virtual time")
+	faultPlan := flag.String("fault", "", "fault plan, e.g. 'drop:every=13,min=1000;corrupt:p=0.01' (see internal/fault)")
+	faultSeed := flag.Int64("fault-seed", 1, "fault injector seed")
 	flag.Parse()
 
 	size, err := parseSize(*sizeS)
@@ -99,6 +108,12 @@ func main() {
 	if *seriesOut != "" || *seriesCSV != "" {
 		tb.EnableSeries(units.Time(*seriesIntervalUS) * units.Microsecond)
 	}
+	var inj *fault.Injector
+	if *faultPlan != "" {
+		inj = fault.New(tb.Eng, *faultSeed)
+		die(inj.AddPlan(*faultPlan))
+		tb.EnableFaults(inj)
+	}
 	params := ttcp.Params{
 		Total: total, RWSize: size, Window: window,
 		WithUtil: true, WithBackground: true,
@@ -110,6 +125,9 @@ func main() {
 		report = os.Stderr
 	}
 	emitTelemetry := func() {
+		if inj != nil {
+			fmt.Fprintf(report, "  %s\n", inj.Report())
+		}
 		if tb.Prof != nil {
 			if *profile {
 				fmt.Print(tb.Prof.Folded())

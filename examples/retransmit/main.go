@@ -12,7 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/hippi"
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/socket"
 	"repro/internal/units"
@@ -27,24 +27,13 @@ const (
 
 func main() {
 	tb := core.NewTestbed(23)
+	// Drop every 9th data-bearing frame (control traffic passes).
+	inj := fault.New(tb.Eng, 23)
+	inj.Add(fault.Rule{Kind: fault.Drop, When: fault.Every(9), MinLen: 1000})
+	tb.EnableFaults(inj)
 	a := tb.AddHost(core.HostConfig{Name: "A", Addr: addrA, Mode: socket.ModeSingleCopy, CABNode: 1})
 	b := tb.AddHost(core.HostConfig{Name: "B", Addr: addrB, Mode: socket.ModeSingleCopy, CABNode: 2})
 	tb.RouteCAB(a, b)
-
-	// Drop every 9th data-bearing frame (control traffic passes).
-	dropped := 0
-	n := 0
-	tb.Net.DropFn = func(f *hippi.Frame) bool {
-		if len(f.Data) < 1000 {
-			return false
-		}
-		n++
-		if n%9 == 0 {
-			dropped++
-			return true
-		}
-		return false
-	}
 
 	const total = 4 * units.MB
 	lis := b.Stk.Listen(port)
@@ -92,7 +81,8 @@ func main() {
 		intact = bytes.Equal(got[off:off+len(want)], want)
 	}
 
-	fmt.Printf("transferred %v with %d frames dropped in flight\n", units.Size(len(got)), dropped)
+	fmt.Printf("transferred %v with %d frames dropped in flight\n",
+		units.Size(len(got)), inj.Fired[fault.Drop])
 	fmt.Printf("data intact: %v\n", intact)
 	fmt.Printf("TCP retransmissions .................. %d\n", a.Stk.Stats.TCPRetransmits)
 	fmt.Printf("header-only SDMA overlays ............ %d (body never re-read)\n", a.Drv.Stats.TxOverlays)

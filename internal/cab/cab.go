@@ -60,12 +60,17 @@ func DefaultConfig() Config {
 type RxEvent struct {
 	// Pkt is the packet resident in network memory. For packets that fit
 	// entirely within the auto-DMA buffer the driver typically frees it
-	// immediately.
+	// immediately. Nil when the adaptor delivered the frame straight from
+	// the auto-DMA buffer under network-memory pressure (the whole packet
+	// is then in Buf).
 	Pkt *Packet
 	// Buf holds the packet's first min(L, len) bytes in host memory.
 	Buf []byte
 	// HdrLen is how many bytes of Buf are valid.
 	HdrLen units.Size
+	// Len is the packet's full length on the wire (equals Pkt.Len() when
+	// Pkt is non-nil).
+	Len units.Size
 	// BodySum is the receive checksum engine's unfolded partial sum over
 	// the packet from RxCsumSkip to its end, available to the host as
 	// soon as the packet is (Section 2.1).
@@ -84,6 +89,9 @@ type Stats struct {
 	DropNoMem          int // packets dropped: network memory exhausted
 	DropNoBuf          int // packets dropped: no auto-DMA host buffer available
 	RetransmitOverlays int
+	SDMAFails          int // SDMA transfers failed by fault injection (each is retried)
+	RxRetries          int // rx frames held on the link and retried (memory/buffer pressure)
+	RxHdrDeliveries    int // rx frames delivered straight from the auto-DMA buffer (netmem pressure)
 }
 
 // CAB is one adaptor instance.
@@ -97,6 +105,7 @@ type CAB struct {
 
 	freePages  int
 	totalPages int
+	reserved   int
 	nextPktID  int
 	freeSig    *sim.Signal
 	live       map[int]*Packet
@@ -109,10 +118,25 @@ type CAB struct {
 
 	rxBufs [][]byte
 
+	// rxHold is the FIFO of frames held on the link under resource
+	// pressure (see mdma.go); rxHoldArmed is true while a pump event is
+	// pending.
+	rxHold      []heldRx
+	rxHoldArmed bool
+
 	// OnRx is the host's receive notification (installed by the driver;
 	// runs in hardware/event context — the driver is responsible for
 	// posting a host interrupt).
 	OnRx func(ev *RxEvent)
+
+	// Fault hooks (nil in production: each guard is a single nil check on
+	// the hot path). FaultSDMA, consulted once per SDMA transfer, fails
+	// the transfer when true (the engine retries it). FaultTxCsum /
+	// FaultRxCsum, consulted once per checksum-engine computation, return
+	// a 16-bit xor mask applied to the computed body sum (0: no fault).
+	FaultSDMA   func() bool
+	FaultTxCsum func() uint32
+	FaultRxCsum func() uint32
 
 	Stats Stats
 
@@ -133,6 +157,9 @@ func (c *CAB) SetObs(r *obs.Registry) {
 	r.Func("cab.drop_no_mem", func() int64 { return int64(c.Stats.DropNoMem) })
 	r.Func("cab.drop_no_buf", func() int64 { return int64(c.Stats.DropNoBuf) })
 	r.Func("cab.retransmit_overlays", func() int64 { return int64(c.Stats.RetransmitOverlays) })
+	r.Func("cab.sdma_fails", func() int64 { return int64(c.Stats.SDMAFails) })
+	r.Func("cab.rx_retries", func() int64 { return int64(c.Stats.RxRetries) })
+	r.Func("cab.rx_hdr_deliveries", func() int64 { return int64(c.Stats.RxHdrDeliveries) })
 	c.pagesUsed = r.Gauge("cab.netmem_pages")
 }
 
@@ -239,7 +266,7 @@ func (c *CAB) AllocPacket(n units.Size) (*Packet, bool) {
 		panic("cab: zero-length packet")
 	}
 	pages := int((n + c.Cfg.PageSize - 1) / c.Cfg.PageSize)
-	if pages > c.freePages {
+	if pages > c.freePages-c.reserved {
 		return nil, false
 	}
 	c.freePages -= pages
@@ -257,6 +284,24 @@ func (c *CAB) AllocPacketWait(p *sim.Proc, n units.Size) *Packet {
 			return pk
 		}
 		c.freeSig.Wait(p)
+	}
+}
+
+// SetReserve withholds n pages from allocation, shrinking the network
+// memory visible to AllocPacket (the netmem-pressure fault mode). Lowering
+// the reserve wakes blocked allocators. Pages already allocated are
+// unaffected.
+func (c *CAB) SetReserve(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n > c.totalPages {
+		n = c.totalPages
+	}
+	old := c.reserved
+	c.reserved = n
+	if n < old {
+		c.freeSig.Broadcast()
 	}
 }
 

@@ -76,17 +76,86 @@ func (c *CAB) mdmaTxProc(p *sim.Proc) {
 	}
 }
 
+// Bounded receive backpressure: when network memory or auto-DMA buffers
+// are exhausted, the MDMA receive engine holds the arriving frame on the
+// link and retries instead of silently discarding it. Held frames form a
+// FIFO serviced strictly in arrival order — letting a later frame claim
+// freed memory first would open a sequence gap whose successors then pin
+// the remaining memory in the reassembly queue, deadlocking the very
+// reader whose progress frees pages. The hold is bounded (rxRetryLimit ×
+// rxRetryDelay ≈ 10ms at the head of the queue) so a wedged host still
+// sheds load — past the bound the drop is counted as before, from the
+// head, so the tail that remains is contiguous.
+const (
+	rxRetryDelay = 25 * units.Microsecond
+	rxRetryLimit = 400
+)
+
+// heldRx is one frame held on the link under resource pressure.
+type heldRx struct {
+	f        hippi.Frame
+	attempts int
+}
+
 // rxFrame handles a frame arriving from the media: the MDMA receive engine
 // moves it into network memory, computing the receive checksum on the way
 // in; the first L bytes are then auto-DMAed to a preallocated host buffer
 // and the host is notified (Section 2.2).
 func (c *CAB) rxFrame(f hippi.Frame) {
 	f.Span.Enter(obs.StageMDMA)
+	// Preserve arrival order: never overtake frames already held.
+	if len(c.rxHold) == 0 && c.tryRx(f) {
+		return
+	}
+	c.rxHold = append(c.rxHold, heldRx{f: f})
+	if !c.rxHoldArmed {
+		c.rxHoldArmed = true
+		c.eng.After(rxRetryDelay, c.rxHoldPump)
+	}
+}
+
+// rxHoldPump retries the held-frame FIFO from the head.
+func (c *CAB) rxHoldPump() {
+	for len(c.rxHold) > 0 {
+		h := &c.rxHold[0]
+		if c.tryRx(h.f) {
+			c.rxHold = c.rxHold[1:]
+			continue
+		}
+		c.Stats.RxRetries++
+		if h.attempts++; h.attempts >= rxRetryLimit {
+			if len(c.rxBufs) == 0 {
+				c.Stats.DropNoBuf++
+			} else {
+				c.Stats.DropNoMem++
+			}
+			c.rxHold = c.rxHold[1:]
+			continue
+		}
+		c.eng.After(rxRetryDelay, c.rxHoldPump)
+		return
+	}
+	c.rxHoldArmed = false
+}
+
+// tryRx attempts to accept one frame into the adaptor; it reports false
+// when a required resource (rx buffer, network memory) is missing.
+func (c *CAB) tryRx(f hippi.Frame) bool {
 	n := units.Size(len(f.Data))
+	if len(c.rxBufs) == 0 {
+		return false
+	}
 	pk, ok := c.AllocPacket(n)
 	if !ok {
-		c.Stats.DropNoMem++
-		return
+		// Network memory exhausted. Frames that fit in the auto-DMA
+		// buffer (ACKs, control traffic) are delivered straight from it so
+		// the protocol keeps making the progress that drains memory;
+		// larger frames get the bounded hold-and-retry.
+		if n <= c.Cfg.AutoDMALen {
+			c.rxDeliverDirect(f)
+			return true
+		}
+		return false
 	}
 	copy(pk.buf, f.Data)
 	c.Stats.RxPackets++
@@ -95,12 +164,10 @@ func (c *CAB) rxFrame(f hippi.Frame) {
 	if n > c.Cfg.RxCsumSkip {
 		bodySum = checksum.Sum(pk.buf[c.Cfg.RxCsumSkip:])
 	}
-
-	if len(c.rxBufs) == 0 {
-		c.Stats.DropNoBuf++
-		pk.Free()
-		return
+	if c.FaultRxCsum != nil {
+		bodySum ^= c.FaultRxCsum()
 	}
+
 	buf := c.rxBufs[0]
 	c.rxBufs = c.rxBufs[1:]
 
@@ -119,7 +186,35 @@ func (c *CAB) rxFrame(f hippi.Frame) {
 				pk.Free()
 				return
 			}
-			c.OnRx(&RxEvent{Pkt: pk, Buf: buf, HdrLen: l, BodySum: bodySum, Span: span})
+			c.OnRx(&RxEvent{Pkt: pk, Buf: buf, HdrLen: l, Len: n, BodySum: bodySum, Span: span})
 		},
+	})
+	return true
+}
+
+// rxDeliverDirect streams a frame that fits in the auto-DMA buffer through
+// to the host without staging it in network memory (the netmem-pressure
+// fallback). The host sees a normal RxEvent whose Pkt is nil: the whole
+// packet is in Buf.
+func (c *CAB) rxDeliverDirect(f hippi.Frame) {
+	n := units.Size(len(f.Data))
+	var bodySum uint32
+	if n > c.Cfg.RxCsumSkip {
+		bodySum = checksum.Sum(f.Data[c.Cfg.RxCsumSkip:])
+	}
+	if c.FaultRxCsum != nil {
+		bodySum ^= c.FaultRxCsum()
+	}
+	buf := c.rxBufs[0]
+	c.rxBufs = c.rxBufs[1:]
+	copy(buf, f.Data)
+	c.Stats.RxPackets++
+	c.Stats.RxHdrDeliveries++
+	span := f.Span
+	c.eng.After(c.Mach.DMATime(n), func() {
+		if c.OnRx == nil {
+			return
+		}
+		c.OnRx(&RxEvent{Pkt: nil, Buf: buf, HdrLen: n, Len: n, BodySum: bodySum, Span: span})
 	})
 }

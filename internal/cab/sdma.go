@@ -52,7 +52,15 @@ type SDMAReq struct {
 
 	// Done runs at completion, in hardware context.
 	Done func(*SDMAReq)
+
+	// retries counts consecutive failed attempts under fault injection.
+	retries int
 }
+
+// maxSDMARetries bounds consecutive failed attempts of one request; a
+// fault plan that fails the same transfer this many times is declared
+// persistent (the simulated hardware would be dead, not faulty).
+const maxSDMARetries = 64
 
 func (r *SDMAReq) bytes() units.Size {
 	var n units.Size
@@ -83,6 +91,19 @@ func (c *CAB) sdmaProc(p *sim.Proc) {
 		req := c.sdmaQ.Get(p)
 		n := req.bytes()
 		p.Sleep(c.Mach.DMATime(n))
+		if c.FaultSDMA != nil && c.FaultSDMA() {
+			// The transfer failed after occupying the bus; requeue it.
+			// Completion (Done) fires only on success, so owners never see
+			// a half-finished transfer.
+			c.Stats.SDMAFails++
+			req.retries++
+			if req.retries > maxSDMARetries {
+				panic("cab: SDMA fault persisted past retry limit")
+			}
+			c.sdmaQ.Put(req)
+			continue
+		}
+		req.retries = 0
 		c.Stats.SDMAOps++
 		c.Stats.SDMABytes += n
 		switch req.Dir {
@@ -124,6 +145,13 @@ func (c *CAB) performToCAB(req *SDMAReq) {
 		c.Stats.RetransmitOverlays++
 	} else {
 		pk.BodySum = checksum.Sum(pk.buf[req.CsumSkip:])
+		if c.FaultTxCsum != nil {
+			// Checksum-engine miscomputation: the saved body sum (and so
+			// the wire checksum, here and on every header-only overlay
+			// retransmit that reuses it) is wrong until the driver falls
+			// back to a fresh multi-copy send.
+			pk.BodySum ^= c.FaultTxCsum()
+		}
 		pk.HasBodySum = true
 	}
 	seed := uint32(pk.buf[req.CsumOff])<<8 | uint32(pk.buf[req.CsumOff+1])

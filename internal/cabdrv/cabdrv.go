@@ -72,7 +72,18 @@ type outPkt struct {
 	// payloadOff is where user payload starts within the packet (link +
 	// IP + transport headers).
 	payloadOff units.Size
+	// overlays counts header-only retransmissions of this packet. The
+	// overlay path reuses the body checksum saved at first transmission;
+	// if that sum is bad (checksum-engine fault), every overlay inherits
+	// it, so after maxOverlaysPerPacket the driver stops trusting it and
+	// degrades to the multi-copy fallback-read path, which re-reads the
+	// data and computes a fresh checksum.
+	overlays int
 }
+
+// maxOverlaysPerPacket bounds header-only retransmissions per outboard
+// packet before the driver falls back to re-reading the data.
+const maxOverlaysPerPacket = 3
 
 // rxPkt is the WCAB handle for receive packets.
 type rxPkt struct {
@@ -273,6 +284,7 @@ func (d *Driver) sendOverlay(job *txJob, op *outPkt, prefixLen units.Size) {
 	m := job.m
 	hdrH := m.Hdr()
 	d.Stats.TxOverlays++
+	op.overlays++
 
 	hb := make([]byte, prefixLen)
 	mbuf.ReadRange(m, 0, prefixLen, hb)
@@ -320,6 +332,9 @@ func (d *Driver) overlayCandidate(m *mbuf.Mbuf) (*outPkt, units.Size, bool) {
 	w := cur.WCABRef()
 	op, ok := w.Handle.(*outPkt)
 	if !ok || op.pk.Freed() || op.pk.Owner() != d.C {
+		return nil, 0, false
+	}
+	if op.overlays >= maxOverlaysPerPacket {
 		return nil, 0, false
 	}
 	if cur.Off() != 0 || cur.Len() != w.Valid {

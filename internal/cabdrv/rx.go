@@ -30,10 +30,15 @@ func (d *Driver) rxIntr(ctx kern.Ctx, ev *cab.RxEvent) {
 
 	lh, err := wire.ParseLinkHdr(ev.Buf[:wire.LinkHdrLen])
 	if err != nil || lh.Type != wire.EtherTypeIP {
-		ev.Pkt.Free()
+		if ev.Pkt != nil {
+			ev.Pkt.Free()
+		}
 		return
 	}
-	pktLen := ev.Pkt.Len()
+	// ev.Pkt is nil when the adaptor delivered the frame straight from the
+	// auto-DMA buffer under netmem pressure; such frames always fit in the
+	// buffer (Len == HdrLen), so they take the small-packet path below.
+	pktLen := ev.Len
 
 	if !d.SingleCopy {
 		d.rxLegacy(ctx, ev, pktLen)
@@ -49,7 +54,9 @@ func (d *Driver) rxIntr(ctx kern.Ctx, ev *cab.RxEvent) {
 		m := mbuf.AdoptCluster(ev.Buf, wire.LinkHdrLen, pktLen-wire.LinkHdrLen)
 		m.MarkPktHdr(pktLen - wire.LinkHdrLen)
 		m.SetHdr(&mbuf.Hdr{HWRxValid: true, HWRxSum: ev.BodySum, Span: ev.Span})
-		ev.Pkt.Free()
+		if ev.Pkt != nil {
+			ev.Pkt.Free()
+		}
 		d.Input(ctx, m, d)
 		return
 	}
@@ -91,7 +98,9 @@ func (d *Driver) rxLegacy(ctx kern.Ctx, ev *cab.RxEvent, pktLen units.Size) {
 	head.MarkPktHdr(pktLen - wire.LinkHdrLen)
 	head.AttachSpan(ev.Span)
 	if pktLen <= ev.HdrLen {
-		ev.Pkt.Free()
+		if ev.Pkt != nil {
+			ev.Pkt.Free()
+		}
 		d.Input(ctx, head, d)
 		return
 	}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/cabdrv"
 	"repro/internal/cost"
 	"repro/internal/ethdev"
+	"repro/internal/fault"
 	"repro/internal/hippi"
 	"repro/internal/kern"
 	"repro/internal/loop"
@@ -80,6 +81,9 @@ type Testbed struct {
 	// Series is the utilization time-series sampler; nil unless
 	// EnableSeries was called before hosts were added.
 	Series *obs.SeriesSet
+	// FaultInj is the fault injector; nil unless EnableFaults was called
+	// before hosts were added.
+	FaultInj *fault.Injector
 
 	seriesStop bool
 }
@@ -159,6 +163,23 @@ func (tb *Testbed) EnableSeries(interval units.Time) *obs.SeriesSet {
 // and exits, letting Eng.Run drain. Harmless when series are disabled.
 func (tb *Testbed) StopSeries() { tb.seriesStop = true }
 
+// EnableFaults installs a fault injector on every fabric and every host
+// added afterwards: the wire surfaces immediately, the CAB and kernel
+// surfaces as each host is assembled. Add the plan's rules to inj before
+// calling. Must run before AddHost.
+func (tb *Testbed) EnableFaults(inj *fault.Injector) *fault.Injector {
+	if len(tb.Hosts) > 0 {
+		panic("core: EnableFaults must be called before AddHost")
+	}
+	tb.FaultInj = inj
+	inj.WireNet(tb.Net)
+	inj.WireNet(tb.EthNet)
+	if tb.Tel != nil {
+		inj.SetObs(tb.Tel.Registry("net"), tb.Tel.Trace())
+	}
+	return inj
+}
+
 // AddHost assembles a host and joins it to the testbed fabrics.
 func (tb *Testbed) AddHost(cfg HostConfig) *Host {
 	if cfg.Mach == nil {
@@ -183,6 +204,10 @@ func (tb *Testbed) AddHost(cfg HostConfig) *Host {
 	}
 	h.CAB = cab.New(tb.Eng, cfg.Mach, tb.Net, cfg.CABNode, cabCfg)
 	h.CAB.SetObs(h.K.Obs)
+	if tb.FaultInj != nil {
+		tb.FaultInj.WireCAB(h.CAB)
+		tb.FaultInj.WireKernel(h.K)
+	}
 	if !cfg.NoDriver {
 		h.Drv = cabdrv.New("cab0", h.K, h.CAB, cfg.Mode == socket.ModeSingleCopy)
 		h.Drv.Input = h.Stk.Input

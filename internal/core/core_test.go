@@ -4,7 +4,7 @@ import (
 	"bytes"
 	"testing"
 
-	"repro/internal/hippi"
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/socket"
 	"repro/internal/units"
@@ -165,14 +165,9 @@ func TestSingleCopyUsesLessCPU(t *testing.T) {
 func TestRetransmissionUnderLoss(t *testing.T) {
 	tb, a, b := twoHosts(socket.ModeSingleCopy)
 	// Drop every 13th data-bearing frame (let the handshake through).
-	n := 0
-	tb.Net.DropFn = func(f *hippi.Frame) bool {
-		if len(f.Data) < 200 {
-			return false
-		}
-		n++
-		return n%13 == 0
-	}
+	inj := fault.New(tb.Eng, 1)
+	inj.Add(fault.Rule{Kind: fault.Drop, When: fault.Every(13), MinLen: 200})
+	inj.WireNet(tb.Net)
 	total, ws := units.Size(2*units.MB), units.Size(64*units.KB)
 	got := transfer(t, tb, a, b, total, ws)
 	if !bytes.Equal(got, wantPattern(total, ws)) {

@@ -33,6 +33,10 @@ type Driver struct {
 
 	// Stats.
 	TxPackets, RxPackets, Converted int
+	// RxDropNoBuf counts frames lost to receive-buffer exhaustion (the
+	// kernel allocation-fault surface; the transport recovers by
+	// retransmission).
+	RxDropNoBuf int
 }
 
 type txJob struct {
@@ -103,6 +107,13 @@ func (d *Driver) hwRx(f hippi.Frame) {
 		ctx.Charge(d.K.Mach.DriverPerPacket, kern.CatDriver)
 		lh, err := wire.ParseLinkHdr(f.Data)
 		if err != nil || lh.Type != wire.EtherTypeIP {
+			return
+		}
+		if d.K.AllocFault != nil && d.K.AllocFault() {
+			// No kernel buffers for the frame: the device ring overruns.
+			// Interrupt context cannot back off and retry the way the
+			// socket layer does; the frame is lost and TCP recovers.
+			d.RxDropNoBuf++
 			return
 		}
 		d.RxPackets++

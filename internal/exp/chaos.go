@@ -1,0 +1,55 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fault/soak"
+)
+
+// ChaosResult is one soak case's outcome in the chaos table.
+type ChaosResult struct {
+	Outcome soak.Outcome
+}
+
+// RunChaos runs the full adversarial soak matrix: every fault surface,
+// both protocols, both stack modes. It is the experiment-shaped wrapper
+// around the soak suite, for the CLI.
+func RunChaos() []ChaosResult {
+	var rs []ChaosResult
+	for _, c := range soak.Matrix() {
+		rs = append(rs, ChaosResult{Outcome: soak.Run(c)})
+	}
+	return rs
+}
+
+// ChaosFailed reports whether any case violated an invariant.
+func ChaosFailed(rs []ChaosResult) bool {
+	for _, r := range rs {
+		if len(r.Outcome.Failures) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// FormatChaos renders the chaos table.
+func FormatChaos(rs []ChaosResult) string {
+	var b strings.Builder
+	b.WriteString("Chaos soak: end-to-end recovery under injected faults\n")
+	fmt.Fprintf(&b, "  %-18s %-6s %-10s %-7s %s\n", "case", "proto", "delivered", "status", "faults")
+	for _, r := range rs {
+		o := r.Outcome
+		status := "ok"
+		if len(o.Failures) > 0 {
+			status = "FAIL"
+		}
+		faults := strings.TrimPrefix(o.Report, "fault injection: ")
+		fmt.Fprintf(&b, "  %-18s %-6s %-10v %-7s %s\n",
+			o.Case.Name, o.Case.Proto, o.Delivered, status, faults)
+		for _, f := range o.Failures {
+			fmt.Fprintf(&b, "      ! %s\n", f)
+		}
+	}
+	return b.String()
+}

@@ -3,12 +3,11 @@ package exp
 import (
 	"bytes"
 	"encoding/json"
-	"math/rand"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/cost"
-	"repro/internal/hippi"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/socket"
 	"repro/internal/ttcp"
@@ -16,16 +15,22 @@ import (
 )
 
 // runInstrumented runs one single-copy transfer with telemetry enabled,
-// optionally injecting frame loss.
-func runInstrumented(seed int64, drop func(*hippi.Frame) bool) (*core.Testbed, ttcp.Result) {
+// optionally injecting faults.
+func runInstrumented(seed int64, rules ...fault.Rule) (*core.Testbed, ttcp.Result) {
 	tb := core.NewTestbed(seed)
 	tb.EnableTelemetry()
+	if len(rules) > 0 {
+		inj := fault.New(tb.Eng, 99)
+		for _, r := range rules {
+			inj.Add(r)
+		}
+		tb.EnableFaults(inj)
+	}
 	a := tb.AddHost(core.HostConfig{Name: "A", Addr: addrA, Mach: cost.Alpha400(),
 		Mode: socket.ModeSingleCopy, CABNode: 1})
 	b := tb.AddHost(core.HostConfig{Name: "B", Addr: addrB, Mach: cost.Alpha400(),
 		Mode: socket.ModeSingleCopy, CABNode: 2})
 	tb.RouteCAB(a, b)
-	tb.Net.DropFn = drop
 	res := ttcp.Run(tb, a, b, ttcp.Params{
 		Total: 4 * units.MB, RWSize: 64 * units.KB,
 		WithUtil: true, WithBackground: true,
@@ -54,8 +59,8 @@ func metric(t *testing.T, s obs.Snapshot, host, name string) int64 {
 // identical seeds must produce byte-identical metrics JSON and Chrome
 // traces.
 func TestTelemetryDeterminism(t *testing.T) {
-	tb1, _ := runInstrumented(7, nil)
-	tb2, _ := runInstrumented(7, nil)
+	tb1, _ := runInstrumented(7)
+	tb2, _ := runInstrumented(7)
 	if !bytes.Equal(tb1.Tel.Snapshot().JSON(), tb2.Tel.Snapshot().JSON()) {
 		t.Fatal("same-seed runs produced different metrics JSON")
 	}
@@ -68,7 +73,7 @@ func TestTelemetryDeterminism(t *testing.T) {
 // lossless runs retransmit nothing; lossy runs move the retransmit and drop
 // counters.
 func TestLossMovesCounters(t *testing.T) {
-	tb, _ := runInstrumented(7, nil)
+	tb, _ := runInstrumented(7)
 	clean := tb.Tel.Snapshot()
 	if n := metric(t, clean, "A", "tcp.retransmits"); n != 0 {
 		t.Fatalf("lossless run retransmitted %d segments", n)
@@ -77,12 +82,10 @@ func TestLossMovesCounters(t *testing.T) {
 		t.Fatalf("lossless run dropped %d frames", n)
 	}
 
-	rng := rand.New(rand.NewSource(99))
-	drop := func(f *hippi.Frame) bool {
-		// Only drop bulk data frames so the handshake survives.
-		return len(f.Data) > 16*1024 && rng.Float64() < 0.02
-	}
-	tb2, res := runInstrumented(7, drop)
+	// Only drop bulk data frames so the handshake survives.
+	tb2, res := runInstrumented(7, fault.Rule{
+		Kind: fault.Drop, When: fault.Prob(0.02), MinLen: 16*units.KB + 1,
+	})
 	lossy := tb2.Tel.Snapshot()
 	if res.Bytes != 4*units.MB {
 		t.Fatalf("lossy transfer incomplete: %v", res.Bytes)
@@ -123,7 +126,7 @@ func TestTelemetryVirtualTimeNeutral(t *testing.T) {
 // TestChromeTraceShape asserts the exported trace is valid Chrome
 // trace-event JSON with complete spans across every data-path stage.
 func TestChromeTraceShape(t *testing.T) {
-	tb, _ := runInstrumented(7, nil)
+	tb, _ := runInstrumented(7)
 	var f struct {
 		TraceEvents []struct {
 			Name string  `json:"name"`
@@ -162,7 +165,7 @@ func TestChromeTraceShape(t *testing.T) {
 
 // TestHostSnapshot exercises the core.Host accessor.
 func TestHostSnapshot(t *testing.T) {
-	tb, _ := runInstrumented(7, nil)
+	tb, _ := runInstrumented(7)
 	hm := tb.Hosts[0].Snapshot()
 	if hm.Host != "A" || len(hm.Metrics) == 0 {
 		t.Fatalf("host snapshot empty: %+v", hm.Host)

@@ -1,0 +1,213 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// ParsePlan parses a fault plan spec into rules. The grammar is
+// semicolon-separated rules, each `kind` or `kind:param,param,...`:
+//
+//	kind   := drop | corrupt | dup | reorder | delay
+//	        | dmafail | txcsum | rxcsum | netmem | allocfail
+//	param  := every=N        fire on every Nth eligible event
+//	        | p=F            fire with probability F (seeded)
+//	        | burst=S+L      fire on L consecutive events after the first S
+//	        | at=DUR         fire once at virtual time DUR
+//	        | window=D1+D2   fire on every event in [D1, D2)
+//	        | min=SIZE       wire rules: only frames >= SIZE
+//	        | delay=DUR      delay/reorder rules: the extra delay
+//	        | dup=N          dup rules: extra copies per fire
+//	        | pages=N        netmem: pages to reserve (default: all)
+//	        | until=DUR      netmem: release time (with at=DUR as start)
+//	DUR    := <int>ns|us|ms|s     SIZE := <int>[K|M]
+//
+// A rule with no schedule param defaults to every=100. Examples:
+//
+//	drop:every=13,min=1000
+//	corrupt:p=0.01;dup:every=97
+//	netmem:at=1ms,until=6ms;dmafail:burst=50+20
+func ParsePlan(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, params, _ := strings.Cut(part, ":")
+		kind, err := parseKind(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		r := Rule{Kind: kind}
+		if params != "" {
+			for _, ps := range strings.Split(params, ",") {
+				if err := parseParam(&r, strings.TrimSpace(ps)); err != nil {
+					return nil, fmt.Errorf("%s: %w", part, err)
+				}
+			}
+		}
+		if r.When == nil && kind != Netmem {
+			r.When = Every(100)
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("fault: empty plan %q", spec)
+	}
+	return rules, nil
+}
+
+// MustPlan is ParsePlan for known-good specs (tests, experiment tables).
+func MustPlan(spec string) []Rule {
+	rs, err := ParsePlan(spec)
+	if err != nil {
+		panic(err)
+	}
+	return rs
+}
+
+// AddPlan parses spec and adds every rule to the injector.
+func (in *Injector) AddPlan(spec string) error {
+	rs, err := ParsePlan(spec)
+	if err != nil {
+		return err
+	}
+	for _, r := range rs {
+		in.Add(r)
+	}
+	return nil
+}
+
+func parseKind(s string) (Kind, error) {
+	for k := Kind(0); k < numKinds; k++ {
+		if s == kindNames[k] {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("fault: unknown kind %q (want %s)", s, strings.Join(kindNames[:], "|"))
+}
+
+func parseParam(r *Rule, p string) error {
+	key, val, ok := strings.Cut(p, "=")
+	if !ok {
+		return fmt.Errorf("bad param %q (want key=value)", p)
+	}
+	switch key {
+	case "every":
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad every=%q", val)
+		}
+		r.When = Every(n)
+	case "p":
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil || f < 0 || f > 1 {
+			return fmt.Errorf("bad p=%q", val)
+		}
+		r.When = Prob(f)
+	case "burst":
+		s, l, ok := strings.Cut(val, "+")
+		start, err1 := strconv.Atoi(s)
+		length, err2 := strconv.Atoi(l)
+		if !ok || err1 != nil || err2 != nil || start < 0 || length < 1 {
+			return fmt.Errorf("bad burst=%q (want S+L)", val)
+		}
+		r.When = Burst(start, length)
+	case "at":
+		t, err := parseDur(val)
+		if err != nil {
+			return err
+		}
+		if r.Kind == Netmem {
+			r.From = t
+		} else {
+			r.When = At(t)
+		}
+	case "window":
+		f, u, ok := strings.Cut(val, "+")
+		from, err1 := parseDur(f)
+		to, err2 := parseDur(u)
+		if !ok || err1 != nil || err2 != nil || to <= from {
+			return fmt.Errorf("bad window=%q (want FROM+TO)", val)
+		}
+		if r.Kind == Netmem {
+			r.From, r.Until = from, to
+		} else {
+			r.When = Window(from, to)
+		}
+	case "until":
+		t, err := parseDur(val)
+		if err != nil {
+			return err
+		}
+		r.Until = t
+	case "min":
+		n, err := parseSize(val)
+		if err != nil {
+			return err
+		}
+		r.MinLen = n
+	case "delay":
+		t, err := parseDur(val)
+		if err != nil {
+			return err
+		}
+		r.Delay = t
+	case "dup":
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad dup=%q", val)
+		}
+		r.Dup = n
+	case "pages":
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad pages=%q", val)
+		}
+		r.Pages = n
+	default:
+		return fmt.Errorf("unknown param %q", key)
+	}
+	return nil
+}
+
+func parseDur(s string) (units.Time, error) {
+	mult := units.Time(0)
+	num := s
+	switch {
+	case strings.HasSuffix(s, "ns"):
+		mult, num = units.Nanosecond, s[:len(s)-2]
+	case strings.HasSuffix(s, "us"):
+		mult, num = units.Microsecond, s[:len(s)-2]
+	case strings.HasSuffix(s, "ms"):
+		mult, num = units.Millisecond, s[:len(s)-2]
+	case strings.HasSuffix(s, "s"):
+		mult, num = units.Second, s[:len(s)-1]
+	default:
+		return 0, fmt.Errorf("bad duration %q (want <int>ns|us|ms|s)", s)
+	}
+	n, err := strconv.ParseInt(num, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad duration %q", s)
+	}
+	return units.Time(n) * mult, nil
+}
+
+func parseSize(s string) (units.Size, error) {
+	mult := units.Size(1)
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = units.KB, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = units.MB, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return units.Size(n) * mult, nil
+}

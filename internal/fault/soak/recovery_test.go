@@ -1,0 +1,245 @@
+package soak
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/socket"
+	"repro/internal/units"
+)
+
+// Recovery-corner tests: each pins one specific end-to-end recovery
+// mechanism under injected faults, beyond the matrix's blanket invariants.
+
+// TestCorruptionCaughtByChecksum: injected bit flips must surface as
+// receiver checksum errors and sender retransmissions — never as silently
+// accepted corrupt data (the matrix's byte-exact check) and never as
+// anything else (link parse drops would leave the csum counter at zero).
+func TestCorruptionCaughtByChecksum(t *testing.T) {
+	o := Run(Case{Name: "corrupt", Plan: "corrupt:every=5,min=1000", Seed: 31, Proto: "tcp"})
+	if len(o.Failures) > 0 {
+		t.Fatalf("%v", o.Failures)
+	}
+	if o.B.Stk.Stats.TCPCsumErrors == 0 {
+		t.Fatal("no corruption was detected by the receive checksum")
+	}
+	if o.A.Stk.Stats.TCPRetransmits == 0 {
+		t.Fatal("detected corruption caused no retransmission")
+	}
+}
+
+// TestDupAndReorderDoNotCorruptReassembly: duplicated and reordered
+// segments must be absorbed by TCP reassembly — visible in the dup/ooo
+// counters, invisible in the byte stream.
+func TestDupAndReorderDoNotCorruptReassembly(t *testing.T) {
+	o := Run(Case{Name: "dup-reorder", Seed: 32, Proto: "tcp",
+		Plan: "dup:every=6,min=1000;reorder:every=7,min=1000,delay=3ms"})
+	if len(o.Failures) > 0 {
+		t.Fatalf("%v", o.Failures)
+	}
+	if o.B.Stk.Stats.TCPDupSegs == 0 {
+		t.Fatal("vacuous: receiver never saw a duplicate segment")
+	}
+	if o.B.Stk.Stats.TCPOutOfOrder == 0 {
+		t.Fatal("vacuous: receiver never held an out-of-order segment")
+	}
+}
+
+// TestRTOBackoffResetsAfterLossBurst samples the connection's RTO through
+// a dense early loss burst: backoff must raise it above base while the
+// burst starves ACKs, and forward progress afterwards must reset it.
+func TestRTOBackoffResetsAfterLossBurst(t *testing.T) {
+	tb := core.NewTestbed(33)
+	inj := fault.New(tb.Eng, 33)
+	// Drop 8 consecutive data frames early in the transfer.
+	inj.Add(fault.Rule{Kind: fault.Drop, When: fault.Burst(4, 8), MinLen: 1000})
+	tb.EnableFaults(inj)
+	a := tb.AddHost(core.HostConfig{Name: "A", Addr: addrA, Mode: socket.ModeSingleCopy, CABNode: 1})
+	b := tb.AddHost(core.HostConfig{Name: "B", Addr: addrB, Mode: socket.ModeSingleCopy, CABNode: 2})
+	tb.RouteCAB(a, b)
+
+	const total = 1 * units.MB
+	const ws = 64 * units.KB
+	lis := b.Stk.Listen(port)
+	var got units.Size
+	rt := b.NewUserTask("rcv", 0)
+	tb.Eng.Go("rcv", func(p *sim.Proc) {
+		s := b.Accept(p, rt, lis)
+		buf := rt.Space.Alloc(ws, 8)
+		for {
+			n, err := s.Read(p, buf)
+			got += n
+			if err != nil {
+				return
+			}
+		}
+	})
+	st := a.NewUserTask("snd", 0)
+	var maxRTO, lastRTO units.Time
+	var sock *socket.Socket
+	tb.Eng.Go("snd", func(p *sim.Proc) {
+		s, err := a.Dial(p, st, addrB, port)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		sock = s
+		buf := st.Space.Alloc(ws, 8)
+		for sent := units.Size(0); sent < total; sent += ws {
+			if err := s.WriteAll(p, buf); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+		}
+		s.Close(p)
+	})
+	tb.Eng.Go("rto-sampler", func(p *sim.Proc) {
+		for got < total {
+			p.Sleep(10 * units.Millisecond)
+			if sock != nil {
+				lastRTO = sock.Conn.RTO()
+				if lastRTO > maxRTO {
+					maxRTO = lastRTO
+				}
+			}
+		}
+	})
+	tb.Eng.Run()
+	tb.Eng.KillAll()
+
+	if got != total {
+		t.Fatalf("transfer incomplete: %v of %v", got, total)
+	}
+	base := sock.Conn.RTO() // fully recovered connection sits at base
+	if maxRTO <= base {
+		t.Fatalf("loss burst never backed off the RTO (max %v, base %v)", maxRTO, base)
+	}
+	if lastRTO != base {
+		t.Fatalf("RTO did not reset after recovery: %v, want %v", lastRTO, base)
+	}
+}
+
+// TestIPReassemblyTimeoutUnderFragmentLoss shrinks the CAB MTU so UDP
+// datagrams fragment, then drops fragments: incomplete datagrams must be
+// reclaimed by the reassembly timer (counted, no leak), while intact ones
+// still arrive.
+func TestIPReassemblyTimeoutUnderFragmentLoss(t *testing.T) {
+	tb := core.NewTestbed(34)
+	inj := fault.New(tb.Eng, 34)
+	inj.Add(fault.Rule{Kind: fault.Drop, When: fault.Every(7), MinLen: 2000})
+	tb.EnableFaults(inj)
+	a := tb.AddHost(core.HostConfig{Name: "A", Addr: addrA, Mode: socket.ModeSingleCopy, CABNode: 1})
+	b := tb.AddHost(core.HostConfig{Name: "B", Addr: addrB, Mode: socket.ModeSingleCopy, CABNode: 2})
+	tb.RouteCAB(a, b)
+	a.Drv.SetMTU(8 * units.KB) // a 32 KB datagram becomes 4+ fragments
+
+	rt := b.NewUserTask("rcv", 0)
+	st := a.NewUserTask("snd", 0)
+	const dg = 32 * units.KB
+	var rcvd int
+	rx := socket.NewDGram(b.K, b.VM, rt, b.Stk, port, b.SocketConfig())
+	tb.Eng.Go("rcv", func(p *sim.Proc) {
+		buf := rt.Space.Alloc(dg, 8)
+		for {
+			if n, _, _ := rx.RecvFrom(p, buf); n == 0 {
+				return
+			}
+			rcvd++
+		}
+	})
+	tb.Eng.Go("snd", func(p *sim.Proc) {
+		tx := socket.NewDGram(a.K, a.VM, st, a.Stk, 0, a.SocketConfig())
+		buf := st.Space.Alloc(dg, 8)
+		for i := 0; i < 40; i++ {
+			tx.SendTo(p, buf, addrB, port)
+		}
+	})
+	tb.Eng.Run()
+	tb.Eng.KillAll()
+
+	if rcvd == 0 {
+		t.Fatal("no datagram survived fragment loss")
+	}
+	if b.Stk.Stats.IPReassTimeouts == 0 {
+		t.Fatal("fragment loss never tripped the reassembly timeout")
+	}
+	if free, tot := b.CAB.FreePages(), b.CAB.TotalPages(); free != tot {
+		t.Fatalf("reassembly timeout leaked %d netmem pages", tot-free)
+	}
+}
+
+// TestNetmemPressureKeepsACKsFlowing is the regression test for the
+// silent-drop fix: with the sender's CAB memory reserved mid-transfer,
+// inbound ACKs (small frames) must be delivered straight from the auto-DMA
+// buffer rather than dropped, and the transfer must complete.
+func TestNetmemPressureKeepsACKsFlowing(t *testing.T) {
+	tb := core.NewTestbed(35)
+	a := tb.AddHost(core.HostConfig{Name: "A", Addr: addrA, Mode: socket.ModeSingleCopy, CABNode: 1})
+	b := tb.AddHost(core.HostConfig{Name: "B", Addr: addrB, Mode: socket.ModeSingleCopy, CABNode: 2})
+	tb.RouteCAB(a, b)
+	// Squeeze only the sender's adaptor, after the transfer is in full
+	// flight: its inbound ACKs then hit the exhausted-memory path.
+	inj := fault.New(tb.Eng, 35)
+	inj.Add(fault.Rule{Kind: fault.Netmem, From: 2 * units.Millisecond, Until: 8 * units.Millisecond})
+	inj.WireCAB(a.CAB)
+
+	const total = 4 * units.MB
+	const ws = 64 * units.KB
+	lis := b.Stk.Listen(port)
+	var got []byte
+	rt := b.NewUserTask("rcv", 0)
+	tb.Eng.Go("rcv", func(p *sim.Proc) {
+		s := b.Accept(p, rt, lis)
+		buf := rt.Space.Alloc(ws, 8)
+		for {
+			n, err := s.Read(p, buf)
+			if n > 0 {
+				got = append(got, buf.Slice(0, n).Bytes()...)
+			}
+			if err != nil {
+				return
+			}
+		}
+	})
+	st := a.NewUserTask("snd", 0)
+	want := make([]byte, ws)
+	for i := range want {
+		want[i] = byte(5 * i)
+	}
+	tb.Eng.Go("snd", func(p *sim.Proc) {
+		s, err := a.Dial(p, st, addrB, port)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		buf := st.Space.Alloc(ws, 8)
+		copy(buf.Bytes(), want)
+		for sent := units.Size(0); sent < total; sent += ws {
+			if err := s.WriteAll(p, buf); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+		}
+		s.Close(p)
+	})
+	tb.Eng.Run()
+	tb.Eng.KillAll()
+
+	if units.Size(len(got)) != total {
+		t.Fatalf("transfer incomplete under sender netmem pressure: %v", units.Size(len(got)))
+	}
+	for off := 0; off < len(got); off += len(want) {
+		if !bytes.Equal(got[off:off+len(want)], want) {
+			t.Fatalf("data corrupted at offset %d", off)
+		}
+	}
+	if a.CAB.Stats.RxHdrDeliveries == 0 {
+		t.Fatal("no ACK was delivered direct from the auto-DMA buffer under pressure")
+	}
+	if a.CAB.FreePages() != a.CAB.TotalPages() {
+		t.Fatal("pages leaked after the pressure window")
+	}
+}

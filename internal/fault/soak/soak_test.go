@@ -1,0 +1,70 @@
+package soak
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSoakMatrix runs the full adversarial suite: every case must satisfy
+// all four invariants (byte-exact delivery, zero leaks, forward progress,
+// counter conservation).
+func TestSoakMatrix(t *testing.T) {
+	for _, c := range Matrix() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			o := Run(c)
+			for _, f := range o.Failures {
+				t.Errorf("%s", f)
+			}
+			if c.Plan != "" && o.Report == "fault injection: none fired" {
+				t.Error("vacuous: the plan injected nothing")
+			}
+			if t.Failed() {
+				t.Logf("delivered %v; %s", o.Delivered, o.Report)
+			}
+		})
+	}
+}
+
+// TestSoakDeterminism: the same case run twice must reproduce its
+// telemetry snapshot byte for byte — the whole point of seeded injection.
+func TestSoakDeterminism(t *testing.T) {
+	for _, c := range []Case{
+		{Name: "det-tcp", Plan: "drop:every=13,min=200;corrupt:p=0.05,min=200", Seed: 99, Proto: "tcp"},
+		{Name: "det-udp", Plan: "drop:p=0.1,min=1000;dup:every=6,min=1000", Seed: 99, Proto: "udp"},
+	} {
+		o1, o2 := Run(c), Run(c)
+		if len(o1.Failures) > 0 {
+			t.Fatalf("%s: %v", c.Name, o1.Failures)
+		}
+		if !bytes.Equal(o1.MetricsJSON, o2.MetricsJSON) {
+			t.Fatalf("%s: same plan+seed produced different metrics JSON", c.Name)
+		}
+		if o1.Report != o2.Report {
+			t.Fatalf("%s: fire counts diverged: %q vs %q", c.Name, o1.Report, o2.Report)
+		}
+	}
+}
+
+// TestSoakCatchesViolations: a plan that genuinely breaks an invariant
+// must be reported, not absorbed — guards against a vacuously green suite.
+func TestSoakCatchesViolations(t *testing.T) {
+	// Dropping every data frame forever wedges the connection: the
+	// progress invariant must trip.
+	o := Run(Case{Name: "wedge", Plan: "drop:every=1,min=1000", Seed: 1, Proto: "tcp"})
+	if len(o.Failures) == 0 {
+		t.Fatal("total loss reported no invariant violation")
+	}
+}
+
+// TestFiredCountersExported: fault counters appear in the telemetry
+// snapshot under fault.<kind> when the plan contains the kind.
+func TestFiredCountersExported(t *testing.T) {
+	o := Run(Case{Name: "ctr", Plan: "drop:every=13,min=200", Seed: 3, Proto: "tcp"})
+	if len(o.Failures) > 0 {
+		t.Fatalf("%v", o.Failures)
+	}
+	if !bytes.Contains(o.MetricsJSON, []byte(`"fault.drop"`)) {
+		t.Fatal("fault.drop counter missing from telemetry snapshot")
+	}
+}

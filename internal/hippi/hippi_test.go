@@ -58,20 +58,69 @@ func TestSentCallbackAtSourceCompletion(t *testing.T) {
 	}
 }
 
-func TestDropFn(t *testing.T) {
+// injFn adapts a function to the Injector interface for tests.
+type injFn func(*Frame) Verdict
+
+func (fn injFn) Frame(f *Frame) Verdict { return fn(f) }
+
+func TestInjectorDrop(t *testing.T) {
 	e := sim.NewEngine(1)
 	n := NewNetwork(e, LineRate, 0)
 	delivered := 0
 	n.Attach(1, func(Frame) {})
 	n.Attach(2, func(Frame) { delivered++ })
 	i := 0
-	n.DropFn = func(*Frame) bool { i++; return i%2 == 0 }
+	n.Inj = injFn(func(*Frame) Verdict { i++; return Verdict{Drop: i%2 == 0} })
 	for j := 0; j < 10; j++ {
 		n.Send(1, 2, make([]byte, 100), nil)
 	}
 	e.Run()
 	if delivered != 5 || n.Dropped != 5 {
 		t.Fatalf("delivered=%d dropped=%d, want 5/5", delivered, n.Dropped)
+	}
+}
+
+func TestInjectorDup(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := NewNetwork(e, LineRate, 0)
+	delivered := 0
+	n.Attach(1, func(Frame) {})
+	n.Attach(2, func(Frame) { delivered++ })
+	n.Inj = injFn(func(*Frame) Verdict { return Verdict{Dup: 1} })
+	for j := 0; j < 5; j++ {
+		n.Send(1, 2, make([]byte, 100), nil)
+	}
+	e.Run()
+	if delivered != 10 || n.Duped != 5 {
+		t.Fatalf("delivered=%d duped=%d, want 10/5", delivered, n.Duped)
+	}
+	if n.Sent+n.Duped != n.Delivered+n.Dropped {
+		t.Fatalf("conservation: sent=%d duped=%d delivered=%d dropped=%d",
+			n.Sent, n.Duped, n.Delivered, n.Dropped)
+	}
+}
+
+func TestInjectorDelayReorders(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := NewNetwork(e, LineRate, 0)
+	var order []int
+	n.Attach(1, func(Frame) {})
+	n.Attach(2, func(f Frame) { order = append(order, int(f.Data[0])) })
+	i := 0
+	// Delay only the first frame; the later frames overtake it.
+	n.Inj = injFn(func(*Frame) Verdict {
+		i++
+		if i == 1 {
+			return Verdict{Delay: 1 * units.Millisecond}
+		}
+		return Verdict{}
+	})
+	for j := 0; j < 3; j++ {
+		n.Send(1, 2, []byte{byte(j), 1, 2}, nil)
+	}
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[2] != 0 {
+		t.Fatalf("delivery order %v, want delayed frame 0 last", order)
 	}
 }
 

@@ -28,6 +28,28 @@ type Frame struct {
 	Span     *obs.Span
 }
 
+// Injector is the fault-injection hook consulted for every frame after
+// source serialization (internal/fault provides the standard
+// implementation). The injector may mutate f.Data in place (corruption)
+// and returns a Verdict deciding the frame's fate. A nil injector is a
+// clean wire.
+type Injector interface {
+	Frame(f *Frame) Verdict
+}
+
+// Verdict is an injector's decision for one frame. The zero value delivers
+// the frame normally.
+type Verdict struct {
+	// Drop discards the frame.
+	Drop bool
+	// Dup delivers this many extra copies of the frame.
+	Dup int
+	// Delay adds extra propagation delay. Delayed frames bypass the
+	// receive-port serialization (they took a different path through the
+	// switch), so a delay longer than the inter-frame spacing reorders.
+	Delay units.Time
+}
+
 // Network is a switch connecting host ports.
 type Network struct {
 	eng   *sim.Engine
@@ -35,13 +57,13 @@ type Network struct {
 	delay units.Time
 	ports map[NodeID]*port
 
-	// DropFn, if set, is consulted for every frame after source
-	// serialization; returning true discards the frame (fault injection).
-	DropFn func(*Frame) bool
+	// Inj, if set, is consulted for every frame after source
+	// serialization (fault injection).
+	Inj Injector
 
 	// Counters.
-	Sent, Delivered, Dropped int
-	BytesSent                units.Size
+	Sent, Delivered, Dropped, Duped int
+	BytesSent                       units.Size
 
 	// Telemetry (nil when disabled): port-busy stalls on transmit and
 	// receive — the head-of-line effects the logical channels address.
@@ -57,6 +79,7 @@ func (n *Network) SetObs(r *obs.Registry, prefix string) {
 	r.Func(prefix+".frames_sent", func() int64 { return int64(n.Sent) })
 	r.Func(prefix+".frames_delivered", func() int64 { return int64(n.Delivered) })
 	r.Func(prefix+".frames_dropped", func() int64 { return int64(n.Dropped) })
+	r.Func(prefix+".frames_duped", func() int64 { return int64(n.Duped) })
 	r.Func(prefix+".bytes_sent", func() int64 { return int64(n.BytesSent) })
 	n.txStalls = r.Counter(prefix + ".tx_stalls")
 	n.rxStalls = r.Counter(prefix + ".rx_stalls")
@@ -114,7 +137,11 @@ func (n *Network) SendFrame(f Frame, sent func()) {
 		if sent != nil {
 			sent()
 		}
-		if n.DropFn != nil && n.DropFn(&f) {
+		var v Verdict
+		if n.Inj != nil {
+			v = n.Inj.Frame(&f)
+		}
+		if v.Drop {
 			n.Dropped++
 			return
 		}
@@ -123,17 +150,23 @@ func (n *Network) SendFrame(f Frame, sent func()) {
 			n.Dropped++
 			return
 		}
-		arriveStart := n.eng.Now() + n.delay
-		if dp.rxBusyUntil > arriveStart {
-			arriveStart = dp.rxBusyUntil
-			n.rxStalls.Inc()
+		for i := 0; i <= v.Dup; i++ {
+			if i > 0 {
+				n.Duped++
+			}
+			arriveStart := n.eng.Now() + n.delay + v.Delay
+			if v.Delay == 0 {
+				if dp.rxBusyUntil > arriveStart {
+					arriveStart = dp.rxBusyUntil
+					n.rxStalls.Inc()
+				}
+				dp.rxBusyUntil = arriveStart + txTime
+			}
+			n.eng.At(arriveStart+txTime, func() {
+				n.Delivered++
+				dp.recv(f)
+			})
 		}
-		arriveEnd := arriveStart + txTime
-		dp.rxBusyUntil = arriveEnd
-		n.eng.At(arriveEnd, func() {
-			n.Delivered++
-			dp.recv(f)
-		})
 	})
 }
 

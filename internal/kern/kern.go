@@ -106,8 +106,44 @@ type Kernel struct {
 
 	intrPosts *obs.Counter
 
+	// AllocFault, when set (fault injection), reports transient mbuf/page
+	// allocation failure; allocation sites in process context call
+	// WaitAlloc to back off until it clears. Nil means allocations never
+	// fail — the guard is a single nil check.
+	AllocFault func() bool
+	// AllocFailures counts allocation attempts that hit a fault.
+	AllocFailures int
+	allocFails    *obs.Counter
+
 	// KernelTask absorbs kernel work with no better owner.
 	KernelTask *Task
+}
+
+// Allocation-failure backoff: exponential from allocBackoffBase, capped at
+// allocBackoffMax — bounded, so a transient fault costs bounded latency
+// and a persistent one shows up as a stuck-progress soak failure rather
+// than a silent drop.
+const (
+	allocBackoffBase = 50 * units.Microsecond
+	allocBackoffMax  = 2 * units.Millisecond
+)
+
+// WaitAlloc models an mbuf/page allocation in process context: when the
+// fault hook reports exhaustion, the caller backs off (exponentially,
+// bounded) and retries until the allocation would succeed.
+func (k *Kernel) WaitAlloc(p *sim.Proc) {
+	if k.AllocFault == nil {
+		return
+	}
+	d := allocBackoffBase
+	for k.AllocFault() {
+		k.AllocFailures++
+		k.allocFails.Inc()
+		p.Sleep(d)
+		if d *= 2; d > allocBackoffMax {
+			d = allocBackoffMax
+		}
+	}
 }
 
 type intrWork struct {
@@ -163,6 +199,7 @@ func (k *Kernel) RegisterObs() {
 		return
 	}
 	k.intrPosts = r.Counter("kern.intr_posts")
+	k.allocFails = r.Counter("kern.alloc_failures")
 	for c := Category(0); c < numCategories; c++ {
 		c := c
 		r.Func("kern.cpu_ns."+c.String(), func() int64 { return int64(k.byCat[c]) })

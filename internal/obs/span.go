@@ -83,6 +83,16 @@ func (t *Trace) emit(ev chromeEvent) {
 	t.events = append(t.events, ev)
 }
 
+// Event emits an instant event (Chrome "i" phase) on pid's timeline —
+// point occurrences like injected faults that have no duration. A nil
+// *Trace is a no-op.
+func (t *Trace) Event(pid, tid, name string) {
+	if t == nil {
+		return
+	}
+	t.emit(chromeEvent{Name: name, Ph: "i", TS: micros(t.now()), PID: pid, TID: tid})
+}
+
 // Span follows one packet through the data path. Exactly one stage is open
 // at a time; Enter closes the current stage (emitting its trace event) and
 // opens the next. A nil *Span is a valid no-op, which is how uninstrumented

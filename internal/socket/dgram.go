@@ -44,6 +44,7 @@ func (d *DGram) SendTo(p *sim.Proc, buf mem.Buf, dst wire.Addr, dport uint16) er
 			if n > mbuf.MCLBYTES {
 				n = mbuf.MCLBYTES
 			}
+			d.K.WaitAlloc(p)
 			cl := mbuf.NewCluster(tmp[off : off+n])
 			if head == nil {
 				head = cl
@@ -55,6 +56,7 @@ func (d *DGram) SendTo(p *sim.Proc, buf mem.Buf, dst wire.Addr, dport uint16) er
 		d.Sock.SendTo(ctx, head, buf.Len, dst, dport)
 		return nil
 	}
+	d.K.WaitAlloc(p)
 	d.VM.MapUIO(ctx, u, 0, buf.Len)
 	d.VM.PinUIO(ctx, u, 0, buf.Len)
 	trk := newTracker(d.K.Eng)

@@ -213,6 +213,7 @@ func (s *Socket) writeCopy(ctx kern.Ctx, u *mem.UIO, buf mem.Buf) (units.Size, e
 			if n > mbuf.MCLBYTES {
 				n = mbuf.MCLBYTES
 			}
+			s.K.WaitAlloc(ctx.P)
 			tmp := make([]byte, n)
 			ctx.CopyFromUIO(u, sent+off, n, tmp, total)
 			cl := mbuf.NewCluster(tmp)
@@ -256,6 +257,7 @@ func (s *Socket) writeUIO(ctx kern.Ctx, u *mem.UIO, buf mem.Buf) (units.Size, er
 		// The socket layer, which has the application context OSF/1
 		// drivers lack, maps the chunk into kernel space and pins it for
 		// DMA (Section 4.4.1).
+		s.K.WaitAlloc(ctx.P)
 		s.VM.MapUIO(ctx, u, sent, chunk)
 		s.VM.PinUIO(ctx, u, sent, chunk)
 		pinned = append(pinned, mem.Iovec{Addr: sent, Len: chunk})

@@ -45,6 +45,7 @@ type Stats struct {
 	UDPIn, UDPOut         int
 	UDPCsumErrors         int
 	UDPDropNoPort         int
+	UDPRcvFull            int
 	UDPOversize           int
 	HWCsumVerified        int
 	SWCsumVerified        int
@@ -132,6 +133,8 @@ func NewStack(k *kern.Kernel, addr wire.Addr) *Stack {
 		r.Func("ip.drop_no_route", func() int64 { return int64(s.Stats.IPDropNoRoute) })
 		r.Func("udp.in", func() int64 { return int64(s.Stats.UDPIn) })
 		r.Func("udp.out", func() int64 { return int64(s.Stats.UDPOut) })
+		r.Func("udp.csum_errors", func() int64 { return int64(s.Stats.UDPCsumErrors) })
+		r.Func("udp.rcv_full", func() int64 { return int64(s.Stats.UDPRcvFull) })
 		r.Func("csum.hw_verified", func() int64 { return int64(s.Stats.HWCsumVerified) })
 		r.Func("csum.sw_verified", func() int64 { return int64(s.Stats.SWCsumVerified) })
 	}

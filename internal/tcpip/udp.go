@@ -162,7 +162,8 @@ func (s *Stack) udpInput(ctx kern.Ctx, m *mbuf.Mbuf, iph wire.IPHdr) {
 	}
 	n := mbuf.ChainLen(m) - wire.UDPHdrLen
 	if u.rcvLen+n > u.RcvLimit {
-		mbuf.FreeChain(m) // socket buffer overflow: UDP drops
+		s.Stats.UDPRcvFull++ // socket buffer overflow: UDP drops
+		mbuf.FreeChain(m)
 		return
 	}
 	m.TrimFront(wire.UDPHdrLen)
