@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench benchcheck soak ci
+.PHONY: all build vet test race bench-smoke bench benchcheck soak audit obs-race ci
 
 all: build
 
@@ -40,4 +40,17 @@ benchcheck:
 soak:
 	$(GO) test -race -count 1 ./internal/fault/...
 
-ci: vet build race bench-smoke soak benchcheck
+# The single-copy auditor: run both stack variants with the data-touch
+# ledger on, print the measured copy-count table, and fail unless the
+# oracles hold (single-copy: exactly one checksum-in-flight host-bus DMA
+# and zero CPU touches per sender byte). A standing invariant: this must
+# stay green.
+audit:
+	mkdir -p .benchfresh
+	$(GO) run ./cmd/experiments -exp touches -benchdir .benchfresh
+
+# The observability layer under the race detector (ledger, spans, prof).
+obs-race:
+	$(GO) test -race -count 1 ./internal/obs/...
+
+ci: vet build race bench-smoke soak obs-race audit benchcheck

@@ -8,7 +8,10 @@
 //
 //	benchdiff -baseline . -fresh /tmp/bench [-rel 0.05] [-abs 1e-6] [files...]
 //
-// With no file arguments it checks BENCH_fig5.json through BENCH_fig9.json.
+// With no file arguments it checks BENCH_fig5.json through BENCH_fig9.json
+// plus BENCH_touches.json. Touch-count files hold exact integer counts
+// (copies, checksums, DMA crossings per byte), so they get zero tolerance:
+// any drift in a data-touch count is a real behavior change, never noise.
 // Exit status 1 means at least one file regressed; each violation is
 // printed with its JSON path and percentage drift.
 package main
@@ -37,6 +40,13 @@ var defaultFiles = []string{
 	"BENCH_fig7.json",
 	"BENCH_fig8.json",
 	"BENCH_fig9.json",
+	"BENCH_touches.json",
+}
+
+// exactFiles are baselines of exact integer counts: compared with zero
+// tolerance regardless of -rel/-abs.
+var exactFiles = map[string]bool{
+	"BENCH_touches.json": true,
 }
 
 func main() {
@@ -81,7 +91,11 @@ func main() {
 			failed = true
 			continue
 		}
-		violations := Compare(f, base, fresh, *rel, *abs)
+		fileRel, fileAbs := *rel, *abs
+		if exactFiles[f] {
+			fileRel, fileAbs = 0, 0
+		}
+		violations := Compare(f, base, fresh, fileRel, fileAbs)
 		if len(violations) == 0 {
 			fmt.Printf("ok   %s\n", f)
 			continue

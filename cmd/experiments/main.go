@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: fig5..fig9, table1, table2, analysis, hol, window, lazy, threshold, chaos, bench, all")
+	which := flag.String("exp", "all", "experiment: fig5..fig9, table1, table2, analysis, hol, window, lazy, threshold, chaos, touches, bench, all")
 	quick := flag.Bool("quick", false, "use a reduced size sweep for the figures")
 	csv := flag.Bool("csv", false, "emit figures as CSV instead of tables")
 	metricsOut := flag.String("metrics", "", "write a telemetry snapshot of one instrumented transfer to this JSON file")
@@ -98,6 +98,20 @@ func main() {
 			writeBench("BENCH_fig7.json", f7.JSON())
 			writeBench("BENCH_fig8.json", f8.JSON())
 			writeBench("BENCH_fig9.json", f9.JSON())
+			rep, err := exp.RunTouches(1)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			writeBench("BENCH_touches.json", rep.JSON())
+		case "touches":
+			rep, err := exp.RunTouches(1)
+			fmt.Println(rep.Format())
+			writeBench("BENCH_touches.json", rep.JSON())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "touches: %v\n", err)
+				os.Exit(1)
+			}
 		case "table1":
 			fmt.Println(taxonomy.Format())
 		case "table2":

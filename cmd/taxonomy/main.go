@@ -5,12 +5,17 @@
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 
+	"repro/internal/exp"
 	"repro/internal/taxonomy"
 )
 
 func main() {
+	audit := flag.Bool("audit", false, "verify the derived copy counts against a measured data-touch ledger")
+	flag.Parse()
 	fmt.Print(taxonomy.Format())
 	fmt.Println()
 	fmt.Println("Classes:")
@@ -30,4 +35,17 @@ func main() {
 		cab.Ops, cab.Class)
 	fmt.Println("\nReceive path (mirror of Table 1; checksum placement is immaterial on receive):")
 	fmt.Print(taxonomy.FormatReceive())
+
+	if *audit {
+		// Check the derivation against reality: run both stack variants
+		// with the data-touch ledger on and verify the measured per-byte
+		// touch counts land in the predicted cells.
+		fmt.Println("\nMeasured audit (data-touch ledger, 1 MB transfer):")
+		rep, err := exp.RunTouches(1)
+		fmt.Print(rep.Format())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "taxonomy: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }

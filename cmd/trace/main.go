@@ -6,9 +6,14 @@
 // Usage:
 //
 //	trace [-n 40] [-host A|B|both] [-dir in|out|both] [-json]
+//	      [-flow <port>] [-chrome out.json]
 //
 // -json emits one JSON object per event (machine-readable) instead of the
-// tcpdump-style line.
+// tcpdump-style line. -flow keeps only the segments of one flow (the data
+// sender's port; the simulator's first ephemeral port is 10001). -chrome
+// writes the data-path spans as Chrome trace-event JSON — filtered to
+// -flow when given — with flow-binding ("s"/"f") events so one byte
+// range's journey renders as cross-host arrows in Perfetto.
 package main
 
 import (
@@ -30,6 +35,8 @@ func main() {
 	hostF := flag.String("host", "A", "which host's stack to trace: A (sender), B (receiver), both")
 	dirF := flag.String("dir", "both", "direction filter: in, out, both")
 	jsonF := flag.Bool("json", false, "emit events as JSON lines")
+	flowF := flag.Int("flow", 0, "only trace segments of this flow (the data sender's port; 0 = all)")
+	chromeOut := flag.String("chrome", "", "write data-path spans as Chrome trace-event JSON to this path")
 	flag.Parse()
 
 	if *dirF != "in" && *dirF != "out" && *dirF != "both" {
@@ -38,6 +45,9 @@ func main() {
 	}
 
 	tb := core.NewTestbed(5)
+	if *chromeOut != "" {
+		tb.EnableTelemetry()
+	}
 	a := tb.AddHost(core.HostConfig{Name: "A", Addr: wire.Addr(0x0a000001),
 		Mode: socket.ModeSingleCopy, CABNode: 1})
 	b := tb.AddHost(core.HostConfig{Name: "B", Addr: wire.Addr(0x0a000002),
@@ -49,6 +59,10 @@ func main() {
 	mkTracer := func(host string) func(tcpip.TraceEvent) {
 		return func(e tcpip.TraceEvent) {
 			if *dirF != "both" && e.Dir.String() != *dirF {
+				return
+			}
+			if *flowF != 0 && (e.TCP == nil ||
+				(int(e.TCP.SPort) != *flowF && int(e.TCP.DPort) != *flowF)) {
 				return
 			}
 			lines++
@@ -111,6 +125,16 @@ func main() {
 	})
 	tb.Eng.Run()
 	tb.Eng.KillAll()
+	if *chromeOut != "" {
+		out := tb.Tel.Chrome()
+		if *flowF != 0 {
+			out = tb.Tel.ChromeFlow(*flowF)
+		}
+		if err := os.WriteFile(*chromeOut, out, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+	}
 	if lines > *n {
 		// Keep stdout machine-readable under -json: the truncation note
 		// is commentary, not an event.

@@ -10,6 +10,15 @@
 //	     [-profile] [-profile-out out.folded] [-profile-json out.json]
 //	     [-series out.json] [-series-csv out.csv] [-series-interval-us 100]
 //	     [-fault 'drop:every=13,min=1000;corrupt:p=0.01'] [-fault-seed 1]
+//	     [-audit] [-ledger out.json] [-flightrec out.json]
+//
+// -audit enables the data-touch ledger and prints the per-flow audit
+// table (one row per host × touch kind with per-byte min/max); for TCP it
+// then checks the stack's copy-count oracle — single-copy mode must show
+// exactly one checksum-in-flight host-bus DMA and zero CPU touches per
+// sender byte — and exits nonzero on violation. -ledger writes the full
+// interval-record ledger; -flightrec writes the bounded flight-recorder
+// image (recent ledger + trace events per host).
 //
 // -fault injects a deterministic fault plan (grammar in internal/fault's
 // ParsePlan) on the wire, the adaptor, and the kernel; the run then also
@@ -43,6 +52,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/fault"
+	"repro/internal/obs/ledger"
 	"repro/internal/socket"
 	"repro/internal/ttcp"
 	"repro/internal/units"
@@ -84,6 +94,9 @@ func main() {
 	seriesIntervalUS := flag.Int64("series-interval-us", 100, "series sampling interval, µs of virtual time")
 	faultPlan := flag.String("fault", "", "fault plan, e.g. 'drop:every=13,min=1000;corrupt:p=0.01' (see internal/fault)")
 	faultSeed := flag.Int64("fault-seed", 1, "fault injector seed")
+	auditFlag := flag.Bool("audit", false, "enable the data-touch ledger and print the per-flow audit table; fails if the stack's copy-count oracle does not hold")
+	ledgerOut := flag.String("ledger", "", "with -audit, also write the full ledger JSON to this path")
+	flightRec := flag.String("flightrec", "", "write the flight-recorder image (recent ledger + trace events) to this path")
 	flag.Parse()
 
 	size, err := parseSize(*sizeS)
@@ -99,8 +112,11 @@ func main() {
 	}
 
 	tb := core.NewTestbed(1)
-	if *stats || *traceOut != "" || *metricsOut != "" {
+	if *stats || *traceOut != "" || *metricsOut != "" || *flightRec != "" {
 		tb.EnableTelemetry()
+	}
+	if *auditFlag || *ledgerOut != "" || *flightRec != "" {
+		tb.EnableLedger()
 	}
 	if *profile || *profileOut != "" || *profileJSON != "" {
 		tb.EnableProfiling()
@@ -125,6 +141,36 @@ func main() {
 		report = os.Stderr
 	}
 	emitTelemetry := func() {
+		if *flightRec != "" {
+			die(os.WriteFile(*flightRec, tb.FlightDump(), 0o644))
+		}
+		if tb.Led != nil {
+			led := tb.Led
+			flow := led.MainFlow()
+			if *ledgerOut != "" {
+				die(os.WriteFile(*ledgerOut, led.JSON(), 0o644))
+			}
+			if *auditFlag {
+				fmt.Fprint(report, "\n"+led.Summary(flow, total, []string{"snd", "wire", "rcv"}).Format())
+				cfg := ledger.AuditConfig{Flow: flow, Total: total,
+					SndHost: "snd", RcvHost: "rcv", Strict: *faultPlan == ""}
+				var err error
+				switch {
+				case *proto != "tcp" || *mode == "raw":
+					fmt.Fprintln(report, "  oracle: skipped (TCP flows only)")
+				case *mode == "unmodified":
+					err = led.AssertMultiCopy(cfg)
+				default:
+					err = led.AssertSingleCopy(cfg)
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "ttcp: audit:", err)
+					os.Exit(1)
+				} else if *proto == "tcp" && *mode != "raw" {
+					fmt.Fprintln(report, "  oracle: ok")
+				}
+			}
+		}
 		if inj != nil {
 			fmt.Fprintf(report, "  %s\n", inj.Report())
 		}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/hippi"
 	"repro/internal/obs"
+	"repro/internal/obs/ledger"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -78,6 +79,9 @@ type RxEvent struct {
 	// Span is the sender's data-path span carried across the wire (nil
 	// when telemetry is disabled).
 	Span *obs.Span
+	// Prov is the sender's data-touch provenance carried across the wire
+	// (nil when the ledger is disabled).
+	Prov *ledger.Prov
 }
 
 // Stats counts adaptor activity.
@@ -139,6 +143,13 @@ type CAB struct {
 	FaultRxCsum func() uint32
 
 	Stats Stats
+
+	// Led records the adaptor's DMA data touches in the data-touch ledger
+	// (nil when disabled: each record site is a single nil check). Host is
+	// the owning host's name, used to re-host telemetry spans when a frame
+	// arrives from the wire.
+	Led  *ledger.Hook
+	Host string
 
 	// pagesUsed tracks network-memory page occupancy (with high-water
 	// mark) when telemetry is enabled; nil otherwise.

@@ -4,6 +4,7 @@ import (
 	"repro/internal/checksum"
 	"repro/internal/hippi"
 	"repro/internal/obs"
+	"repro/internal/obs/ledger"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -13,6 +14,7 @@ type txEntry struct {
 	pkt  *Packet
 	dst  hippi.NodeID
 	span *obs.Span
+	prov *ledger.Prov
 	done func()
 }
 
@@ -21,13 +23,14 @@ type txEntry struct {
 // once the frame has fully left the adaptor. The packet is NOT freed: for
 // TCP it stays in network memory as retransmit data until the host frees
 // it (on acknowledgement). span (nil when telemetry is disabled) rides the
-// frame so the receiver continues the packet's data-path span.
-func (c *CAB) MDMATx(pk *Packet, dst hippi.NodeID, span *obs.Span, done func()) {
+// frame so the receiver continues the packet's data-path span; prov (nil
+// when the ledger is disabled) does the same for data-touch attribution.
+func (c *CAB) MDMATx(pk *Packet, dst hippi.NodeID, span *obs.Span, prov *ledger.Prov, done func()) {
 	if pk.freed {
 		panic("cab: MDMATx on freed packet")
 	}
 	ch := int(dst) % len(c.channels)
-	c.channels[ch].Put(&txEntry{pkt: pk, dst: dst, span: span, done: done})
+	c.channels[ch].Put(&txEntry{pkt: pk, dst: dst, span: span, prov: prov, done: done})
 	c.txPend.Signal()
 }
 
@@ -65,8 +68,9 @@ func (c *CAB) mdmaTxProc(p *sim.Proc) {
 		// header (retransmit) without racing the in-flight frame.
 		data := make([]byte, e.pkt.Len())
 		copy(data, e.pkt.buf)
+		c.Led.TouchP(e.prov, 0, e.pkt.Len(), ledger.MDMATx, "mdma", 0)
 		sent := sim.NewSignal(c.eng)
-		c.net.SendFrame(hippi.Frame{Src: c.nodeID, Dst: e.dst, Data: data, Span: e.span},
+		c.net.SendFrame(hippi.Frame{Src: c.nodeID, Dst: e.dst, Data: data, Span: e.span, Prov: e.prov},
 			func() { sent.Broadcast() })
 		sent.Wait(p)
 		c.Stats.TxPackets++
@@ -102,7 +106,8 @@ type heldRx struct {
 // in; the first L bytes are then auto-DMAed to a preallocated host buffer
 // and the host is notified (Section 2.2).
 func (c *CAB) rxFrame(f hippi.Frame) {
-	f.Span.Enter(obs.StageMDMA)
+	f.Span.EnterOn(obs.StageMDMA, c.Host)
+	c.Led.TouchP(f.Prov, 0, units.Size(len(f.Data)), ledger.MDMARx, "mdma", 0)
 	// Preserve arrival order: never overtake frames already held.
 	if len(c.rxHold) == 0 && c.tryRx(f) {
 		return
@@ -176,17 +181,20 @@ func (c *CAB) tryRx(f hippi.Frame) bool {
 		l = n
 	}
 	span := f.Span
+	prov := f.Prov
 	c.SDMA(&SDMAReq{
 		Dir:     ToHost,
 		Pkt:     pk,
 		PktOff:  0,
 		Scatter: [][]byte{buf[:l]},
+		Prov:    prov,
+		AutoDMA: true,
 		Done: func(*SDMAReq) {
 			if c.OnRx == nil {
 				pk.Free()
 				return
 			}
-			c.OnRx(&RxEvent{Pkt: pk, Buf: buf, HdrLen: l, Len: n, BodySum: bodySum, Span: span})
+			c.OnRx(&RxEvent{Pkt: pk, Buf: buf, HdrLen: l, Len: n, BodySum: bodySum, Span: span, Prov: prov})
 		},
 	})
 	return true
@@ -211,10 +219,12 @@ func (c *CAB) rxDeliverDirect(f hippi.Frame) {
 	c.Stats.RxPackets++
 	c.Stats.RxHdrDeliveries++
 	span := f.Span
+	prov := f.Prov
 	c.eng.After(c.Mach.DMATime(n), func() {
+		c.Led.TouchP(prov, 0, n, ledger.SDMAToHost, "sdma", ledger.FlagAutoDMA)
 		if c.OnRx == nil {
 			return
 		}
-		c.OnRx(&RxEvent{Pkt: nil, Buf: buf, HdrLen: n, Len: n, BodySum: bodySum, Span: span})
+		c.OnRx(&RxEvent{Pkt: nil, Buf: buf, HdrLen: n, Len: n, BodySum: bodySum, Span: span, Prov: prov})
 	})
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/checksum"
+	"repro/internal/obs/ledger"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -52,6 +53,12 @@ type SDMAReq struct {
 
 	// Done runs at completion, in hardware context.
 	Done func(*SDMAReq)
+
+	// Prov attributes the transfer's data touches in the ledger (nil when
+	// the ledger is off); AutoDMA marks a ToHost transfer as the adaptor's
+	// automatic head delivery rather than a host-requested copy-out.
+	Prov    *ledger.Prov
+	AutoDMA bool
 
 	// retries counts consecutive failed attempts under fault injection.
 	retries int
@@ -109,8 +116,20 @@ func (c *CAB) sdmaProc(p *sim.Proc) {
 		switch req.Dir {
 		case ToCAB:
 			c.performToCAB(req)
+			if !req.HeaderOnly {
+				var fl ledger.Flags
+				if req.Csum {
+					fl = ledger.FlagCsumFlight
+				}
+				c.Led.TouchP(req.Prov, 0, req.Pkt.Len(), ledger.SDMAToNet, "sdma", fl)
+			}
 		case ToHost:
 			c.performToHost(req)
+			var fl ledger.Flags
+			if req.AutoDMA {
+				fl = ledger.FlagAutoDMA
+			}
+			c.Led.TouchP(req.Prov, req.PktOff, n, ledger.SDMAToHost, "sdma", fl)
 		}
 		if req.Done != nil {
 			req.Done(req)

@@ -29,6 +29,7 @@ import (
 	"repro/internal/mbuf"
 	"repro/internal/netif"
 	"repro/internal/obs"
+	"repro/internal/obs/ledger"
 	"repro/internal/sim"
 	"repro/internal/units"
 	"repro/internal/wire"
@@ -193,6 +194,7 @@ func (d *Driver) sendSingleCopy(p *sim.Proc, job *txJob) {
 	}.Marshal(lh)
 
 	gather := [][]byte{lh}
+	pkOff := units.Size(wire.LinkHdrLen)
 	for cur := m; cur != nil; cur = cur.Next() {
 		switch cur.Type() {
 		case mbuf.TData, mbuf.TCluster:
@@ -212,11 +214,13 @@ func (d *Driver) sendSingleCopy(p *sim.Proc, job *txJob) {
 			d.Stats.TxFallbackReads++
 			b := make([]byte, cur.Len())
 			copy(b, w.ReadFn(cur.Off(), cur.Len()))
+			d.K.Led.TouchP(m.Prov(), pkOff, cur.Len(), ledger.CPUCopy, "cabdrv", 0)
 			gather = append(gather, b)
 		}
+		pkOff += cur.Len()
 	}
 
-	req := &cab.SDMAReq{Dir: cab.ToCAB, Pkt: pk, Gather: gather}
+	req := &cab.SDMAReq{Dir: cab.ToCAB, Pkt: pk, Gather: gather, Prov: m.Prov()}
 	if hdrH != nil && hdrH.NeedCsum {
 		req.Csum = true
 		req.CsumOff = wire.LinkHdrLen + wire.IPHdrLen + hdrH.CsumOff
@@ -246,7 +250,7 @@ func (d *Driver) txSDMADone(job *txJob, pk *cab.Packet, hdrH *mbuf.Hdr) {
 	}
 	sp := job.m.Span()
 	sp.Enter(obs.StageWire)
-	d.C.MDMATx(pk, hippi.NodeID(job.dst), sp, mdmaDone)
+	d.C.MDMATx(pk, hippi.NodeID(job.dst), sp, job.m.Prov(), mdmaDone)
 
 	m := job.m
 	d.completeTx(func(ctx kern.Ctx) {
@@ -298,6 +302,7 @@ func (d *Driver) sendOverlay(job *txJob, op *outPkt, prefixLen units.Size) {
 		Dir: cab.ToCAB, Pkt: op.pk,
 		Gather:     [][]byte{lh, hb},
 		HeaderOnly: true,
+		Prov:       m.Prov(),
 	}
 	if hdrH != nil && hdrH.NeedCsum {
 		req.Csum = true
@@ -309,7 +314,7 @@ func (d *Driver) sendOverlay(job *txJob, op *outPkt, prefixLen units.Size) {
 		d.Stats.TxPackets++
 		sp := m.Span()
 		sp.Enter(obs.StageWire)
-		d.C.MDMATx(op.pk, hippi.NodeID(job.dst), sp, nil)
+		d.C.MDMATx(op.pk, hippi.NodeID(job.dst), sp, m.Prov(), nil)
 		d.completeTx(func(kern.Ctx) { mbuf.FreeChain(m) })
 	}
 	m.Span().Enter(obs.StageSDMA)
@@ -368,12 +373,12 @@ func (d *Driver) sendLegacy(p *sim.Proc, job *txJob) {
 	d.pendingTxSDMA++
 	m.Span().Enter(obs.StageSDMA)
 	d.C.SDMA(&cab.SDMAReq{
-		Dir: cab.ToCAB, Pkt: pk, Gather: gather,
+		Dir: cab.ToCAB, Pkt: pk, Gather: gather, Prov: m.Prov(),
 		Done: func(*cab.SDMAReq) {
 			d.Stats.TxPackets++
 			sp := m.Span()
 			sp.Enter(obs.StageWire)
-			d.C.MDMATx(pk, hippi.NodeID(job.dst), sp, func() { pk.Free() })
+			d.C.MDMATx(pk, hippi.NodeID(job.dst), sp, m.Prov(), func() { pk.Free() })
 			d.completeTx(func(kern.Ctx) { mbuf.FreeChain(m) })
 		},
 	})

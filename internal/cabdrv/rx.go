@@ -53,7 +53,7 @@ func (d *Driver) rxIntr(ctx kern.Ctx, ev *cab.RxEvent) {
 		d.Stats.RxSmall++
 		m := mbuf.AdoptCluster(ev.Buf, wire.LinkHdrLen, pktLen-wire.LinkHdrLen)
 		m.MarkPktHdr(pktLen - wire.LinkHdrLen)
-		m.SetHdr(&mbuf.Hdr{HWRxValid: true, HWRxSum: ev.BodySum, Span: ev.Span})
+		m.SetHdr(&mbuf.Hdr{HWRxValid: true, HWRxSum: ev.BodySum, Span: ev.Span, Prov: ev.Prov})
 		if ev.Pkt != nil {
 			ev.Pkt.Free()
 		}
@@ -79,13 +79,14 @@ func (d *Driver) rxIntr(ctx kern.Ctx, ev *cab.RxEvent) {
 			Dir: cab.ToHost, Pkt: pk,
 			PktOff:  base + off,
 			Scatter: dst,
+			Prov:    ev.Prov,
 			Done:    func(*cab.SDMAReq) { done() },
 		})
 	}
 
 	head := mbuf.AdoptCluster(ev.Buf, wire.LinkHdrLen, ev.HdrLen-wire.LinkHdrLen)
 	head.MarkPktHdr(pktLen - wire.LinkHdrLen)
-	head.SetHdr(&mbuf.Hdr{HWRxValid: true, HWRxSum: ev.BodySum, Span: ev.Span})
+	head.SetHdr(&mbuf.Hdr{HWRxValid: true, HWRxSum: ev.BodySum, Span: ev.Span, Prov: ev.Prov})
 	head.SetNext(mbuf.NewWCAB(w, 0, pktLen-base, nil))
 	d.Input(ctx, head, d)
 }
@@ -97,6 +98,7 @@ func (d *Driver) rxLegacy(ctx kern.Ctx, ev *cab.RxEvent, pktLen units.Size) {
 	head := mbuf.AdoptCluster(ev.Buf, wire.LinkHdrLen, minSize(pktLen, ev.HdrLen)-wire.LinkHdrLen)
 	head.MarkPktHdr(pktLen - wire.LinkHdrLen)
 	head.AttachSpan(ev.Span)
+	head.AttachProv(ev.Prov)
 	if pktLen <= ev.HdrLen {
 		if ev.Pkt != nil {
 			ev.Pkt.Free()
@@ -121,6 +123,7 @@ func (d *Driver) rxLegacy(ctx kern.Ctx, ev *cab.RxEvent, pktLen units.Size) {
 		Dir: cab.ToHost, Pkt: pk,
 		PktOff:  ev.HdrLen,
 		Scatter: scatter,
+		Prov:    ev.Prov,
 		Done: func(*cab.SDMAReq) {
 			pk.Free()
 			d.K.PostIntr("cab-rx-dma", func(p *sim.Proc) {

@@ -19,6 +19,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/netif"
 	"repro/internal/obs"
+	"repro/internal/obs/ledger"
 	"repro/internal/obs/prof"
 	"repro/internal/sim"
 	"repro/internal/socket"
@@ -84,6 +85,9 @@ type Testbed struct {
 	// FaultInj is the fault injector; nil unless EnableFaults was called
 	// before hosts were added.
 	FaultInj *fault.Injector
+	// Led is the data-touch ledger; nil unless EnableLedger was called
+	// before hosts were added.
+	Led *ledger.Ledger
 
 	seriesStop bool
 }
@@ -163,6 +167,48 @@ func (tb *Testbed) EnableSeries(interval units.Time) *obs.SeriesSet {
 // and exits, letting Eng.Run drain. Harmless when series are disabled.
 func (tb *Testbed) StopSeries() { tb.seriesStop = true }
 
+// EnableLedger turns on the data-touch ledger: every event where a
+// payload byte is read or written — CPU copy, CPU checksum, host-bus
+// DMA, media DMA, wire transit — is recorded as an interval record for
+// post-run audit (the single-copy oracle). Must run before AddHost so
+// each host's kernel and adaptor get their hooks.
+func (tb *Testbed) EnableLedger() *ledger.Ledger {
+	if len(tb.Hosts) > 0 {
+		panic("core: EnableLedger must be called before AddHost")
+	}
+	if tb.Led == nil {
+		tb.Led = ledger.New(tb.Eng.Now)
+		wireHook := tb.Led.Hook("wire")
+		tb.Net.Led = wireHook
+		tb.EthNet.Led = wireHook
+	}
+	return tb.Led
+}
+
+// FlightDump serializes each host's recent ledger events plus the tail
+// of the telemetry trace into one JSON document — the flight recorder
+// image dumped when a watchdog or fault oracle fires.
+func (tb *Testbed) FlightDump() []byte {
+	var led, trace []byte
+	if tb.Led != nil {
+		led = tb.Led.FlightDump()
+	}
+	if tb.Tel != nil {
+		trace = tb.Tel.ChromeTail(256)
+	}
+	out := append([]byte(`{"ledger":`), orNull(led)...)
+	out = append(out, `,"trace":`...)
+	out = append(out, orNull(trace)...)
+	return append(out, '}')
+}
+
+func orNull(b []byte) []byte {
+	if len(b) == 0 {
+		return []byte("null")
+	}
+	return b
+}
+
 // EnableFaults installs a fault injector on every fabric and every host
 // added afterwards: the wire surfaces immediately, the CAB and kernel
 // surfaces as each host is assembled. Add the plan's rules to inj before
@@ -194,6 +240,9 @@ func (tb *Testbed) AddHost(cfg HostConfig) *Host {
 	if tb.Prof != nil {
 		h.K.Prof = tb.Prof.Host(cfg.Name)
 	}
+	if tb.Led != nil {
+		h.K.Led = tb.Led.Hook(cfg.Name)
+	}
 	h.VM = kern.NewVM(h.K)
 	h.VM.LazyUnpin = cfg.LazyUnpin
 	h.Stk = tcpip.NewStack(h.K, cfg.Addr)
@@ -204,6 +253,8 @@ func (tb *Testbed) AddHost(cfg HostConfig) *Host {
 	}
 	h.CAB = cab.New(tb.Eng, cfg.Mach, tb.Net, cfg.CABNode, cabCfg)
 	h.CAB.SetObs(h.K.Obs)
+	h.CAB.Led = h.K.Led
+	h.CAB.Host = cfg.Name
 	if tb.FaultInj != nil {
 		tb.FaultInj.WireCAB(h.CAB)
 		tb.FaultInj.WireKernel(h.K)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/kern"
 	"repro/internal/mbuf"
 	"repro/internal/netif"
+	"repro/internal/obs/ledger"
 	"repro/internal/sim"
 	"repro/internal/units"
 	"repro/internal/wire"
@@ -89,11 +90,14 @@ func (d *Driver) txd(p *sim.Proc) {
 			Type: wire.EtherTypeIP, Len: uint32(len(frame)),
 		}.Marshal(frame)
 		mbuf.ReadRange(job.m, 0, ipLen, frame[wire.LinkHdrLen:])
+		prov := job.m.Prov()
 		mbuf.FreeChain(job.m)
 		// Device DMA from kernel buffers occupies the bus.
 		p.Sleep(d.K.Mach.DMATime(units.Size(len(frame))))
+		d.K.Led.TouchP(prov, 0, units.Size(len(frame)), ledger.SDMAToNet, "ethdev", 0)
 		sent := sim.NewSignal(d.K.Eng)
-		d.net.Send(d.id, hippi.NodeID(job.dst), frame, func() { sent.Broadcast() })
+		d.net.SendFrame(hippi.Frame{Src: d.id, Dst: hippi.NodeID(job.dst), Data: frame, Prov: prov},
+			func() { sent.Broadcast() })
 		sent.Wait(p)
 		d.TxPackets++
 	}
@@ -136,6 +140,9 @@ func (d *Driver) hwRx(f hippi.Frame) {
 			return
 		}
 		head.MarkPktHdr(units.Size(len(payload)))
+		// The device DMAed the frame into the kernel buffers just built.
+		d.K.Led.TouchP(f.Prov, 0, units.Size(len(f.Data)), ledger.SDMAToHost, "ethdev", 0)
+		head.AttachProv(f.Prov)
 		d.Input(ctx, head, d)
 	})
 }

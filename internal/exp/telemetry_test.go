@@ -144,11 +144,22 @@ func TestChromeTraceShape(t *testing.T) {
 		t.Fatal("chrome export has no events")
 	}
 	stages := map[string]int{}
+	flows := 0
 	for _, ev := range f.TraceEvents {
-		if ev.Ph != "X" {
+		switch ev.Ph {
+		case "X":
+			stages[ev.TID]++
+		case "s", "f":
+			// Cross-host binding arrows emitted when a span changes hosts.
+			flows++
+		case "i":
+			// Instant markers (zero-duration stages).
+		default:
 			t.Fatalf("unexpected phase %q", ev.Ph)
 		}
-		stages[ev.TID]++
+	}
+	if flows == 0 || flows%2 != 0 {
+		t.Fatalf("cross-host flow events = %d, want a positive even count", flows)
 	}
 	for _, want := range []string{"socket", "packetize", "sdma", "wire", "mdma", "deliver"} {
 		if stages[want] == 0 {

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/kern"
+	"repro/internal/obs/ledger"
 	"repro/internal/sim"
 	"repro/internal/socket"
 	"repro/internal/units"
@@ -53,6 +54,10 @@ type Outcome struct {
 	// MetricsJSON is the run's telemetry snapshot, the determinism
 	// oracle: the same case must reproduce it byte for byte.
 	MetricsJSON []byte
+	// FlightRec is the flight-recorder image (recent ledger and trace
+	// events per host), dumped only when the watchdog declared the run
+	// stuck; nil otherwise.
+	FlightRec []byte
 	// A (sender) and B (receiver) stay readable after the run so callers
 	// can assert on protocol and hardware counters.
 	A, B *core.Host
@@ -82,6 +87,7 @@ func Run(c Case) Outcome {
 
 	tb := core.NewTestbed(c.Seed)
 	tb.EnableTelemetry()
+	led := tb.EnableLedger()
 	inj := fault.New(tb.Eng, c.Seed)
 	if c.Plan != "" {
 		if err := inj.AddPlan(c.Plan); err != nil {
@@ -141,8 +147,11 @@ func Run(c Case) Outcome {
 	o.Report = inj.Report()
 	o.MetricsJSON = tb.Tel.Snapshot().JSON()
 
-	// Invariant: progress. Everything below assumes a drained run.
+	// Invariant: progress. Everything below assumes a drained run. A
+	// wedge dumps the flight recorder so the stall is diagnosable from
+	// the outcome alone.
 	if stuck {
+		o.FlightRec = tb.FlightDump()
 		o.failf("progress: no forward progress in %v of virtual time", watchWindow)
 		return o
 	}
@@ -160,6 +169,29 @@ func Run(c Case) Outcome {
 	}
 
 	checkConservation(&o, tb, a, b, inj)
+
+	// Invariant: no path silently gains or loses a data touch during
+	// recovery. The clean single-copy run must show the exact paper
+	// counts; faulted runs get the documented retransmit allowance
+	// (loose mode); the unmodified stack must still copy and checksum
+	// every byte on both hosts. UDP transfers tolerate loss by design,
+	// so per-byte stream coverage does not apply.
+	if c.Proto == "tcp" {
+		cfg := ledger.AuditConfig{
+			Flow: led.MainFlow(), Total: c.Total,
+			SndHost: "A", RcvHost: "B", Strict: c.Plan == "",
+		}
+		var err error
+		if c.Mode == socket.ModeSingleCopy {
+			err = led.AssertSingleCopy(cfg)
+		} else {
+			err = led.AssertMultiCopy(cfg)
+		}
+		if err != nil {
+			o.FlightRec = tb.FlightDump()
+			o.failf("audit: %v", err)
+		}
+	}
 	return o
 }
 

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/obs"
+	"repro/internal/obs/ledger"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -26,6 +27,10 @@ type Frame struct {
 	Src, Dst NodeID
 	Data     []byte
 	Span     *obs.Span
+	// Prov carries the data-touch provenance across the wire so the
+	// receiving driver's touches stay attributed (nil when the ledger is
+	// off).
+	Prov *ledger.Prov
 }
 
 // Injector is the fault-injection hook consulted for every frame after
@@ -68,6 +73,9 @@ type Network struct {
 	// Telemetry (nil when disabled): port-busy stalls on transmit and
 	// receive — the head-of-line effects the logical channels address.
 	txStalls, rxStalls *obs.Counter
+
+	// Led records wire-transit data touches (nil when the ledger is off).
+	Led *ledger.Hook
 }
 
 // SetObs registers the network's counters on r under prefix (e.g. "hippi",
@@ -164,6 +172,7 @@ func (n *Network) SendFrame(f Frame, sent func()) {
 			}
 			n.eng.At(arriveStart+txTime, func() {
 				n.Delivered++
+				n.Led.TouchP(f.Prov, 0, units.Size(len(f.Data)), ledger.WireTransit, "wire", 0)
 				dp.recv(f)
 			})
 		}

@@ -2,6 +2,7 @@ package kern
 
 import (
 	"repro/internal/mem"
+	"repro/internal/obs/ledger"
 	"repro/internal/obs/prof"
 	"repro/internal/sim"
 	"repro/internal/units"
@@ -24,6 +25,21 @@ type Ctx struct {
 
 	node *prof.Node
 	flow int
+
+	// Data-touch ledger attribution (see OnStream/OnStreamProv): when
+	// ledOK is set, the copy/checksum primitives record their byte ranges
+	// against ledFlow, mapping a buffer offset o to stream byte ledBase+o
+	// and clipping to the stream window [ledLo, ledHi). layer is the most
+	// recent In frame, carried even when profiling is off so ledger
+	// records name the layer that touched the bytes.
+	layer   string
+	ledFlow int
+	ledBase units.Size
+	ledLo   units.Size
+	ledHi   units.Size
+	ledRtx  bool
+	ledDesc int64
+	ledOK   bool
 }
 
 // TaskCtx returns a process-context Ctx for task t running in p.
@@ -50,6 +66,7 @@ func (c Ctx) base() *prof.Node {
 // result is attributed to layer under this context's stack. Free (nil
 // node chain) when profiling is disabled.
 func (c Ctx) In(layer string) Ctx {
+	c.layer = layer
 	n := c.node
 	if n == nil {
 		if c.K.Prof == nil {
@@ -79,9 +96,61 @@ func (c Ctx) Charge(d units.Time, cat Category) {
 	c.K.workAt(c.P, c.Task, d, cat, true, c.node, c.flow)
 }
 
+// OnStream returns a Ctx whose data primitives record their byte ranges
+// in the data-touch ledger against flow, with buffer offset 0 mapping to
+// stream byte base. Without it (or with the ledger disabled) unmappable
+// touches are counted as unattributed rather than silently lost.
+func (c Ctx) OnStream(flow int, base units.Size) Ctx {
+	c.ledFlow, c.ledBase, c.ledOK = flow, base, true
+	c.ledLo, c.ledHi = 0, units.Size(1)<<62
+	c.ledRtx, c.ledDesc = false, 0
+	return c
+}
+
+// OnStreamProv is OnStream driven by packet provenance: buffer offset 0
+// maps to stream byte base, records clip to the segment's payload window
+// [p.Off, p.Off+p.Len), and p's retransmit flag and descriptor id carry
+// into the records. Used where a primitive's buffer spans more than the
+// payload (e.g. a checksum over transport header + payload).
+func (c Ctx) OnStreamProv(p *ledger.Prov, base units.Size) Ctx {
+	c.ledFlow, c.ledBase, c.ledOK = p.Flow, base, true
+	c.ledLo, c.ledHi = p.Off, p.Off+p.Len
+	c.ledRtx, c.ledDesc = p.Rtx, p.Desc
+	return c
+}
+
+// touch records a data touch at buffer offset off, length n, mapped to
+// stream coordinates. Free (one nil check) when the ledger is off.
+func (c Ctx) touch(kind ledger.Kind, off, n units.Size) {
+	led := c.K.Led
+	if led == nil {
+		return
+	}
+	if !c.ledOK {
+		led.Unattributed(kind, n)
+		return
+	}
+	lo, hi := c.ledBase+off, c.ledBase+off+n
+	if lo < c.ledLo {
+		lo = c.ledLo
+	}
+	if hi > c.ledHi {
+		hi = c.ledHi
+	}
+	if hi <= lo {
+		return
+	}
+	var flags ledger.Flags
+	if c.ledRtx {
+		flags = ledger.FlagRtx
+	}
+	led.Touch(c.ledFlow, lo, hi-lo, kind, c.layer, flags, c.ledDesc)
+}
+
 // CopyBytes copies src to dst charging copy time in this context.
 func (c Ctx) CopyBytes(dst, src []byte, region units.Size) {
 	c.Charge(c.K.Mach.CopyTime(units.Size(len(src)), region), CatCopy)
+	c.touch(ledger.CPUCopy, 0, units.Size(len(src)))
 	copy(dst, src)
 }
 
@@ -89,6 +158,7 @@ func (c Ctx) CopyBytes(dst, src []byte, region units.Size) {
 // time in this context (the socket layer's copyin on the traditional path).
 func (c Ctx) CopyFromUIO(u *mem.UIO, off, n units.Size, dst []byte, region units.Size) {
 	c.Charge(c.K.Mach.CopyTime(n, region), CatCopy)
+	c.touch(ledger.CPUCopy, off, n)
 	u.ReadAt(dst, off, n)
 }
 
@@ -96,11 +166,13 @@ func (c Ctx) CopyFromUIO(u *mem.UIO, off, n units.Size, dst []byte, region units
 // context (the traditional receive copyout).
 func (c Ctx) CopyToUIO(u *mem.UIO, off units.Size, src []byte, region units.Size) {
 	c.Charge(c.K.Mach.CopyTime(units.Size(len(src)), region), CatCopy)
+	c.touch(ledger.CPUCopy, off, units.Size(len(src)))
 	u.WriteAt(src, off)
 }
 
 // ChecksumRead software-checksums b, charging read time in this context.
 func (c Ctx) ChecksumRead(b []byte, region units.Size) uint32 {
 	c.Charge(c.K.Mach.CsumTime(units.Size(len(b)), region), CatCsum)
+	c.touch(ledger.CPUCsum, 0, units.Size(len(b)))
 	return sum(b)
 }

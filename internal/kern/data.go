@@ -3,6 +3,7 @@ package kern
 import (
 	"repro/internal/checksum"
 	"repro/internal/mem"
+	"repro/internal/obs/ledger"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -18,6 +19,7 @@ import (
 func (k *Kernel) CopyBytes(p *sim.Proc, t *Task, dst, src []byte, region units.Size) {
 	n := units.Size(len(src))
 	k.Work(p, t, k.Mach.CopyTime(n, region), CatCopy, true)
+	k.Led.Unattributed(ledger.CPUCopy, n)
 	copy(dst, src)
 }
 
@@ -25,6 +27,7 @@ func (k *Kernel) CopyBytes(p *sim.Proc, t *Task, dst, src []byte, region units.S
 // time (the socket layer's copyin on the traditional path).
 func (k *Kernel) CopyFromUIO(p *sim.Proc, t *Task, u *mem.UIO, off, n units.Size, dst []byte, region units.Size) {
 	k.Work(p, t, k.Mach.CopyTime(n, region), CatCopy, true)
+	k.Led.Unattributed(ledger.CPUCopy, n)
 	u.ReadAt(dst, off, n)
 }
 
@@ -32,6 +35,7 @@ func (k *Kernel) CopyFromUIO(p *sim.Proc, t *Task, u *mem.UIO, off, n units.Size
 // traditional receive copyout).
 func (k *Kernel) CopyToUIO(p *sim.Proc, t *Task, u *mem.UIO, off units.Size, src []byte, region units.Size) {
 	k.Work(p, t, k.Mach.CopyTime(units.Size(len(src)), region), CatCopy, true)
+	k.Led.Unattributed(ledger.CPUCopy, units.Size(len(src)))
 	u.WriteAt(src, off)
 }
 
@@ -39,6 +43,7 @@ func (k *Kernel) CopyToUIO(p *sim.Proc, t *Task, u *mem.UIO, off units.Size, src
 // charging checksum-read time to t.
 func (k *Kernel) ChecksumRead(p *sim.Proc, t *Task, b []byte, region units.Size) uint32 {
 	k.Work(p, t, k.Mach.CsumTime(units.Size(len(b)), region), CatCsum, true)
+	k.Led.Unattributed(ledger.CPUCsum, units.Size(len(b)))
 	return checksum.Sum(b)
 }
 
@@ -46,6 +51,7 @@ func (k *Kernel) ChecksumRead(p *sim.Proc, t *Task, b []byte, region units.Size)
 // software verification on the traditional path).
 func (k *Kernel) IntrChecksumRead(p *sim.Proc, b []byte, region units.Size) uint32 {
 	k.IntrWork(p, k.Mach.CsumTime(units.Size(len(b)), region), CatCsum)
+	k.Led.Unattributed(ledger.CPUCsum, units.Size(len(b)))
 	return checksum.Sum(b)
 }
 
@@ -53,6 +59,7 @@ func (k *Kernel) IntrChecksumRead(p *sim.Proc, b []byte, region units.Size) uint
 // context (e.g. WCAB→regular conversion for in-kernel consumers).
 func (k *Kernel) IntrCopyBytes(p *sim.Proc, dst, src []byte, region units.Size) {
 	k.IntrWork(p, k.Mach.CopyTime(units.Size(len(src)), region), CatCopy)
+	k.Led.Unattributed(ledger.CPUCopy, units.Size(len(src)))
 	copy(dst, src)
 }
 

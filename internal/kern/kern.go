@@ -16,6 +16,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/mem"
 	"repro/internal/obs"
+	"repro/internal/obs/ledger"
 	"repro/internal/obs/prof"
 	"repro/internal/sim"
 	"repro/internal/units"
@@ -103,6 +104,12 @@ type Kernel struct {
 	// explicitly via Ctx.In layer frames, or on a per-task/interrupt
 	// fallback node — so the profile always sums exactly to busy.
 	Prof *prof.Node
+
+	// Led is the host's data-touch ledger hook (nil when the ledger is
+	// disabled: the recording fast path is a single nil check). The CPU
+	// data primitives record through it; stream coordinates come from
+	// Ctx.OnStream/OnStreamProv.
+	Led *ledger.Hook
 
 	intrPosts *obs.Counter
 

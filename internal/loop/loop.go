@@ -8,8 +8,10 @@ import (
 	"repro/internal/kern"
 	"repro/internal/mbuf"
 	"repro/internal/netif"
+	"repro/internal/obs/ledger"
 	"repro/internal/sim"
 	"repro/internal/units"
+	"repro/internal/wire"
 )
 
 // MTU is the loopback MTU.
@@ -42,6 +44,7 @@ func (l *Loopback) Output(ctx kern.Ctx, m *mbuf.Mbuf, dst netif.LinkAddr) {
 		m = netif.ConvertForLegacy(ctx, m)
 	}
 	l.TxPackets++
+	l.K.Led.TouchP(m.Prov(), wire.LinkHdrLen, mbuf.ChainLen(m), ledger.WireTransit, "loop", 0)
 	l.K.PostIntr("lo-rx", func(p *sim.Proc) {
 		l.Input(l.K.IntrCtx(p).In("loop"), m, l)
 	})

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/obs"
+	"repro/internal/obs/ledger"
 	"repro/internal/units"
 )
 
@@ -130,6 +131,14 @@ type Hdr struct {
 	// data path (obs.Span); nil otherwise. Drivers hand it across the
 	// hardware boundary so receive processing continues the same span.
 	Span *obs.Span
+
+	// Prov, when the data-touch ledger is enabled, identifies the stream
+	// byte range this packet carries (flow, offset, retransmit flag) so
+	// drivers and devices can attribute their data touches; nil otherwise.
+	Prov *ledger.Prov
+	// DescID is the sosend descriptor id the data came from (0 when the
+	// ledger is off or the data did not arrive via a descriptor write).
+	DescID int64
 }
 
 // WCAB is the paper's wCAB structure: the handle of a packet resident in
@@ -303,6 +312,35 @@ func (m *Mbuf) AttachSpan(sp *obs.Span) {
 		m.hdr = &Hdr{}
 	}
 	m.hdr.Span = sp
+}
+
+// Prov returns the data-touch provenance attached to m's header, or nil.
+func (m *Mbuf) Prov() *ledger.Prov {
+	if m == nil || m.hdr == nil {
+		return nil
+	}
+	return m.hdr.Prov
+}
+
+// AttachProv stores p on m's header, creating an empty header if needed.
+// A nil p is a no-op, so the call is free when the ledger is off.
+func (m *Mbuf) AttachProv(p *ledger.Prov) {
+	if p == nil {
+		return
+	}
+	if m.hdr == nil {
+		m.hdr = &Hdr{}
+	}
+	m.hdr.Prov = p
+}
+
+// DescID returns the sosend descriptor id recorded on m's header (0 when
+// none).
+func (m *Mbuf) DescID() int64 {
+	if m == nil || m.hdr == nil {
+		return 0
+	}
+	return m.hdr.DescID
 }
 
 // UIO returns the user-space region descriptor of a TUIO mbuf.

@@ -3,7 +3,9 @@ package netif
 import (
 	"repro/internal/kern"
 	"repro/internal/mbuf"
+	"repro/internal/obs/ledger"
 	"repro/internal/units"
+	"repro/internal/wire"
 )
 
 // ConvertForLegacy is the "thin layer of code at the entry point to the
@@ -27,6 +29,9 @@ func ConvertForLegacy(ctx kern.Ctx, m *mbuf.Mbuf) *mbuf.Mbuf {
 	buf := make([]byte, total)
 	mbuf.ReadRange(m, 0, total, buf)
 	ctx.Charge(ctx.K.Mach.CopyTime(total, total), kern.CatCopy)
+	// The chain is a network-layer packet: its byte 0 sits at the link
+	// header's end in wire coordinates.
+	ctx.K.Led.TouchP(m.Prov(), wire.LinkHdrLen, total, ledger.CPUCopy, "shim", 0)
 
 	// Rebuild as cluster mbufs.
 	var head, tail *mbuf.Mbuf
@@ -46,6 +51,7 @@ func ConvertForLegacy(ctx kern.Ctx, m *mbuf.Mbuf) *mbuf.Mbuf {
 	if m.IsPktHdr() {
 		head.MarkPktHdr(m.PktLen())
 	}
+	head.AttachProv(m.Prov())
 
 	if h := m.Hdr(); h != nil && h.OnConverted != nil {
 		h.OnConverted(head)

@@ -138,6 +138,39 @@ func (t *Telemetry) Chrome() []byte {
 	if t.trace != nil {
 		f.TraceEvents = append(f.TraceEvents, t.trace.events...)
 	}
+	return marshalChrome(f)
+}
+
+// ChromeFlow renders only the events of one data flow (args.flow == flow,
+// plus that flow's cross-host "s"/"f" binding pairs) — the journey of one
+// connection's bytes, ready for Perfetto.
+func (t *Telemetry) ChromeFlow(flow int) []byte {
+	f := chromeFile{TraceEvents: []chromeEvent{}}
+	if t.trace != nil {
+		for _, ev := range t.trace.events {
+			if ev.Args.Flow == flow {
+				f.TraceEvents = append(f.TraceEvents, ev)
+			}
+		}
+	}
+	return marshalChrome(f)
+}
+
+// ChromeTail renders the most recent n trace events — the trace half of a
+// flight-recorder dump.
+func (t *Telemetry) ChromeTail(n int) []byte {
+	f := chromeFile{TraceEvents: []chromeEvent{}}
+	if t.trace != nil {
+		evs := t.trace.events
+		if len(evs) > n {
+			evs = evs[len(evs)-n:]
+		}
+		f.TraceEvents = append(f.TraceEvents, evs...)
+	}
+	return marshalChrome(f)
+}
+
+func marshalChrome(f chromeFile) []byte {
 	b, err := json.Marshal(f)
 	if err != nil {
 		panic("obs: chrome trace marshal: " + err.Error())

@@ -1,0 +1,95 @@
+package ledger_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mbuf"
+	"repro/internal/mem"
+	"repro/internal/obs/ledger"
+	"repro/internal/socket"
+	"repro/internal/ttcp"
+	"repro/internal/units"
+	"repro/internal/wire"
+)
+
+// TestDisabledLedgerZeroAlloc pins the nil-hook contract: with the ledger
+// off every instrumentation site is one nil check — no allocation, no
+// record, no virtual-time charge.
+func TestDisabledLedgerZeroAlloc(t *testing.T) {
+	var h *ledger.Hook
+	prov := &ledger.Prov{Flow: 1, Off: 0, Len: 100, PayloadOff: 40}
+	if n := testing.AllocsPerRun(1000, func() {
+		h.Touch(1, 0, 100, ledger.CPUCopy, "test", 0, 0)
+		h.TouchP(prov, 40, 60, ledger.SDMAToNet, "test", ledger.FlagCsumFlight)
+		h.TouchP(nil, 0, 100, ledger.MDMATx, "test", 0)
+		h.Unattributed(ledger.CPUCsum, 100)
+		_ = h.NextDesc()
+		_ = h.Host()
+		_ = h.Enabled()
+	}); n != 0 {
+		t.Fatalf("disabled ledger allocated %.1f times per run, want 0", n)
+	}
+}
+
+// ledgerRun performs one seeded single-copy transfer and returns the
+// ledger's serialized state.
+func ledgerRun(t *testing.T, seed int64) []byte {
+	t.Helper()
+	tb := core.NewTestbed(seed)
+	led := tb.EnableLedger()
+	a := tb.AddHost(core.HostConfig{Name: "A", Addr: wire.Addr(0x0a000001),
+		Mode: socket.ModeSingleCopy, CABNode: 1})
+	b := tb.AddHost(core.HostConfig{Name: "B", Addr: wire.Addr(0x0a000002),
+		Mode: socket.ModeSingleCopy, CABNode: 2})
+	tb.RouteCAB(a, b)
+	ttcp.Run(tb, a, b, ttcp.Params{Total: 512 * units.KB, RWSize: 64 * units.KB})
+	return led.JSON()
+}
+
+// TestLedgerDeterminism asserts the ledger is part of the deterministic
+// surface: two runs with the same seed serialize byte-identically.
+func TestLedgerDeterminism(t *testing.T) {
+	one := ledgerRun(t, 42)
+	two := ledgerRun(t, 42)
+	if !bytes.Equal(one, two) {
+		t.Fatalf("same seed produced different ledgers (%d vs %d bytes)", len(one), len(two))
+	}
+	if len(one) == 0 {
+		t.Fatal("ledger serialized empty")
+	}
+}
+
+// TestCopyRangeRecordsNoTouches pins the retransmit-search property the
+// paper relies on (Section 4.2): locating a byte range in a mixed
+// M_UIO/M_WCAB transmit queue shares references and never touches data —
+// so it must leave no trace in the ledger.
+func TestCopyRangeRecordsNoTouches(t *testing.T) {
+	now := units.Time(0)
+	led := ledger.New(func() units.Time { return now })
+	_ = led.Hook("A") // instrumentation enabled, as in a live run
+
+	sp := mem.NewAddrSpace("user", 1*units.MB, 8*units.KB)
+	ub := sp.Alloc(300, 4)
+	u := mem.NewUIO(ub)
+	w := &mbuf.WCAB{Valid: 200}
+	wdata := make([]byte, 200)
+	w.ReadFn = func(off, n units.Size) []byte { return wdata[off : off+n] }
+	w.Ref()
+	chain := mbuf.Cat(
+		mbuf.Cat(mbuf.NewData(make([]byte, 50)), mbuf.NewUIO(u, 0, 300, nil)),
+		mbuf.NewWCAB(w, 0, 200, nil))
+	chain.AttachProv(&ledger.Prov{Flow: 7, Off: 0, Len: 550, PayloadOff: 0})
+
+	before := led.JSON()
+	for off := units.Size(0); off < 500; off += 37 {
+		mbuf.FreeChain(mbuf.CopyRange(chain, off, 50))
+	}
+	if after := led.JSON(); !bytes.Equal(before, after) {
+		t.Fatalf("CopyRange changed the ledger:\nbefore %s\nafter  %s", before, after)
+	}
+	if n := len(led.Records()); n != 0 {
+		t.Fatalf("CopyRange recorded %d data touches, want 0", n)
+	}
+}

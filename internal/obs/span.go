@@ -56,11 +56,16 @@ func NewTrace(now func() units.Time) *Trace {
 	return &Trace{now: now}
 }
 
-// chromeEvent is one Chrome trace-event ("X" complete event). Timestamps
-// and durations are microseconds of virtual time.
+// chromeEvent is one Chrome trace-event: "X" complete events for stages,
+// "i" instants, and "s"/"f" flow events that draw the cross-host arrow
+// when a span migrates from the sender's timeline to the receiver's.
+// Timestamps and durations are microseconds of virtual time.
 type chromeEvent struct {
 	Name string  `json:"name"`
 	Ph   string  `json:"ph"`
+	Cat  string  `json:"cat,omitempty"`
+	ID   int64   `json:"id,omitempty"`
+	BP   string  `json:"bp,omitempty"`
 	TS   float64 `json:"ts"`
 	Dur  float64 `json:"dur"`
 	PID  string  `json:"pid"`
@@ -71,6 +76,13 @@ type chromeEvent struct {
 type evArgs struct {
 	Span int64 `json:"span"`
 	Rtx  bool  `json:"rtx,omitempty"`
+	// Flow is the data flow id (the sender's local port), Desc the sosend
+	// descriptor id, and Off/Len the stream byte range the packet carries —
+	// set by the transport so one byte range's journey is traceable.
+	Flow int   `json:"flow,omitempty"`
+	Desc int64 `json:"desc,omitempty"`
+	Off  int64 `json:"off,omitempty"`
+	Len  int64 `json:"len,omitempty"`
 }
 
 func micros(t units.Time) float64 { return float64(t) / float64(units.Microsecond) }
@@ -107,6 +119,9 @@ type Span struct {
 	open     bool
 	rtx      bool
 	done     bool
+	flow     int
+	desc     int64
+	off, len int64
 }
 
 // StartSpan opens a span originating on host, beginning now.
@@ -135,6 +150,30 @@ func (s *Span) MarkRetransmit() {
 	}
 }
 
+// SetFlow tags the span (and all its subsequent trace events) with the
+// data flow id — the sender's local port.
+func (s *Span) SetFlow(flow int) {
+	if s != nil {
+		s.flow = flow
+	}
+}
+
+// SetDesc tags the span with the sosend descriptor id its payload came
+// from.
+func (s *Span) SetDesc(desc int64) {
+	if s != nil {
+		s.desc = desc
+	}
+}
+
+// SetRange tags the span with the stream byte range [off, off+n) the
+// packet carries.
+func (s *Span) SetRange(off, n int64) {
+	if s != nil {
+		s.off, s.len = off, n
+	}
+}
+
 // EnterAt closes the currently open stage at instant at and opens stage.
 func (s *Span) EnterAt(stage Stage, at units.Time) {
 	if s == nil || s.done {
@@ -152,6 +191,37 @@ func (s *Span) Enter(stage Stage) {
 	s.EnterAt(stage, s.tr.now())
 }
 
+// EnterOn is Enter on another host's timeline: when a packet crosses the
+// wire, the receiving side calls EnterOn with its own host label. The
+// stage that was open closes on the old host, a Chrome flow-event pair
+// ("s" on the old timeline, binding "f" on the new) records the handoff
+// so Perfetto draws the cross-host arrow, and the new stage opens under
+// the new host's pid. With an empty or unchanged host it is plain Enter.
+func (s *Span) EnterOn(stage Stage, host string) {
+	if s == nil || s.done {
+		return
+	}
+	at := s.tr.now()
+	if host != "" && host != s.host {
+		s.closeStage(at)
+		ts := micros(at)
+		s.tr.emit(chromeEvent{
+			Name: "xfer", Ph: "s", Cat: "dataflow", ID: s.id, TS: ts,
+			PID: s.host, TID: stageNames[s.cur], Args: s.args(),
+		})
+		s.host = host
+		s.tr.emit(chromeEvent{
+			Name: "xfer", Ph: "f", Cat: "dataflow", ID: s.id, BP: "e", TS: ts,
+			PID: s.host, TID: stageNames[stage], Args: s.args(),
+		})
+	}
+	s.EnterAt(stage, at)
+}
+
+func (s *Span) args() evArgs {
+	return evArgs{Span: s.id, Rtx: s.rtx, Flow: s.flow, Desc: s.desc, Off: s.off, Len: s.len}
+}
+
 func (s *Span) closeStage(end units.Time) {
 	if !s.open {
 		return
@@ -164,7 +234,7 @@ func (s *Span) closeStage(end units.Time) {
 		Name: stageNames[s.cur], Ph: "X",
 		TS: micros(s.curStart), Dur: micros(d),
 		PID: s.host, TID: stageNames[s.cur],
-		Args: evArgs{Span: s.id, Rtx: s.rtx},
+		Args: s.args(),
 	})
 	s.open = false
 }

@@ -194,6 +194,11 @@ func (s *Socket) writeCopy(ctx kern.Ctx, u *mem.UIO, buf mem.Buf) (units.Size, e
 	c := s.Conn
 	total := buf.Len
 	chunkMax := s.chunkSize()
+	// Ledger attribution: this write's byte 0 lands at the current append
+	// stream offset (stable across the loop: ACKs shift sndUna and sndLen
+	// in lockstep). The copies below address the UIO at write offsets, so
+	// the base maps them straight to stream bytes.
+	ctx = ctx.OnStream(int(c.LocalPort()), c.AppendStreamOff())
 	boundary := true
 	for sent := units.Size(0); sent < total; {
 		if err := c.WaitSndSpace(ctx.P); err != nil {
@@ -263,7 +268,7 @@ func (s *Socket) writeUIO(ctx kern.Ctx, u *mem.UIO, buf mem.Buf) (units.Size, er
 		pinned = append(pinned, mem.Iovec{Addr: sent, Len: chunk})
 		trk.add(chunk)
 		ctx.Charge(s.K.Mach.SocketPerPacket, kern.CatProto)
-		m := mbuf.NewUIO(u, sent, chunk, &mbuf.Hdr{Owner: trk})
+		m := mbuf.NewUIO(u, sent, chunk, &mbuf.Hdr{Owner: trk, DescID: s.K.Led.NextDesc()})
 		if err := c.Append(ctx, m, chunk, boundary); err != nil {
 			trk.DMADone(chunk) // never issued
 			s.unpinAll(ctx, u, pinned)
@@ -304,12 +309,16 @@ func (s *Socket) Read(p *sim.Proc, buf mem.Buf) (units.Size, error) {
 		}
 		return 0, ErrEOF
 	}
+	// Ledger attribution: the dequeued chain starts at the stream offset of
+	// the bytes consumed so far; flows are keyed by the data sender's local
+	// port, our peer.
+	base := c.RcvDequeued()
 	chain, n := c.DequeueRcv(buf.Len)
 	if n == 0 {
 		return 0, ErrEOF
 	}
 	u := mem.NewUIO(buf)
-	s.copyOut(ctx, u, chain, n)
+	s.copyOut(ctx.OnStream(int(c.RemotePort()), base), u, chain, n)
 	mbuf.FreeChain(chain)
 	c.WindowUpdate(ctx)
 	return n, nil
@@ -348,8 +357,7 @@ func (s *Socket) copyOut(ctx kern.Ctx, u *mem.UIO, chain *mbuf.Mbuf, n units.Siz
 				// Fallback: read outboard data with the CPU.
 				s.CopyReads++
 				s.ctrCopyReads.Inc()
-				ctx.Charge(s.K.Mach.CopyTime(ln, n), kern.CatCopy)
-				u.WriteAt(w.ReadFn(m.Off(), ln), off)
+				ctx.CopyToUIO(u, off, w.ReadFn(m.Off(), ln), n)
 			}
 		case mbuf.TUIO:
 			panic("socket: M_UIO mbuf in receive buffer")

@@ -325,6 +325,12 @@ func (s *Stack) verifyTransportCsum(ctx kern.Ctx, m *mbuf.Mbuf, iph wire.IPHdr, 
 	s.Stats.SWCsumVerified++
 	buf := make([]byte, segLen)
 	mbuf.ReadRange(m, 0, segLen, buf)
+	if pv := m.Prov(); pv != nil && ctx.K.Led != nil {
+		// The buffer starts at the transport header: payload byte 0 (stream
+		// byte pv.Off) sits at buffer offset segLen-pv.Len; the provenance
+		// window clips the header bytes out of the record.
+		ctx = ctx.OnStreamProv(pv, pv.Off-(segLen-pv.Len))
+	}
 	sum := ctx.ChecksumRead(buf, segLen)
 	return checksum.VerifySum(checksum.Add(ps, sum))
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/kern"
 	"repro/internal/mbuf"
 	"repro/internal/obs"
+	"repro/internal/obs/ledger"
 	"repro/internal/units"
 	"repro/internal/wire"
 )
@@ -112,6 +113,20 @@ func (c *TCPConn) sendSegment(ctx kern.Ctx, seq uint32, seglen units.Size, flags
 // packet to IP.
 func (c *TCPConn) sendSegmentRaw(ctx kern.Ctx, seq uint32, seglen units.Size, flags uint16, data *mbuf.Mbuf) {
 	ctx = ctx.In("tcp_output").WithFlow(int(c.key.lport))
+	// Data-touch provenance for data segments: the stream byte range this
+	// packet carries (data byte 0 is sequence iss+1), the retransmit flag,
+	// and the sosend descriptor the bytes came from.
+	var prov *ledger.Prov
+	if c.stk.K.Led != nil && seglen > 0 {
+		prov = &ledger.Prov{
+			Flow:       int(c.key.lport),
+			Off:        seqDiff(seq, c.iss) - 1,
+			Len:        seglen,
+			PayloadOff: wire.LinkHdrLen + wire.IPHdrLen + wire.TCPHdrLen,
+			Desc:       firstDescID(data),
+			Rtx:        seqLT(seq, c.sndMax),
+		}
+	}
 	// Open a data-path span for data segments. A fresh segment's span is
 	// backdated to when its first byte was enqueued (the socket stage); a
 	// retransmission starts now and is tagged.
@@ -127,6 +142,9 @@ func (c *TCPConn) sendSegmentRaw(ctx kern.Ctx, seq uint32, seglen units.Size, fl
 		if rtx {
 			span.MarkRetransmit()
 		}
+		span.SetFlow(int(c.key.lport))
+		span.SetRange(int64(seqDiff(seq, c.iss))-1, int64(seglen))
+		span.SetDesc(firstDescID(data))
 		span.Enter(obs.StagePacketize)
 	}
 	singleCopy, _ := c.stk.RouteCaps(c.key.raddr)
@@ -183,7 +201,13 @@ func (c *TCPConn) sendSegmentRaw(ctx kern.Ctx, seq uint32, seglen units.Size, fl
 			if region < seglen {
 				region = seglen
 			}
-			sum = checksum.Combine(sum, ctx.ChecksumRead(buf, region), int(wire.TCPHdrLen))
+			csCtx := ctx
+			if prov != nil {
+				// The buffer is payload only: offset 0 is stream byte
+				// prov.Off.
+				csCtx = ctx.OnStreamProv(prov, prov.Off)
+			}
+			sum = checksum.Combine(sum, csCtx.ChecksumRead(buf, region), int(wire.TCPHdrLen))
 		}
 		hdr.Csum = checksum.Finish(sum)
 		hdr.Marshal(hb)
@@ -204,6 +228,7 @@ func (c *TCPConn) sendSegmentRaw(ctx kern.Ctx, seq uint32, seglen units.Size, fl
 		hm.SetHdr(phdr)
 	}
 	hm.AttachSpan(span)
+	hm.AttachProv(prov)
 	ctx.Charge(c.stk.K.Mach.TCPPerPacket, kern.CatProto)
 	c.stk.Stats.TCPSegsOut++
 	c.stk.IPOutput(ctx, hm, wire.ProtoTCP, c.key.raddr)
@@ -299,4 +324,15 @@ func (c *TCPConn) onConverted(seq uint32, n units.Size, converted *mbuf.Mbuf) {
 func discardWCAB(w *mbuf.WCAB) {
 	w.Ref()
 	w.Unref()
+}
+
+// firstDescID returns the first sosend descriptor id recorded on the chain
+// (0 when none — regular data, or the ledger is off).
+func firstDescID(m *mbuf.Mbuf) int64 {
+	for ; m != nil; m = m.Next() {
+		if id := m.DescID(); id != 0 {
+			return id
+		}
+	}
+	return 0
 }
