@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench benchcheck soak audit obs-race ci
+.PHONY: all build vet test race bench-smoke bench benchcheck soak audit obs-race load load-race ci
 
 all: build
 
@@ -53,4 +53,14 @@ audit:
 obs-race:
 	$(GO) test -race -count 1 ./internal/obs/...
 
-ci: vet build race bench-smoke soak obs-race audit benchcheck
+# The many-flow workload engine: fairness acceptance, 256/1024-flow
+# determinism, and the netmem arbiter unit tests.
+load:
+	$(GO) test -count 1 ./internal/load/... ./internal/cab/...
+
+# The same suite under the race detector (the 256-flow determinism pair
+# doubles as the concurrency check).
+load-race:
+	$(GO) test -race -count 1 ./internal/load/...
+
+ci: vet build race bench-smoke soak obs-race load load-race audit benchcheck

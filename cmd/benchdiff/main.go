@@ -9,9 +9,13 @@
 //	benchdiff -baseline . -fresh /tmp/bench [-rel 0.05] [-abs 1e-6] [files...]
 //
 // With no file arguments it checks BENCH_fig5.json through BENCH_fig9.json
-// plus BENCH_touches.json. Touch-count files hold exact integer counts
-// (copies, checksums, DMA crossings per byte), so they get zero tolerance:
-// any drift in a data-touch count is a real behavior change, never noise.
+// plus BENCH_touches.json and BENCH_load.json. Touch-count files hold
+// exact integer counts (copies, checksums, DMA crossings per byte), so
+// they get zero tolerance: any drift in a data-touch count is a real
+// behavior change, never noise. The load file's throughput and latency
+// leaves get the relative tolerance; its structure, flow counts, and
+// order digests (strings) are compared exactly, so the gate still pins
+// event-ordering determinism.
 // Exit status 1 means at least one file regressed; each violation is
 // printed with its JSON path and percentage drift.
 package main
@@ -41,6 +45,7 @@ var defaultFiles = []string{
 	"BENCH_fig8.json",
 	"BENCH_fig9.json",
 	"BENCH_touches.json",
+	"BENCH_load.json",
 }
 
 // exactFiles are baselines of exact integer counts: compared with zero

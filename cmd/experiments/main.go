@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments -exp fig5|fig6|fig7|fig8|fig9|table1|table2|analysis|hol|window|lazy|threshold|chaos|all
+//	experiments -exp fig5|fig6|fig7|fig8|fig9|table1|table2|analysis|hol|window|lazy|threshold|chaos|load|all
 //	experiments -exp fig5 -quick   # fewer sizes, faster
 //	experiments -exp bench         # regenerate every BENCH_fig*.json baseline
 package main
@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: fig5..fig9, table1, table2, analysis, hol, window, lazy, threshold, chaos, touches, bench, all")
+	which := flag.String("exp", "all", "experiment: fig5..fig9, table1, table2, analysis, hol, window, lazy, threshold, chaos, touches, load, bench, all")
 	quick := flag.Bool("quick", false, "use a reduced size sweep for the figures")
 	csv := flag.Bool("csv", false, "emit figures as CSV instead of tables")
 	metricsOut := flag.String("metrics", "", "write a telemetry snapshot of one instrumented transfer to this JSON file")
@@ -104,6 +104,20 @@ func main() {
 				os.Exit(1)
 			}
 			writeBench("BENCH_touches.json", rep.JSON())
+			lb, err := exp.RunLoadBench()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			writeBench("BENCH_load.json", lb.JSON())
+		case "load":
+			lb, err := exp.RunLoadBench()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(lb.Format())
+			writeBench("BENCH_load.json", lb.JSON())
 		case "touches":
 			rep, err := exp.RunTouches(1)
 			fmt.Println(rep.Format())

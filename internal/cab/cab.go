@@ -96,6 +96,9 @@ type Stats struct {
 	SDMAFails          int // SDMA transfers failed by fault injection (each is retried)
 	RxRetries          int // rx frames held on the link and retried (memory/buffer pressure)
 	RxHdrDeliveries    int // rx frames delivered straight from the auto-DMA buffer (netmem pressure)
+	ArbWaits           int // tx admissions blocked by the netmem arbiter
+	ArbBorrows         int // over-share allocations admitted from slack (arbiter)
+	ArbReclaims        int // idle flow registrations reclaimed (arbiter)
 }
 
 // CAB is one adaptor instance.
@@ -124,9 +127,14 @@ type CAB struct {
 
 	// rxHold is the FIFO of frames held on the link under resource
 	// pressure (see mdma.go); rxHoldArmed is true while a pump event is
-	// pending.
+	// pending. With the arbiter installed the hold becomes one FIFO per
+	// flow (rxHoldQ), served round-robin from rxRR over the arrival-order
+	// flow list rxHoldFlows.
 	rxHold      []heldRx
 	rxHoldArmed bool
+	rxHoldQ     map[int][]heldRx
+	rxHoldFlows []int
+	rxRR        int
 
 	// OnRx is the host's receive notification (installed by the driver;
 	// runs in hardware/event context — the driver is responsible for
@@ -154,6 +162,11 @@ type CAB struct {
 	// pagesUsed tracks network-memory page occupancy (with high-water
 	// mark) when telemetry is enabled; nil otherwise.
 	pagesUsed *obs.Gauge
+
+	// Arb, when installed (NewArbiter), accounts network-memory pages per
+	// flow and arbitrates allocation between flows. Nil means the seed
+	// first-come global policy; every hook below is a single nil check.
+	Arb *Arbiter
 }
 
 // SetObs registers the adaptor's metrics on r (nil: no-op).
@@ -171,6 +184,15 @@ func (c *CAB) SetObs(r *obs.Registry) {
 	r.Func("cab.sdma_fails", func() int64 { return int64(c.Stats.SDMAFails) })
 	r.Func("cab.rx_retries", func() int64 { return int64(c.Stats.RxRetries) })
 	r.Func("cab.rx_hdr_deliveries", func() int64 { return int64(c.Stats.RxHdrDeliveries) })
+	r.Func("cab.arb_waits", func() int64 { return int64(c.Stats.ArbWaits) })
+	r.Func("cab.arb_borrows", func() int64 { return int64(c.Stats.ArbBorrows) })
+	r.Func("cab.arb_reclaims", func() int64 { return int64(c.Stats.ArbReclaims) })
+	r.Func("cab.arb_flows", func() int64 {
+		if c.Arb == nil {
+			return 0
+		}
+		return int64(c.Arb.ActiveFlows())
+	})
 	c.pagesUsed = r.Gauge("cab.netmem_pages")
 }
 
@@ -220,6 +242,7 @@ type Packet struct {
 	ID    int
 	buf   []byte
 	pages int
+	flow  int
 	freed bool
 
 	// BodySum is the transmit checksum engine's saved partial sum over
@@ -239,6 +262,10 @@ func (pk *Packet) Freed() bool { return pk.freed }
 // Owner returns the adaptor holding this packet.
 func (pk *Packet) Owner() *CAB { return pk.cab }
 
+// Flow returns the transport flow the packet's pages are accounted to
+// (0: unattributed).
+func (pk *Packet) Flow() int { return pk.flow }
+
 // Bytes returns the live network memory contents of the packet.
 func (pk *Packet) Bytes() []byte {
 	if pk.freed {
@@ -256,6 +283,9 @@ func (pk *Packet) Free() {
 	pk.cab.freePages += pk.pages
 	delete(pk.cab.live, pk.ID)
 	pk.cab.pagesUsed.Set(int64(pk.cab.totalPages - pk.cab.freePages))
+	if pk.cab.Arb != nil {
+		pk.cab.Arb.freeNotify(pk.flow, pk.pages)
+	}
 	pk.cab.freeSig.Broadcast()
 }
 
@@ -273,6 +303,12 @@ func (c *CAB) LivePackets() []units.Size {
 // false) when memory is exhausted; callers in process context can use
 // AllocPacketWait.
 func (c *CAB) AllocPacket(n units.Size) (*Packet, bool) {
+	return c.AllocPacketFlow(n, 0)
+}
+
+// AllocPacketFlow is AllocPacket with the pages accounted to flow in the
+// netmem arbiter (0: unattributed; identical to AllocPacket).
+func (c *CAB) AllocPacketFlow(n units.Size, flow int) (*Packet, bool) {
 	if n <= 0 {
 		panic("cab: zero-length packet")
 	}
@@ -282,16 +318,24 @@ func (c *CAB) AllocPacket(n units.Size) (*Packet, bool) {
 	}
 	c.freePages -= pages
 	c.nextPktID++
-	pk := &Packet{cab: c, ID: c.nextPktID, buf: make([]byte, n), pages: pages}
+	pk := &Packet{cab: c, ID: c.nextPktID, buf: make([]byte, n), pages: pages, flow: flow}
 	c.live[pk.ID] = pk
 	c.pagesUsed.Set(int64(c.totalPages - c.freePages))
+	if c.Arb != nil {
+		c.Arb.allocNotify(flow, pages)
+	}
 	return pk, true
 }
 
 // AllocPacketWait blocks p until network memory for n bytes is available.
 func (c *CAB) AllocPacketWait(p *sim.Proc, n units.Size) *Packet {
+	return c.AllocPacketWaitFlow(p, n, 0)
+}
+
+// AllocPacketWaitFlow is AllocPacketWait with per-flow page accounting.
+func (c *CAB) AllocPacketWaitFlow(p *sim.Proc, n units.Size, flow int) *Packet {
 	for {
-		if pk, ok := c.AllocPacket(n); ok {
+		if pk, ok := c.AllocPacketFlow(n, flow); ok {
 			return pk
 		}
 		c.freeSig.Wait(p)

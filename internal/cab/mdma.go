@@ -70,7 +70,7 @@ func (c *CAB) mdmaTxProc(p *sim.Proc) {
 		copy(data, e.pkt.buf)
 		c.Led.TouchP(e.prov, 0, e.pkt.Len(), ledger.MDMATx, "mdma", 0)
 		sent := sim.NewSignal(c.eng)
-		c.net.SendFrame(hippi.Frame{Src: c.nodeID, Dst: e.dst, Data: data, Span: e.span, Prov: e.prov},
+		c.net.SendFrame(hippi.Frame{Src: c.nodeID, Dst: e.dst, Data: data, Span: e.span, Prov: e.prov, Flow: e.pkt.flow},
 			func() { sent.Broadcast() })
 		sent.Wait(p)
 		c.Stats.TxPackets++
@@ -95,6 +95,21 @@ const (
 	rxRetryLimit = 400
 )
 
+// FlowKey is the arbiter account key for traffic received from a remote
+// sender: the (source node, sender local port) pair packed into one int.
+// Port numbers alone collide across hosts — every stack hands out
+// ephemeral ports from the same base — so receive-side accounts must
+// carry the node. Zero (unattributed/control traffic) stays zero.
+func FlowKey(src hippi.NodeID, port int) int {
+	if port == 0 {
+		return 0
+	}
+	return int(src)<<16 | port
+}
+
+// rxFlowKey is FlowKey applied to a received frame.
+func rxFlowKey(f hippi.Frame) int { return FlowKey(f.Src, f.Flow) }
+
 // heldRx is one frame held on the link under resource pressure.
 type heldRx struct {
 	f        hippi.Frame
@@ -108,6 +123,10 @@ type heldRx struct {
 func (c *CAB) rxFrame(f hippi.Frame) {
 	f.Span.EnterOn(obs.StageMDMA, c.Host)
 	c.Led.TouchP(f.Prov, 0, units.Size(len(f.Data)), ledger.MDMARx, "mdma", 0)
+	if c.Arb != nil {
+		c.rxFrameArb(f)
+		return
+	}
 	// Preserve arrival order: never overtake frames already held.
 	if len(c.rxHold) == 0 && c.tryRx(f) {
 		return
@@ -119,8 +138,33 @@ func (c *CAB) rxFrame(f hippi.Frame) {
 	}
 }
 
-// rxHoldPump retries the held-frame FIFO from the head.
+// rxFrameArb is rxFrame under the netmem arbiter: held frames form one
+// FIFO *per flow* served round-robin, so a flow wedged on its quota delays
+// only its own successors. Per-flow arrival order is still strict — the
+// sequence-gap deadlock the global FIFO guards against is a per-flow
+// property — while cross-flow reordering is harmless.
+func (c *CAB) rxFrameArb(f hippi.Frame) {
+	key := rxFlowKey(f)
+	q := c.rxHoldQ[key]
+	if len(q) == 0 && c.tryRx(f) {
+		return
+	}
+	if len(q) == 0 {
+		c.rxHoldFlows = append(c.rxHoldFlows, key)
+	}
+	c.rxHoldQ[key] = append(q, heldRx{f: f})
+	if !c.rxHoldArmed {
+		c.rxHoldArmed = true
+		c.eng.After(rxRetryDelay, c.rxHoldPump)
+	}
+}
+
+// rxHoldPump retries held frames after rxRetryDelay.
 func (c *CAB) rxHoldPump() {
+	if c.Arb != nil {
+		c.rxHoldPumpArb()
+		return
+	}
 	for len(c.rxHold) > 0 {
 		h := &c.rxHold[0]
 		if c.tryRx(h.f) {
@@ -143,14 +187,70 @@ func (c *CAB) rxHoldPump() {
 	c.rxHoldArmed = false
 }
 
+// rxHoldPumpArb services the per-flow hold queues: one attempt per flow
+// head per tick, visiting flows in circular order from a rotating start so
+// freed memory is offered to each flow in turn.
+func (c *CAB) rxHoldPumpArb() {
+	if n := len(c.rxHoldFlows); n > 0 {
+		if c.rxRR >= n {
+			c.rxRR %= n
+		}
+		order := make([]int, 0, n)
+		order = append(order, c.rxHoldFlows[c.rxRR:]...)
+		order = append(order, c.rxHoldFlows[:c.rxRR]...)
+		c.rxRR++
+		for _, flow := range order {
+			q := c.rxHoldQ[flow]
+			if len(q) == 0 {
+				continue
+			}
+			h := &q[0]
+			if !c.tryRx(h.f) {
+				c.Stats.RxRetries++
+				if h.attempts++; h.attempts < rxRetryLimit {
+					continue
+				}
+				if len(c.rxBufs) == 0 {
+					c.Stats.DropNoBuf++
+				} else {
+					c.Stats.DropNoMem++
+				}
+			}
+			q[0] = heldRx{}
+			if q = q[1:]; len(q) == 0 {
+				delete(c.rxHoldQ, flow)
+				for i, fl := range c.rxHoldFlows {
+					if fl == flow {
+						c.rxHoldFlows = append(c.rxHoldFlows[:i], c.rxHoldFlows[i+1:]...)
+						break
+					}
+				}
+			} else {
+				c.rxHoldQ[flow] = q
+			}
+		}
+	}
+	if len(c.rxHoldFlows) > 0 {
+		c.eng.After(rxRetryDelay, c.rxHoldPump)
+		return
+	}
+	c.rxHoldArmed = false
+}
+
 // tryRx attempts to accept one frame into the adaptor; it reports false
-// when a required resource (rx buffer, network memory) is missing.
+// when a required resource (rx buffer, network memory) is missing or the
+// netmem arbiter denies the flow's staging allocation.
 func (c *CAB) tryRx(f hippi.Frame) bool {
 	n := units.Size(len(f.Data))
 	if len(c.rxBufs) == 0 {
 		return false
 	}
-	pk, ok := c.AllocPacket(n)
+	key := rxFlowKey(f)
+	var pk *Packet
+	ok := false
+	if c.Arb == nil || c.Arb.rxAdmit(key, n) {
+		pk, ok = c.AllocPacketFlow(n, key)
+	}
 	if !ok {
 		// Network memory exhausted. Frames that fit in the auto-DMA
 		// buffer (ACKs, control traffic) are delivered straight from it so

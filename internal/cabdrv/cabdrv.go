@@ -41,6 +41,7 @@ type Stats struct {
 	RxPackets       int
 	TxOverlays      int // header-only retransmissions
 	TxFallbackReads int // partial-WCAB retransmissions that re-read outboard data
+	TxAbandoned     int // queued packets dropped after their connection tore down
 	Converted       int // descriptor chains converted at the legacy entry point
 	RxSmall         int // packets delivered entirely from the auto-DMA buffer
 	RxLarge         int // packets delivered as auto-DMA head + M_WCAB body
@@ -142,6 +143,27 @@ func (d *Driver) SetMTU(m units.Size) { d.mtu = m }
 // Caps implements netif.Interface.
 func (d *Driver) Caps() netif.Caps { return netif.Caps{SingleCopy: d.SingleCopy} }
 
+// hdrFlow extracts the flow tag the transport stamped on the packet header
+// (0: unattributed control traffic).
+func hdrFlow(h *mbuf.Hdr) int {
+	if h == nil {
+		return 0
+	}
+	return h.Flow
+}
+
+// AdmitTx implements netif.Admitter: transports call it (in process
+// context, above the transmit daemon) before committing n payload bytes to
+// the send path, so the netmem arbiter can throttle over-share flows
+// without wedging the shared daemon. Without an arbiter it admits
+// unconditionally.
+func (d *Driver) AdmitTx(p *sim.Proc, flow int, n units.Size) {
+	if d.C.Arb == nil {
+		return
+	}
+	d.C.Arb.AdmitTx(p, flow, wire.LinkHdrLen+n)
+}
+
 // Output implements netif.Interface: it queues the packet for the transmit
 // daemon, converting descriptor chains first when running as a legacy
 // driver.
@@ -177,6 +199,10 @@ func (d *Driver) txd(p *sim.Proc) {
 func (d *Driver) sendSingleCopy(p *sim.Proc, job *txJob) {
 	m := job.m
 	hdrH := m.Hdr()
+	if txAbandoned(m) {
+		d.dropAbandoned(job, nil)
+		return
+	}
 
 	if op, prefixLen, ok := d.overlayCandidate(m); ok {
 		d.sendOverlay(job, op, prefixLen)
@@ -185,7 +211,13 @@ func (d *Driver) sendSingleCopy(p *sim.Proc, job *txJob) {
 
 	ipLen := mbuf.ChainLen(m)
 	pktLen := wire.LinkHdrLen + ipLen
-	pk := d.C.AllocPacketWait(p, pktLen)
+	pk := d.C.AllocPacketWaitFlow(p, pktLen, hdrFlow(hdrH))
+	// The allocation may have blocked; the connection can tear down and
+	// release the descriptors' pages in the meantime.
+	if txAbandoned(m) {
+		d.dropAbandoned(job, pk)
+		return
+	}
 
 	lh := make([]byte, wire.LinkHdrLen)
 	wire.LinkHdr{
@@ -281,6 +313,30 @@ func (d *Driver) txSDMADone(job *txJob, pk *cab.Packet, hdrH *mbuf.Hdr) {
 	})
 }
 
+// txAbandoned reports whether any descriptor in the chain was released by
+// a connection teardown while the packet waited in the transmit queue (the
+// queued copies share the send buffer's headers).
+func txAbandoned(m *mbuf.Mbuf) bool {
+	for cur := m; cur != nil; cur = cur.Next() {
+		if cur.Type() == mbuf.TUIO {
+			if h := cur.Hdr(); h != nil && h.Abandoned {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// dropAbandoned discards a transmit job whose connection tore down before
+// the DMA was issued; its user pages are no longer pinned.
+func (d *Driver) dropAbandoned(job *txJob, pk *cab.Packet) {
+	d.Stats.TxAbandoned++
+	if pk != nil {
+		pk.Free()
+	}
+	mbuf.FreeChain(job.m)
+}
+
 // sendOverlay retransmits an outboard packet by DMAing only the fresh
 // headers over the old ones; the checksum engine combines the new seed
 // with the body checksum it saved on the first transmission (Section 4.3).
@@ -359,7 +415,7 @@ func (d *Driver) sendLegacy(p *sim.Proc, job *txJob) {
 	m := job.m
 	ipLen := mbuf.ChainLen(m)
 	pktLen := wire.LinkHdrLen + ipLen
-	pk := d.C.AllocPacketWait(p, pktLen)
+	pk := d.C.AllocPacketWaitFlow(p, pktLen, hdrFlow(m.Hdr()))
 
 	lh := make([]byte, wire.LinkHdrLen)
 	wire.LinkHdr{

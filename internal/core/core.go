@@ -40,6 +40,10 @@ type HostConfig struct {
 	CABNode hippi.NodeID
 	// CABConfig overrides the adaptor configuration (zero value: default).
 	CABConfig *cab.Config
+	// Arbiter, if set, installs a per-flow netmem arbiter on the host's
+	// CAB with this configuration (zero value: arbiter defaults). Nil
+	// keeps the seed first-come global allocation policy.
+	Arbiter *cab.ArbConfig
 	// NoDriver attaches the CAB hardware without the protocol driver
 	// (raw-HIPPI measurement harnesses drive the adaptor directly).
 	NoDriver bool
@@ -255,6 +259,9 @@ func (tb *Testbed) AddHost(cfg HostConfig) *Host {
 	h.CAB.SetObs(h.K.Obs)
 	h.CAB.Led = h.K.Led
 	h.CAB.Host = cfg.Name
+	if cfg.Arbiter != nil {
+		cab.NewArbiter(h.CAB, *cfg.Arbiter)
+	}
 	if tb.FaultInj != nil {
 		tb.FaultInj.WireCAB(h.CAB)
 		tb.FaultInj.WireKernel(h.K)

@@ -345,7 +345,7 @@ func TestUDPTransfer(t *testing.T) {
 	tb, a, b := twoHosts(socket.ModeSingleCopy)
 	var got [][]byte
 	rt := b.NewUserTask("rcv", 0)
-	rx := socket.NewDGram(b.K, b.VM, rt, b.Stk, 7000, b.SocketConfig())
+	rx := socket.MustDGram(b.K, b.VM, rt, b.Stk, 7000, b.SocketConfig())
 	tb.Eng.Go("receiver", func(p *sim.Proc) {
 		buf := rt.Space.Alloc(32*units.KB, 8)
 		for i := 0; i < 8; i++ {
@@ -357,7 +357,7 @@ func TestUDPTransfer(t *testing.T) {
 	})
 	st := a.NewUserTask("snd", 0)
 	tb.Eng.Go("sender", func(p *sim.Proc) {
-		tx := socket.NewDGram(a.K, a.VM, st, a.Stk, 0, a.SocketConfig())
+		tx := socket.MustDGram(a.K, a.VM, st, a.Stk, 0, a.SocketConfig())
 		buf := st.Space.Alloc(16*units.KB, 8)
 		for i := 0; i < 8; i++ {
 			pattern(buf.Bytes(), byte(i))

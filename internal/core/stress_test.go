@@ -316,7 +316,7 @@ func TestFragmentedUDPOverCABCombinesHardwareChecksums(t *testing.T) {
 	const n = 48 * units.KB
 	var got []byte
 	rt := b.NewUserTask("rcv", 0)
-	rx := socket.NewDGram(b.K, b.VM, rt, b.Stk, 9000, b.SocketConfig())
+	rx := socket.MustDGram(b.K, b.VM, rt, b.Stk, 9000, b.SocketConfig())
 	tb.Eng.Go("rcv", func(p *sim.Proc) {
 		buf := rt.Space.Alloc(n, 8)
 		m, _, _ := rx.RecvFrom(p, buf)
@@ -324,7 +324,7 @@ func TestFragmentedUDPOverCABCombinesHardwareChecksums(t *testing.T) {
 	})
 	st := a.NewUserTask("snd", 0)
 	tb.Eng.Go("snd", func(p *sim.Proc) {
-		tx := socket.NewDGram(a.K, a.VM, st, a.Stk, 0, a.SocketConfig())
+		tx := socket.MustDGram(a.K, a.VM, st, a.Stk, 0, a.SocketConfig())
 		buf := st.Space.Alloc(n, 8)
 		pattern(buf.Bytes(), 77)
 		tx.SendTo(p, buf, addrB, 9000)

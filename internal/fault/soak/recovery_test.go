@@ -140,7 +140,7 @@ func TestIPReassemblyTimeoutUnderFragmentLoss(t *testing.T) {
 	st := a.NewUserTask("snd", 0)
 	const dg = 32 * units.KB
 	var rcvd int
-	rx := socket.NewDGram(b.K, b.VM, rt, b.Stk, port, b.SocketConfig())
+	rx := socket.MustDGram(b.K, b.VM, rt, b.Stk, port, b.SocketConfig())
 	tb.Eng.Go("rcv", func(p *sim.Proc) {
 		buf := rt.Space.Alloc(dg, 8)
 		for {
@@ -151,7 +151,7 @@ func TestIPReassemblyTimeoutUnderFragmentLoss(t *testing.T) {
 		}
 	})
 	tb.Eng.Go("snd", func(p *sim.Proc) {
-		tx := socket.NewDGram(a.K, a.VM, st, a.Stk, 0, a.SocketConfig())
+		tx := socket.MustDGram(a.K, a.VM, st, a.Stk, 0, a.SocketConfig())
 		buf := st.Space.Alloc(dg, 8)
 		for i := 0; i < 40; i++ {
 			tx.SendTo(p, buf, addrB, port)

@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/cab"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/kern"
@@ -40,8 +41,15 @@ type Case struct {
 	Proto string
 	Mode  socket.Mode
 	// Total and RWSize shape the transfer; zero values pick defaults
-	// (1 MB / 64 KB for TCP, 512 KB / 16 KB for UDP).
+	// (1 MB / 64 KB for TCP, 512 KB / 16 KB for UDP). With Flows > 1,
+	// Total is per flow.
 	Total, RWSize units.Size
+	// Flows > 1 runs that many concurrent TCP connections (each moving
+	// Total bytes with its own byte pattern); the audit then checks every
+	// flow separately in loose mode.
+	Flows int
+	// Arbiter installs the per-flow netmem arbiter on both hosts.
+	Arbiter bool
 }
 
 // Outcome is a finished soak case. Failures lists every violated
@@ -61,6 +69,10 @@ type Outcome struct {
 	// A (sender) and B (receiver) stay readable after the run so callers
 	// can assert on protocol and hardware counters.
 	A, B *core.Host
+
+	// flowPorts holds each many-flow sender's local port (= ledger flow
+	// id), in flow order, for the per-flow audit.
+	flowPorts []uint16
 }
 
 func (o *Outcome) failf(format string, args ...any) {
@@ -96,8 +108,12 @@ func Run(c Case) Outcome {
 		}
 	}
 	tb.EnableFaults(inj)
-	a := tb.AddHost(core.HostConfig{Name: "A", Addr: addrA, Mode: c.Mode, CABNode: 1})
-	b := tb.AddHost(core.HostConfig{Name: "B", Addr: addrB, Mode: c.Mode, CABNode: 2})
+	var arb *cab.ArbConfig
+	if c.Arbiter {
+		arb = &cab.ArbConfig{}
+	}
+	a := tb.AddHost(core.HostConfig{Name: "A", Addr: addrA, Mode: c.Mode, CABNode: 1, Arbiter: arb})
+	b := tb.AddHost(core.HostConfig{Name: "B", Addr: addrB, Mode: c.Mode, CABNode: 2, Arbiter: arb})
 	tb.RouteCAB(a, b)
 	o.A, o.B = a, b
 
@@ -111,9 +127,11 @@ func Run(c Case) Outcome {
 		done      bool
 		stuck     bool
 	)
-	switch c.Proto {
-	case "udp":
+	switch {
+	case c.Proto == "udp":
 		runUDP(tb, a, b, st, rt, c, inj, &o, &got, &sent, &senderRun)
+	case c.Flows > 1:
+		runTCPMany(tb, a, b, st, rt, c, &o, &got, &sent, &senderRun, &done)
 	default:
 		runTCP(tb, a, b, st, rt, c, &o, &got, &sent, &senderRun, &done)
 	}
@@ -176,7 +194,7 @@ func Run(c Case) Outcome {
 	// (loose mode); the unmodified stack must still copy and checksum
 	// every byte on both hosts. UDP transfers tolerate loss by design,
 	// so per-byte stream coverage does not apply.
-	if c.Proto == "tcp" {
+	if c.Proto == "tcp" && c.Flows <= 1 {
 		cfg := ledger.AuditConfig{
 			Flow: led.MainFlow(), Total: c.Total,
 			SndHost: "A", RcvHost: "B", Strict: c.Plan == "",
@@ -190,6 +208,29 @@ func Run(c Case) Outcome {
 		if err != nil {
 			o.FlightRec = tb.FlightDump()
 			o.failf("audit: %v", err)
+		}
+	}
+	// Many-flow runs audit every flow separately, always in loose mode:
+	// concurrent flows contend for netmem, so any flow may retransmit
+	// even on a clean plan. Each sender's local port is its ledger flow.
+	if c.Proto == "tcp" && c.Flows > 1 {
+		if len(o.flowPorts) != c.Flows {
+			o.failf("audit: only %d of %d flows dialed", len(o.flowPorts), c.Flows)
+		}
+		for i, fp := range o.flowPorts {
+			cfg := ledger.AuditConfig{
+				Flow: int(fp), Total: c.Total + flowHdrLen,
+				SndHost: "A", RcvHost: "B", Strict: false,
+			}
+			var err error
+			if c.Mode == socket.ModeSingleCopy {
+				err = led.AssertSingleCopy(cfg)
+			} else {
+				err = led.AssertMultiCopy(cfg)
+			}
+			if err != nil {
+				o.failf("audit: flow %d (port %d): %v", i, fp, err)
+			}
 		}
 	}
 	return o
@@ -249,6 +290,114 @@ func runTCP(tb *core.Testbed, a, b *core.Host, st, rt *kern.Task, c Case,
 	})
 }
 
+// flowHdrLen prefixes each many-flow TCP stream with its flow id, so the
+// accept loop can pair a connection with its expected byte pattern
+// without relying on accept order.
+const flowHdrLen = 8
+
+// patternF is flow f's stream pattern — distinct per flow, so cross-flow
+// data mixups surface as corruption, not coincidence.
+func patternF(f int, off units.Size) byte { return byte(f*131 + 3*int(off) + 7) }
+
+// runTCPMany is runTCP at Case.Flows concurrent connections: every flow
+// moves c.Total patterned bytes over its own connection, byte-exactness
+// is checked per flow, and the aggregate progress feeds the watchdog.
+func runTCPMany(tb *core.Testbed, a, b *core.Host, st, rt *kern.Task, c Case,
+	o *Outcome, got, sent *units.Size, senderRun *bool, done *bool) {
+	lis := b.Stk.ListenBacklog(port, c.Flows+8)
+	readersLeft, sendersLeft := c.Flows, c.Flows
+	o.flowPorts = make([]uint16, c.Flows)
+
+	tb.Eng.Go("soak-accept", func(p *sim.Proc) {
+		for i := 0; i < c.Flows; i++ {
+			s := b.Accept(p, rt, lis)
+			if s == nil {
+				return
+			}
+			tb.Eng.Go(fmt.Sprintf("soak-rcv%d", i), func(p *sim.Proc) {
+				buf := rt.Space.Alloc(c.RWSize, 8)
+				// The stream leads with the flow id.
+				var hdr [flowHdrLen]byte
+				hb := rt.Space.Alloc(flowHdrLen, 8)
+				for hoff := units.Size(0); hoff < flowHdrLen; {
+					n, err := s.Read(p, hb.Slice(hoff, flowHdrLen-hoff))
+					copy(hdr[hoff:], hb.Slice(hoff, n).Bytes())
+					hoff += n
+					if err != nil && hoff < flowHdrLen {
+						o.failf("progress: flow header read: %v", err)
+						return
+					}
+				}
+				flow := int(binary.BigEndian.Uint64(hdr[:]))
+				off := units.Size(0)
+				for {
+					n, err := s.Read(p, buf)
+					for i := units.Size(0); i < n; i++ {
+						if w := patternF(flow, off+i); buf.Bytes()[i] != w {
+							o.failf("bytes: flow %d offset %d = %#x, want %#x",
+								flow, off+i, buf.Bytes()[i], w)
+							tb.Eng.Stop()
+							return
+						}
+					}
+					off += n
+					*got += n
+					if err != nil {
+						break
+					}
+				}
+				if off != c.Total {
+					o.failf("bytes: flow %d delivered %d of %d", flow, off, c.Total)
+				}
+				if readersLeft--; readersLeft == 0 && sendersLeft == 0 {
+					*done = true
+				}
+			})
+		}
+	})
+
+	for f := 0; f < c.Flows; f++ {
+		f := f
+		tb.Eng.Go(fmt.Sprintf("soak-snd%d", f), func(p *sim.Proc) {
+			defer func() {
+				if sendersLeft--; sendersLeft == 0 {
+					*senderRun = false
+				}
+			}()
+			s, err := a.Dial(p, st, addrB, port)
+			if err != nil {
+				o.failf("progress: flow %d dial: %v", f, err)
+				return
+			}
+			o.flowPorts[f] = s.Conn.LocalPort()
+			buf := st.Space.Alloc(flowHdrLen+c.RWSize, 8)
+			binary.BigEndian.PutUint64(buf.Bytes()[:flowHdrLen], uint64(f))
+			if err := s.WriteAll(p, buf.Slice(0, flowHdrLen)); err != nil {
+				o.failf("progress: flow %d header: %v", f, err)
+				return
+			}
+			var off units.Size
+			for off < c.Total {
+				n := c.RWSize
+				if n > c.Total-off {
+					n = c.Total - off
+				}
+				w := buf.Slice(flowHdrLen, n)
+				for i := range w.Bytes() {
+					w.Bytes()[i] = patternF(f, off+units.Size(i))
+				}
+				if err := s.WriteAll(p, w); err != nil {
+					o.failf("progress: flow %d write at %v: %v", f, off, err)
+					return
+				}
+				off += n
+				*sent += n
+			}
+			s.Close(p)
+		})
+	}
+}
+
 // udpSeqLen prefixes each datagram with its sequence number, so the
 // receiver can verify payload integrity per datagram and detect
 // duplicates, without relying on ordered or complete delivery.
@@ -258,7 +407,7 @@ func runUDP(tb *core.Testbed, a, b *core.Host, st, rt *kern.Task, c Case,
 	inj *fault.Injector, o *Outcome, got, sent *units.Size, senderRun *bool) {
 	nDg := int(c.Total / c.RWSize)
 	seen := make(map[uint64]int)
-	rx := socket.NewDGram(b.K, b.VM, rt, b.Stk, port, b.SocketConfig())
+	rx := socket.MustDGram(b.K, b.VM, rt, b.Stk, port, b.SocketConfig())
 	tb.Eng.Go("soak-udp-rcv", func(p *sim.Proc) {
 		buf := rt.Space.Alloc(c.RWSize, 8)
 		for {
@@ -291,7 +440,7 @@ func runUDP(tb *core.Testbed, a, b *core.Host, st, rt *kern.Task, c Case,
 	})
 	tb.Eng.Go("soak-udp-snd", func(p *sim.Proc) {
 		defer func() { *senderRun = false }()
-		tx := socket.NewDGram(a.K, a.VM, st, a.Stk, 0, a.SocketConfig())
+		tx := socket.MustDGram(a.K, a.VM, st, a.Stk, 0, a.SocketConfig())
 		buf := st.Space.Alloc(c.RWSize, 8)
 		for seq := 0; seq < nDg; seq++ {
 			data := buf.Bytes()
@@ -344,8 +493,11 @@ func checkConservation(o *Outcome, tb *core.Testbed, a, b *core.Host, inj *fault
 	}
 	if inj.Fired[fault.Netmem] > 0 &&
 		a.CAB.Stats.RxRetries+b.CAB.Stats.RxRetries+
-			a.CAB.Stats.RxHdrDeliveries+b.CAB.Stats.RxHdrDeliveries == 0 {
-		o.failf("conservation: netmem pressure applied but no rx backpressure recorded")
+			a.CAB.Stats.RxHdrDeliveries+b.CAB.Stats.RxHdrDeliveries+
+			a.CAB.Stats.ArbWaits+b.CAB.Stats.ArbWaits == 0 {
+		// Under the arbiter, memory pressure surfaces as tx-admission waits
+		// rather than rx-side retries, so both count as evidence.
+		o.failf("conservation: netmem pressure applied but no backpressure recorded")
 	}
 
 	if o.Case.Proto == "tcp" {
@@ -362,8 +514,12 @@ func checkConservation(o *Outcome, tb *core.Testbed, a, b *core.Host, inj *fault
 			o.failf("conservation: %d retransmits but no overlay or fallback read",
 				a.Stk.Stats.TCPRetransmits)
 		}
-		if o.Delivered != o.Case.Total {
-			o.failf("bytes: delivered %v of %v", o.Delivered, o.Case.Total)
+		want := o.Case.Total
+		if o.Case.Flows > 1 {
+			want = o.Case.Total * units.Size(o.Case.Flows)
+		}
+		if o.Delivered != want {
+			o.failf("bytes: delivered %v of %v", o.Delivered, want)
 		}
 	} else {
 		// UDP: losses are legal, silence is not. Every sent datagram is
@@ -406,6 +562,10 @@ func Matrix() []Case {
 		{Name: "tcp-allocfail", Plan: "allocfail:every=17", Seed: 12, Proto: "tcp", Mode: sc},
 		{Name: "tcp-combined", Seed: 13, Proto: "tcp", Mode: sc,
 			Plan: "drop:every=11,min=200;corrupt:every=13,min=200;dup:every=17,min=200;delay:p=0.1,min=200"},
+		{Name: "tcp-64flow-drop", Plan: "drop:every=29,min=500", Seed: 31, Proto: "tcp", Mode: sc,
+			Flows: 64, Arbiter: true, Total: 64 * units.KB, RWSize: 16 * units.KB},
+		{Name: "tcp-64flow-netmem", Plan: "netmem:at=2ms,until=10ms", Seed: 32, Proto: "tcp", Mode: sc,
+			Flows: 64, Arbiter: true, Total: 64 * units.KB, RWSize: 16 * units.KB},
 		{Name: "tcp-unmod-drop", Plan: "drop:every=13,min=200", Seed: 14, Proto: "tcp", Mode: um},
 		{Name: "tcp-unmod-corrupt", Plan: "corrupt:every=11,min=200", Seed: 15, Proto: "tcp", Mode: um},
 		{Name: "udp-clean", Plan: "", Seed: 16, Proto: "udp", Mode: sc},

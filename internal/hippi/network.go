@@ -31,6 +31,10 @@ type Frame struct {
 	// receiving driver's touches stay attributed (nil when the ledger is
 	// off).
 	Prov *ledger.Prov
+	// Flow identifies the transport flow (data sender's local port) so the
+	// receiving CAB's netmem arbiter can account staging pages per flow.
+	// Zero means unattributed.
+	Flow int
 }
 
 // Injector is the fault-injection hook consulted for every frame after

@@ -1,0 +1,353 @@
+// Package load is a deterministic many-flow workload engine for the
+// testbed: it stands up an N-client × M-server topology on the HIPPI
+// switch and drives hundreds to thousands of concurrent TCP and UDP flows
+// through the real socket/Listen/Accept path, with open-loop (Poisson
+// arrivals in virtual time) and closed-loop (think-time) request
+// generators, heavy-tailed request/response size mixes, and bulk
+// streaming. Every run produces a Report with per-flow goodput,
+// request-latency quantiles, Jain's fairness index, and a starvation
+// count, plus an order digest that makes event-ordering determinism
+// checkable by string comparison.
+//
+// All randomness is drawn from per-flow PRNGs seeded from Scenario.Seed,
+// so two runs of the same scenario are byte-identical.
+package load
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/cab"
+	"repro/internal/core"
+	"repro/internal/hippi"
+	"repro/internal/kern"
+	"repro/internal/obs"
+	"repro/internal/socket"
+	"repro/internal/tcpip"
+	"repro/internal/units"
+	"repro/internal/wire"
+)
+
+// SizeClass is one entry of a request/response size mix. Frac values are
+// normalized over the whole mix; a heavy-tailed workload is a few classes
+// with small Frac and large sizes.
+type SizeClass struct {
+	Frac float64
+	Req  units.Size
+	Resp units.Size
+}
+
+// Scenario describes one many-flow run.
+type Scenario struct {
+	Name string
+	Seed int64
+
+	// Topology: Flows flows spread round-robin over Clients client hosts
+	// and Servers server hosts.
+	Clients int
+	Servers int
+	Flows   int
+	// UDPFrac is the fraction of flows carried over UDP (one-way
+	// datagram streams; the rest are TCP request/response or bulk).
+	UDPFrac float64
+
+	// Mode selects the stack variant on every host.
+	Mode socket.Mode
+
+	// Bulk switches TCP flows from request/response to bulk streaming:
+	// each flow writes BulkWrite-sized chunks until Duration of virtual
+	// time has elapsed, and goodput is measured over [Warmup, Duration].
+	// Warmup excludes the start-up transient — bytes delivered before the
+	// shared resources reach steady state — from the measurement.
+	Bulk      bool
+	Duration  units.Time
+	Warmup    units.Time
+	BulkWrite units.Size
+
+	// Request/response shape (ignored in bulk mode). OpenLoop generates
+	// Poisson arrivals at Rate requests/second per flow; closed loop
+	// issues Requests back-to-back with exponential think time of mean
+	// Think between them.
+	Requests int
+	OpenLoop bool
+	Rate     float64
+	Think    units.Time
+	Mix      []SizeClass
+
+	// Window overrides the TCP socket buffer / offered window.
+	Window units.Size
+	// UDPServerThink is per-datagram processing time at the UDP
+	// receivers. A slow consumer's unread datagrams pile up outboard —
+	// the monopoly scenario the netmem arbiter exists to contain (UDP has
+	// no flow control to close a window).
+	UDPServerThink units.Time
+	// Stagger spreads flow start times uniformly over [0, Stagger).
+	Stagger units.Time
+
+	// CABConfig overrides every host's adaptor configuration (small
+	// network memories create the contention the arbiter resolves).
+	CABConfig *cab.Config
+	// Arbiter, when set, installs the per-flow netmem arbiter on every
+	// host.
+	Arbiter *cab.ArbConfig
+	// Weights holds optional per-flow arbiter weights (index = flow id;
+	// missing or zero entries default to the arbiter's DefaultWeight).
+	Weights []int
+	// Ledger enables the data-touch ledger (used by audit-mode runs).
+	Ledger bool
+}
+
+// normalized fills defaults and validates.
+func (s Scenario) normalized() (Scenario, error) {
+	if s.Name == "" {
+		s.Name = "load"
+	}
+	if s.Clients <= 0 {
+		s.Clients = 1
+	}
+	if s.Servers <= 0 {
+		s.Servers = 1
+	}
+	if s.Flows <= 0 {
+		s.Flows = 1
+	}
+	if s.BulkWrite <= 0 {
+		s.BulkWrite = 32 * units.KB
+	}
+	if s.Bulk && s.Duration <= 0 {
+		s.Duration = 20 * units.Millisecond
+	}
+	if !s.Bulk && s.Requests <= 0 {
+		s.Requests = 4
+	}
+	if s.OpenLoop && s.Rate <= 0 {
+		s.Rate = 1000
+	}
+	if len(s.Mix) == 0 {
+		s.Mix = []SizeClass{
+			{Frac: 0.70, Req: 2 * units.KB, Resp: 8 * units.KB},
+			{Frac: 0.25, Req: 4 * units.KB, Resp: 32 * units.KB},
+			{Frac: 0.05, Req: 4 * units.KB, Resp: 128 * units.KB},
+		}
+	}
+	if s.UDPFrac < 0 || s.UDPFrac > 1 {
+		return s, fmt.Errorf("load: UDPFrac %v out of [0,1]", s.UDPFrac)
+	}
+	if s.Warmup < 0 || (s.Bulk && s.Warmup >= s.Duration) {
+		return s, fmt.Errorf("load: Warmup %v outside [0, Duration)", s.Warmup)
+	}
+	for _, c := range s.Mix {
+		if c.Req <= 0 || c.Resp < 0 || c.Frac < 0 {
+			return s, fmt.Errorf("load: bad size class %+v", c)
+		}
+	}
+	return s, nil
+}
+
+// maxSizes returns the largest request and response in the mix.
+func (s Scenario) maxSizes() (req, resp units.Size) {
+	for _, c := range s.Mix {
+		req = max(req, c.Req)
+		resp = max(resp, c.Resp)
+	}
+	return req, resp
+}
+
+// pick draws a size class from the mix.
+func pick(mix []SizeClass, rng *rand.Rand) SizeClass {
+	var total float64
+	for _, c := range mix {
+		total += c.Frac
+	}
+	x := rng.Float64() * total
+	for _, c := range mix {
+		if x < c.Frac {
+			return c
+		}
+		x -= c.Frac
+	}
+	return mix[len(mix)-1]
+}
+
+const (
+	// tcpPort is every server host's TCP listen port.
+	tcpPort = 5001
+	// udpPortBase: UDP flow i's server socket binds udpPortBase+i.
+	udpPortBase = 7000
+
+	serverAddrBase = wire.Addr(0x0a000001)
+	clientAddrBase = wire.Addr(0x0a010001)
+)
+
+// Run executes the scenario to completion and returns its report.
+func Run(s Scenario) (*Report, error) {
+	s, err := s.normalized()
+	if err != nil {
+		return nil, err
+	}
+	r := newRunner(s)
+	r.build()
+	r.start()
+	r.tb.Eng.Run()
+	r.tb.Eng.KillAll()
+	return r.report(), nil
+}
+
+// runner holds one run's mutable state.
+type runner struct {
+	s         Scenario
+	tb        *core.Testbed
+	servers   []*host
+	clients   []*host
+	flows     []*flow
+	digest    *orderDigest
+	aggLat    *obs.Histogram
+	frameErrs int
+	// lastDelivery is the virtual time of the last verified delivery; it
+	// bounds the goodput window in request/response mode (the engine
+	// drain time includes connection-teardown timers).
+	lastDelivery units.Time
+}
+
+// delivered records one verified delivery event: it advances the
+// measurement window and folds the event into the order digest.
+func (r *runner) delivered(kind byte, flow, seq int, t units.Time) {
+	if t > r.lastDelivery {
+		r.lastDelivery = t
+	}
+	r.digest.note(kind, flow, seq, t)
+}
+
+// host pairs a testbed host with its workload task.
+type host struct {
+	h    *core.Host
+	task *kern.Task
+	lis  *tcpip.TCPListener
+}
+
+func newRunner(s Scenario) *runner {
+	return &runner{s: s, digest: newOrderDigest(), aggLat: &obs.Histogram{}}
+}
+
+// build stands up the topology.
+func (r *runner) build() {
+	s := r.s
+	r.tb = core.NewTestbed(s.Seed)
+	if s.Ledger {
+		r.tb.EnableLedger()
+	}
+	node := hippi.NodeID(1)
+	addHost := func(name string, addr wire.Addr) *host {
+		hc := core.HostConfig{
+			Name:      name,
+			Addr:      addr,
+			Mode:      s.Mode,
+			CABNode:   node,
+			CABConfig: s.CABConfig,
+			Arbiter:   s.Arbiter,
+		}
+		node++
+		return &host{h: r.tb.AddHost(hc)}
+	}
+	for j := 0; j < s.Servers; j++ {
+		r.servers = append(r.servers, addHost(fmt.Sprintf("S%d", j), serverAddrBase+wire.Addr(j)))
+	}
+	for j := 0; j < s.Clients; j++ {
+		r.clients = append(r.clients, addHost(fmt.Sprintf("C%d", j), clientAddrBase+wire.Addr(j)))
+	}
+	for _, c := range r.clients {
+		for _, sv := range r.servers {
+			r.tb.RouteCAB(c.h, sv.h)
+		}
+	}
+
+	// Flow table: flow i is UDP iff i < udpCount; hosts round-robin.
+	udpCount := int(math.Round(s.UDPFrac * float64(s.Flows)))
+	maxReq, maxResp := s.maxSizes()
+	for i := 0; i < s.Flows; i++ {
+		f := &flow{
+			id:     i,
+			udp:    i < udpCount,
+			client: r.clients[i%s.Clients],
+			server: r.servers[i%s.Servers],
+			rng:    rand.New(rand.NewSource(s.Seed*1000003 + int64(i))),
+			lat:    &obs.Histogram{},
+		}
+		if i < len(s.Weights) {
+			f.weight = s.Weights[i]
+		}
+		r.flows = append(r.flows, f)
+	}
+
+	// One task per host; space sized for that host's flow buffers.
+	perFlow := hdrLen + maxReq + maxResp + s.BulkWrite + 64*units.KB
+	for _, hosts := range [][]*host{r.servers, r.clients} {
+		for _, h := range hosts {
+			n := 0
+			for _, f := range r.flows {
+				if f.client == h || f.server == h {
+					n++
+				}
+			}
+			size := units.Size(n)*perFlow + units.MB
+			page := h.h.K.Mach.PageSize
+			size = (size + page - 1) / page * page
+			h.task = h.h.NewUserTask("load", size)
+		}
+	}
+
+	// TCP listeners: backlog covers a full connection storm.
+	tcpFlows := make(map[*host]int)
+	for _, f := range r.flows {
+		if !f.udp {
+			tcpFlows[f.server]++
+		}
+	}
+	for _, sv := range r.servers {
+		if n := tcpFlows[sv]; n > 0 {
+			sv.lis = sv.h.Stk.ListenBacklog(tcpPort, n+8)
+		}
+	}
+}
+
+// start spawns every flow's procs.
+func (r *runner) start() {
+	for _, sv := range r.servers {
+		if sv.lis != nil {
+			r.startAcceptLoop(sv)
+		}
+	}
+	for _, f := range r.flows {
+		if f.udp {
+			r.startUDPFlow(f)
+		} else {
+			r.startTCPClient(f)
+		}
+	}
+}
+
+// startDelay is the flow's deterministic start jitter.
+func (r *runner) startDelay(f *flow) units.Time {
+	if r.s.Stagger <= 0 {
+		return 0
+	}
+	return units.Time(f.rng.Int63n(int64(r.s.Stagger)))
+}
+
+// applyWeight registers the flow's arbiter weight on both ends once its
+// sender port is known. The sender's own CAB accounts transmit staging by
+// local port; the receiving CAB accounts the same flow under the
+// (sender node, port) key.
+func (r *runner) applyWeight(f *flow, port uint16) {
+	f.port = port
+	if f.weight <= 0 {
+		return
+	}
+	if a := f.client.h.CAB.Arb; a != nil {
+		a.SetWeight(int(port), f.weight)
+	}
+	if a := f.server.h.CAB.Arb; a != nil {
+		a.SetWeight(cab.FlowKey(f.client.h.Cfg.CABNode, int(port)), f.weight)
+	}
+}

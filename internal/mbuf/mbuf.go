@@ -103,6 +103,12 @@ type Hdr struct {
 	CsumSeed uint32
 	// Owner is notified as DMAs are issued and complete.
 	Owner Notifier
+	// Abandoned is set by a connection teardown that force-released the
+	// descriptor's owner while packets referencing it may still be queued
+	// at a driver. Segment copies share this header, so a driver seeing
+	// the flag must drop the packet instead of DMAing from user pages
+	// that the released writer has since unpinned.
+	Abandoned bool
 
 	// OnOutboard, set by the transport on a transmit packet, is invoked
 	// (in interrupt context) once the packet's data resides in network
@@ -139,6 +145,12 @@ type Hdr struct {
 	// DescID is the sosend descriptor id the data came from (0 when the
 	// ledger is off or the data did not arrive via a descriptor write).
 	DescID int64
+
+	// Flow identifies the transport flow this packet belongs to (the data
+	// sender's local port, matching the ledger convention) so the driver
+	// and the netmem arbiter can account network-memory pages per flow.
+	// Zero means "unattributed" (control traffic, fragments).
+	Flow int
 }
 
 // WCAB is the paper's wCAB structure: the handle of a packet resident in

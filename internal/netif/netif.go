@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/kern"
 	"repro/internal/mbuf"
+	"repro/internal/sim"
 	"repro/internal/units"
 	"repro/internal/wire"
 )
@@ -46,6 +47,16 @@ type Interface interface {
 // InputFunc is the stack's receive entry point, called by drivers in
 // interrupt context with the link header already stripped.
 type InputFunc func(ctx kern.Ctx, m *mbuf.Mbuf, from Interface)
+
+// Admitter is implemented by devices whose staging memory is arbitrated
+// per flow (the CAB's netmem arbiter). Transports call AdmitTx in process
+// context before committing n bytes of flow's data to the send path;
+// the call blocks p until the flow's allocation fits the device's
+// arbitration policy. Devices without arbitration simply do not implement
+// the interface.
+type Admitter interface {
+	AdmitTx(p *sim.Proc, flow int, n units.Size)
+}
 
 // Route maps a destination address to an interface and a link-level next
 // hop.

@@ -19,9 +19,24 @@ type DGram struct {
 	Cfg  Config
 }
 
-// NewDGram binds a UDP socket (port 0 selects an ephemeral port).
-func NewDGram(k *kern.Kernel, vm *kern.VM, task *kern.Task, stk *tcpip.Stack, port uint16, cfg Config) *DGram {
-	return &DGram{K: k, VM: vm, Task: task, Sock: stk.UDPBind(port), Cfg: cfg}
+// NewDGram binds a UDP socket (port 0 selects an ephemeral port). It fails
+// when the port is taken or the ephemeral range is exhausted.
+func NewDGram(k *kern.Kernel, vm *kern.VM, task *kern.Task, stk *tcpip.Stack, port uint16, cfg Config) (*DGram, error) {
+	u, err := stk.UDPBind(port)
+	if err != nil {
+		return nil, err
+	}
+	return &DGram{K: k, VM: vm, Task: task, Sock: u, Cfg: cfg}, nil
+}
+
+// MustDGram is NewDGram for callers whose bind cannot fail (fixed free
+// ports in tests and tools); it panics on bind errors.
+func MustDGram(k *kern.Kernel, vm *kern.VM, task *kern.Task, stk *tcpip.Stack, port uint16, cfg Config) *DGram {
+	d, err := NewDGram(k, vm, task, stk, port, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
 }
 
 // SendTo transmits buf as one datagram. On the single-copy path the call
@@ -31,6 +46,10 @@ func (d *DGram) SendTo(p *sim.Proc, buf mem.Buf, dst wire.Addr, dport uint16) er
 	ctx := d.K.TaskCtx(p, d.Task).In("socket").WithFlow(int(d.Sock.Port()))
 	ctx.Charge(d.K.Mach.SyscallCost, kern.CatSyscall)
 	ctx.Charge(d.K.Mach.SocketPerPacket, kern.CatProto)
+	// Per-flow netmem admission (no-op without an arbiter on the route).
+	if adm := d.Sock.TxAdmitter(dst); adm != nil {
+		adm.AdmitTx(p, int(d.Sock.Port()), buf.Len+wire.IPHdrLen+wire.UDPHdrLen)
+	}
 	u := mem.NewUIO(buf)
 	useUIO := d.Cfg.Mode == ModeSingleCopy &&
 		buf.Len >= d.Cfg.UIOThreshold &&

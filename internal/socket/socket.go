@@ -211,6 +211,10 @@ func (s *Socket) writeCopy(ctx kern.Ctx, u *mem.UIO, buf mem.Buf) (units.Size, e
 		if chunk > chunkMax {
 			chunk = chunkMax
 		}
+		// Per-flow netmem admission (no-op without an arbiter): throttle
+		// here, above the shared transmit daemon, so an over-share flow
+		// blocks only its own writer.
+		c.AdmitSnd(ctx.P, chunk)
 		ctx.Charge(s.K.Mach.SocketPerPacket, kern.CatProto)
 		var head, tail *mbuf.Mbuf
 		for off := units.Size(0); off < chunk; off += mbuf.MCLBYTES {
@@ -259,6 +263,9 @@ func (s *Socket) writeUIO(ctx kern.Ctx, u *mem.UIO, buf mem.Buf) (units.Size, er
 		if chunk > chunkMax {
 			chunk = chunkMax
 		}
+		// Per-flow netmem admission before committing the chunk (see
+		// writeCopy).
+		c.AdmitSnd(ctx.P, chunk)
 		// The socket layer, which has the application context OSF/1
 		// drivers lack, maps the chunk into kernel space and pins it for
 		// DMA (Section 4.4.1).

@@ -214,7 +214,7 @@ func TestWriteReturnsAfterDataSecured(t *testing.T) {
 func TestDGramTruncation(t *testing.T) {
 	tb, a, b := rig(t, socket.ModeSingleCopy)
 	rt := b.NewUserTask("rcv", 0)
-	rx := socket.NewDGram(b.K, b.VM, rt, b.Stk, 9000, b.SocketConfig())
+	rx := socket.MustDGram(b.K, b.VM, rt, b.Stk, 9000, b.SocketConfig())
 	var n units.Size
 	tb.Eng.Go("rcv", func(p *sim.Proc) {
 		small := rt.Space.Alloc(1000, 8)
@@ -222,7 +222,7 @@ func TestDGramTruncation(t *testing.T) {
 	})
 	st := a.NewUserTask("snd", 0)
 	tb.Eng.Go("snd", func(p *sim.Proc) {
-		tx := socket.NewDGram(a.K, a.VM, st, a.Stk, 0, a.SocketConfig())
+		tx := socket.MustDGram(a.K, a.VM, st, a.Stk, 0, a.SocketConfig())
 		buf := st.Space.Alloc(8*units.KB, 8)
 		tx.SendTo(p, buf, addrB, 9000)
 	})

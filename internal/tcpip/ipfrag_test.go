@@ -12,7 +12,7 @@ import (
 
 func TestUDPFragmentationRoundTrip(t *testing.T) {
 	r := newRig(t, 60)
-	rx := r.sb.UDPBind(9000)
+	rx, _ := r.sb.UDPBind(9000)
 	var got []byte
 	r.eng.Go("rx", func(p *sim.Proc) {
 		d := rx.RecvFrom(p)
@@ -23,7 +23,7 @@ func TestUDPFragmentationRoundTrip(t *testing.T) {
 	data := pattern(48*1024, 3) // far beyond the 8KB pipe MTU
 	r.eng.Go("tx", func(p *sim.Proc) {
 		ctx := r.ka.TaskCtx(p, r.ka.KernelTask)
-		tx := r.sa.UDPBind(0)
+		tx, _ := r.sa.UDPBind(0)
 		var chain *mbuf.Mbuf
 		for off := 0; off < len(data); off += int(mbuf.MCLBYTES) {
 			e := off + int(mbuf.MCLBYTES)
@@ -65,7 +65,7 @@ func injectFragment(p *sim.Proc, s *Stack, from *pipeIf, iph wire.IPHdr, payload
 
 func TestReassemblyOutOfOrder(t *testing.T) {
 	r := newRig(t, 61)
-	rx := r.sb.UDPBind(9000)
+	rx, _ := r.sb.UDPBind(9000)
 	var got []byte
 	r.eng.Go("rx", func(p *sim.Proc) {
 		if d := rx.RecvFrom(p); d != nil {
@@ -103,7 +103,7 @@ func TestReassemblyOutOfOrder(t *testing.T) {
 
 func TestReassemblyDuplicateFragmentIgnored(t *testing.T) {
 	r := newRig(t, 62)
-	rx := r.sb.UDPBind(9000)
+	rx, _ := r.sb.UDPBind(9000)
 	var got []byte
 	r.eng.Go("rx", func(p *sim.Proc) {
 		if d := rx.RecvFrom(p); d != nil {
@@ -155,7 +155,7 @@ func TestFragmentedUDPChecksumCoversWholeDatagram(t *testing.T) {
 	// Corrupt one middle fragment's payload in flight: the software
 	// checksum over the reassembled datagram must reject it.
 	r := newRig(t, 64)
-	rx := r.sb.UDPBind(9000)
+	rx, _ := r.sb.UDPBind(9000)
 	delivered := false
 	r.eng.Go("rx", func(p *sim.Proc) {
 		rx.RecvFrom(p)
@@ -174,7 +174,7 @@ func TestFragmentedUDPChecksumCoversWholeDatagram(t *testing.T) {
 	data := pattern(40*1024, 5)
 	r.eng.Go("tx", func(p *sim.Proc) {
 		ctx := r.ka.TaskCtx(p, r.ka.KernelTask)
-		tx := r.sa.UDPBind(0)
+		tx, _ := r.sa.UDPBind(0)
 		var chain *mbuf.Mbuf
 		for off := 0; off < len(data); off += int(mbuf.MCLBYTES) {
 			e := off + int(mbuf.MCLBYTES)
@@ -199,7 +199,7 @@ func TestUDPOversizeDatagramRejected(t *testing.T) {
 	r := newRig(t, 65)
 	r.eng.Go("tx", func(p *sim.Proc) {
 		ctx := r.ka.TaskCtx(p, r.ka.KernelTask)
-		tx := r.sa.UDPBind(0)
+		tx, _ := r.sa.UDPBind(0)
 		big := make([]byte, 70*1024) // beyond IPv4's 64KB ceiling
 		var chain *mbuf.Mbuf
 		for off := 0; off < len(big); off += int(mbuf.MCLBYTES) {

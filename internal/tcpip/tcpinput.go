@@ -58,8 +58,16 @@ func (s *Stack) tcpInput(ctx kern.Ctx, m *mbuf.Mbuf, iph wire.IPHdr) {
 	c.segInput(ctx, hdr, m, seglen)
 }
 
-// acceptSyn creates a connection in SYN_RCVD and answers SYN|ACK.
+// acceptSyn creates a connection in SYN_RCVD and answers SYN|ACK. The
+// listener's backlog bounds half-open plus unaccepted connections: beyond
+// it the SYN is dropped deterministically (no state, no reply) and the
+// peer's SYN retransmission retries once the backlog drains.
 func (l *TCPListener) acceptSyn(ctx kern.Ctx, key connKey, hdr wire.TCPHdr) {
+	if l.pending+l.backlog.Len() >= l.limit {
+		l.stk.Stats.TCPListenOverflow++
+		return
+	}
+	l.pending++
 	c := l.stk.newConn(key)
 	c.listener = l
 	c.setMaxSeg()
@@ -113,6 +121,7 @@ func (c *TCPConn) segInput(ctx kern.Ctx, hdr wire.TCPHdr, payload *mbuf.Mbuf, se
 			c.state = StateEstablished
 			c.cancelRtx()
 			if c.listener != nil {
+				c.listener.pending--
 				c.listener.backlog.Put(c)
 				c.listener = nil
 			}

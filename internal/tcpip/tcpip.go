@@ -42,6 +42,7 @@ type Stats struct {
 	TCPDropNoConn         int
 	TCPOutOfOrder         int
 	TCPDupSegs            int
+	TCPListenOverflow     int
 	UDPIn, UDPOut         int
 	UDPCsumErrors         int
 	UDPDropNoPort         int
@@ -68,7 +69,10 @@ type Stack struct {
 	listeners map[uint16]*TCPListener
 	udps      map[uint16]*UDPSock
 	frags     map[fragKey]*fragQueue
-	nextPort  uint16
+	// Ephemeral port allocator state: next candidate and the inclusive
+	// range it cycles over (narrowed by tests to force exhaustion).
+	nextPort       uint16
+	portLo, portHi uint16
 
 	// spl serializes protocol-machine critical sections. The simulated
 	// CPU preempts at charge boundaries, so — exactly like splnet in the
@@ -107,6 +111,8 @@ func NewStack(k *kern.Kernel, addr wire.Addr) *Stack {
 		udps:      make(map[uint16]*UDPSock),
 		frags:     make(map[fragKey]*fragQueue),
 		nextPort:  10000,
+		portLo:    10000,
+		portHi:    65535,
 		spl:       sim.NewResource(k.Eng, 1),
 	}
 	if r := k.Obs; r != nil {
@@ -125,6 +131,7 @@ func NewStack(k *kern.Kernel, addr wire.Addr) *Stack {
 		r.Func("tcp.csum_errors", func() int64 { return int64(s.Stats.TCPCsumErrors) })
 		r.Func("tcp.out_of_order", func() int64 { return int64(s.Stats.TCPOutOfOrder) })
 		r.Func("tcp.dup_segs", func() int64 { return int64(s.Stats.TCPDupSegs) })
+		r.Func("tcp.listen_overflow", func() int64 { return int64(s.Stats.TCPListenOverflow) })
 		r.Func("ip.in", func() int64 { return int64(s.Stats.IPIn) })
 		r.Func("ip.out", func() int64 { return int64(s.Stats.IPOut) })
 		r.Func("ip.frags_in", func() int64 { return int64(s.Stats.IPFragsIn) })
@@ -147,25 +154,55 @@ func (s *Stack) Splnet(p *sim.Proc) { s.spl.Acquire(p, 0) }
 // Splx leaves the critical section.
 func (s *Stack) Splx() { s.spl.Release() }
 
-// ephemeralPort allocates a local port.
-func (s *Stack) ephemeralPort() uint16 {
-	for {
-		s.nextPort++
-		if s.nextPort < 10000 {
-			s.nextPort = 10000
-		}
-		p := s.nextPort
-		used := false
-		for k := range s.conns {
-			if k.lport == p {
-				used = true
-				break
-			}
-		}
-		if _, ok := s.listeners[p]; !ok && !used {
-			return p
+// ErrPortExhausted is returned when every port in the ephemeral range is
+// bound to a live connection, listener, or UDP socket.
+var ErrPortExhausted = fmt.Errorf("tcpip: ephemeral port range exhausted")
+
+// ErrPortInUse is returned for an explicit bind to an occupied port.
+var ErrPortInUse = fmt.Errorf("tcpip: port already in use")
+
+// SetEphemeralRange narrows the ephemeral port allocator to [lo, hi]
+// (inclusive). A test and tooling knob: the default range is 10000-65535.
+func (s *Stack) SetEphemeralRange(lo, hi uint16) {
+	if lo == 0 || hi < lo {
+		panic("tcpip: bad ephemeral range")
+	}
+	s.portLo, s.portHi = lo, hi
+	s.nextPort = lo
+}
+
+// portInUse reports whether local port p is bound by any connection,
+// listener, or UDP socket.
+func (s *Stack) portInUse(p uint16) bool {
+	if _, ok := s.listeners[p]; ok {
+		return true
+	}
+	if _, ok := s.udps[p]; ok {
+		return true
+	}
+	for k := range s.conns {
+		if k.lport == p {
+			return true
 		}
 	}
+	return false
+}
+
+// ephemeralPort allocates a local port, scanning at most one full cycle of
+// the ephemeral range so exhaustion surfaces as an error instead of an
+// infinite loop (or a silent collision with a bound UDP port).
+func (s *Stack) ephemeralPort() (uint16, error) {
+	span := int(s.portHi) - int(s.portLo) + 1
+	for i := 0; i < span; i++ {
+		s.nextPort++
+		if s.nextPort < s.portLo || s.nextPort > s.portHi {
+			s.nextPort = s.portLo
+		}
+		if p := s.nextPort; !s.portInUse(p) {
+			return p, nil
+		}
+	}
+	return 0, ErrPortExhausted
 }
 
 // RouteCaps reports whether dst is reached through a single-copy capable

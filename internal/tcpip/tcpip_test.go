@@ -444,7 +444,7 @@ func TestSeqArithmeticProperties(t *testing.T) {
 
 func TestUDPRoundTrip(t *testing.T) {
 	r := newRig(t, 11)
-	rx := r.sb.UDPBind(9000)
+	rx, _ := r.sb.UDPBind(9000)
 	var got []*UDPDatagram
 	r.eng.Go("rx", func(p *sim.Proc) {
 		for i := 0; i < 3; i++ {
@@ -453,7 +453,7 @@ func TestUDPRoundTrip(t *testing.T) {
 	})
 	r.eng.Go("tx", func(p *sim.Proc) {
 		ctx := r.ka.TaskCtx(p, r.ka.KernelTask)
-		tx := r.sa.UDPBind(0)
+		tx, _ := r.sa.UDPBind(0)
 		for i := 0; i < 3; i++ {
 			tx.SendTo(ctx, mbuf.NewCluster(pattern(2048, byte(i))), 2048, r.sb.Addr, 9000)
 		}
@@ -480,7 +480,7 @@ func TestUDPChecksumCatchesCorruption(t *testing.T) {
 		}
 		return false
 	}
-	rx := r.sb.UDPBind(9000)
+	rx, _ := r.sb.UDPBind(9000)
 	delivered := false
 	r.eng.Go("rx", func(p *sim.Proc) {
 		rx.RecvFrom(p)
@@ -488,7 +488,7 @@ func TestUDPChecksumCatchesCorruption(t *testing.T) {
 	})
 	r.eng.Go("tx", func(p *sim.Proc) {
 		ctx := r.ka.TaskCtx(p, r.ka.KernelTask)
-		tx := r.sa.UDPBind(0)
+		tx, _ := r.sa.UDPBind(0)
 		tx.SendTo(ctx, mbuf.NewCluster(pattern(2048, 1)), 2048, r.sb.Addr, 9000)
 	})
 	r.eng.Run()
@@ -505,7 +505,7 @@ func TestUDPUnboundPortDropped(t *testing.T) {
 	r := newRig(t, 13)
 	r.eng.Go("tx", func(p *sim.Proc) {
 		ctx := r.ka.TaskCtx(p, r.ka.KernelTask)
-		tx := r.sa.UDPBind(0)
+		tx, _ := r.sa.UDPBind(0)
 		tx.SendTo(ctx, mbuf.NewCluster(pattern(100, 1)), 100, r.sb.Addr, 9999)
 	})
 	r.eng.Run()

@@ -26,12 +26,12 @@ func TestFragmentTracing(t *testing.T) {
 		}
 	}
 
-	rx := r.sb.UDPBind(9000)
+	rx, _ := r.sb.UDPBind(9000)
 	r.eng.Go("rx", func(p *sim.Proc) { rx.RecvFrom(p) })
 	data := pattern(48*1024, 3) // far beyond the 8KB pipe MTU
 	r.eng.Go("tx", func(p *sim.Proc) {
 		ctx := r.ka.TaskCtx(p, r.ka.KernelTask)
-		tx := r.sa.UDPBind(0)
+		tx, _ := r.sa.UDPBind(0)
 		var chain *mbuf.Mbuf
 		for off := 0; off < len(data); off += int(mbuf.MCLBYTES) {
 			e := off + int(mbuf.MCLBYTES)

@@ -75,11 +75,11 @@ func TestTracerSeesUDPAndDescriptors(t *testing.T) {
 			udpSeen = true
 		}
 	}
-	rx := r.sb.UDPBind(9100)
+	rx, _ := r.sb.UDPBind(9100)
 	r.eng.Go("rx", func(p *sim.Proc) { rx.RecvFrom(p) })
 	r.eng.Go("tx", func(p *sim.Proc) {
 		ctx := r.ka.TaskCtx(p, r.ka.KernelTask)
-		tx := r.sa.UDPBind(0)
+		tx, _ := r.sa.UDPBind(0)
 		tx.SendTo(ctx, nil, 0, r.sb.Addr, 9100)
 	})
 	r.eng.Run()

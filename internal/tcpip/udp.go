@@ -4,6 +4,7 @@ import (
 	"repro/internal/checksum"
 	"repro/internal/kern"
 	"repro/internal/mbuf"
+	"repro/internal/netif"
 	"repro/internal/sim"
 	"repro/internal/units"
 	"repro/internal/wire"
@@ -28,10 +29,19 @@ type UDPSock struct {
 	closed   bool
 }
 
-// UDPBind binds a UDP socket to port (0 selects an ephemeral port).
-func (s *Stack) UDPBind(port uint16) *UDPSock {
+// UDPBind binds a UDP socket to port (0 selects an ephemeral port). It
+// fails with ErrPortInUse for an occupied explicit port (the seed silently
+// shadowed the earlier socket) and ErrPortExhausted when no ephemeral port
+// is free.
+func (s *Stack) UDPBind(port uint16) (*UDPSock, error) {
 	if port == 0 {
-		port = s.ephemeralPort()
+		p, err := s.ephemeralPort()
+		if err != nil {
+			return nil, err
+		}
+		port = p
+	} else if s.portInUse(port) {
+		return nil, ErrPortInUse
 	}
 	u := &UDPSock{
 		stk:      s,
@@ -40,7 +50,20 @@ func (s *Stack) UDPBind(port uint16) *UDPSock {
 		rcvSig:   sim.NewSignal(s.K.Eng),
 	}
 	s.udps[port] = u
-	return u
+	return u, nil
+}
+
+// TxAdmitter returns the per-flow netmem admitter for the device routing
+// to dst (nil when the device has no arbitration).
+func (u *UDPSock) TxAdmitter(dst wire.Addr) netif.Admitter {
+	r, err := u.stk.Routes.Lookup(dst)
+	if err != nil {
+		return nil
+	}
+	if a, ok := r.If.(netif.Admitter); ok {
+		return a
+	}
+	return nil
 }
 
 // Port returns the bound port.
@@ -105,10 +128,16 @@ func (u *UDPSock) SendTo(ctx kern.Ctx, m *mbuf.Mbuf, n units.Size, dst wire.Addr
 		hdr.Marshal(hb)
 	}
 
+	if phdr == nil && n > 0 {
+		// Carry the flow tag on the software path too (per-flow netmem
+		// accounting in the driver).
+		phdr = &mbuf.Hdr{}
+	}
 	hm := mbuf.NewData(hb)
 	hm.SetNext(m)
 	hm.MarkPktHdr(segTotal)
 	if phdr != nil {
+		phdr.Flow = int(u.port)
 		hm.SetHdr(phdr)
 	}
 	ctx.Charge(u.stk.K.Mach.TCPPerPacket/2, kern.CatProto) // UDP is cheaper than TCP

@@ -46,7 +46,7 @@ func RunUDP(tb *core.Testbed, snd, rcv *core.Host, pr Params) UDPResult {
 	)
 	snd0, rcv0 := ss.times(), rs.times()
 
-	rx := socket.NewDGram(rcv.K, rcv.VM, rs.ttcpTask, rcv.Stk, pr.Port, rcv.SocketConfig())
+	rx := socket.MustDGram(rcv.K, rcv.VM, rs.ttcpTask, rcv.Stk, pr.Port, rcv.SocketConfig())
 	tb.Eng.Go("ttcp-udp-rcv", func(p *sim.Proc) {
 		buf := rs.ttcpTask.Space.Alloc(pr.RWSize, 8)
 		for {
@@ -65,7 +65,7 @@ func RunUDP(tb *core.Testbed, snd, rcv *core.Host, pr Params) UDPResult {
 	tb.Eng.Go("ttcp-udp-snd", func(p *sim.Proc) {
 		cfg := snd.SocketConfig()
 		cfg.UIOThreshold = pr.UIOThreshold
-		tx := socket.NewDGram(snd.K, snd.VM, ss.ttcpTask, snd.Stk, 0, cfg)
+		tx := socket.MustDGram(snd.K, snd.VM, ss.ttcpTask, snd.Stk, 0, cfg)
 		t0 = p.Now()
 		snd0, rcv0 = ss.times(), rs.times()
 		buf := ss.ttcpTask.Space.Alloc(pr.RWSize, 8)
