@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench benchcheck soak audit obs-race load load-race ci
+.PHONY: all build vet test race bench-smoke bench benchcheck simbench soak audit obs-race load load-race ci
 
 all: build
 
@@ -35,6 +35,17 @@ benchcheck:
 	$(GO) run ./cmd/experiments -exp bench -benchdir .benchfresh
 	$(GO) run ./cmd/benchdiff -baseline . -fresh .benchfresh
 
+# The simulator self-observatory gate: run the seeded workload matrix
+# (Figure 5 transfer, the 22-case soak shape, 256- and 1024-flow load
+# runs) with the engine meta-profiler attached and exact-diff the
+# deterministic sections — events by kind, queue high-waters, kernel
+# charges — against the committed BENCH_sim.json. Advisory wall-clock
+# and allocation fields are reported but never fail the gate.
+simbench:
+	rm -rf .simfresh && mkdir -p .simfresh
+	$(GO) run ./cmd/experiments -exp simbench -benchdir .simfresh
+	$(GO) run ./cmd/benchdiff -baseline . -fresh .simfresh BENCH_sim.json
+
 # The adversarial soak suite: seeded fault plans against full transfers,
 # under the race detector, plus the determinism and recovery-corner tests.
 soak:
@@ -63,4 +74,4 @@ load:
 load-race:
 	$(GO) test -race -count 1 ./internal/load/...
 
-ci: vet build race bench-smoke soak obs-race load load-race audit benchcheck
+ci: vet build race bench-smoke soak obs-race load load-race audit simbench benchcheck

@@ -4,22 +4,52 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 )
+
+// Diff is the outcome of comparing one baseline file: Violations fail the
+// gate; Advisories are drift in advisory-class fields — reported so the
+// trend is visible, never a failure.
+type Diff struct {
+	Violations []string
+	Advisories []string
+}
+
+// advisoryKey reports whether a JSON object key opens an advisory-class
+// subtree: wall-clock and allocation measurements that depend on the
+// machine, the Go version, and GC timing. Numeric drift under such a key
+// is reported but cannot fail CI; structural drift (missing fields, type
+// or shape changes) still fails, so baselines cannot silently lose their
+// advisory columns.
+func advisoryKey(k string) bool {
+	return k == "advisory" || strings.HasPrefix(k, "advisory_")
+}
 
 // Compare walks two parsed JSON trees (the committed baseline and a fresh
 // regeneration) and returns one violation per structural mismatch or
-// numeric leaf outside tolerance. Numbers pass when
+// numeric leaf outside tolerance, with advisory-class leaves split out.
+// Numbers pass when
 //
 //	|fresh-base| <= abs + rel·max(|base|, |fresh|)
 //
 // so rel gates large values (throughput, ns) and abs absorbs rounding
 // noise near zero. The walk is deterministic: map keys are visited sorted.
-func Compare(path string, base, fresh any, rel, abs float64) []string {
+func Compare(path string, base, fresh any, rel, abs float64) Diff {
+	var d Diff
+	compare(&d, path, base, fresh, rel, abs, false)
+	return d
+}
+
+func compare(d *Diff, path string, base, fresh any, rel, abs float64, advisory bool) {
+	violf := func(format string, args ...any) {
+		d.Violations = append(d.Violations, fmt.Sprintf(format, args...))
+	}
 	switch b := base.(type) {
 	case map[string]any:
 		f, ok := fresh.(map[string]any)
 		if !ok {
-			return []string{fmt.Sprintf("%s: baseline is an object, fresh is %T", path, fresh)}
+			violf("%s: baseline is an object, fresh is %T", path, fresh)
+			return
 		}
 		keys := map[string]bool{}
 		for k := range b {
@@ -33,38 +63,37 @@ func Compare(path string, base, fresh any, rel, abs float64) []string {
 			sorted = append(sorted, k)
 		}
 		sort.Strings(sorted)
-		var out []string
 		for _, k := range sorted {
 			bv, inB := b[k]
 			fv, inF := f[k]
 			sub := path + "." + k
 			switch {
 			case !inB:
-				out = append(out, fmt.Sprintf("%s: not in baseline", sub))
+				violf("%s: not in baseline", sub)
 			case !inF:
-				out = append(out, fmt.Sprintf("%s: missing from fresh output", sub))
+				violf("%s: missing from fresh output", sub)
 			default:
-				out = append(out, Compare(sub, bv, fv, rel, abs)...)
+				compare(d, sub, bv, fv, rel, abs, advisory || advisoryKey(k))
 			}
 		}
-		return out
 	case []any:
 		f, ok := fresh.([]any)
 		if !ok {
-			return []string{fmt.Sprintf("%s: baseline is an array, fresh is %T", path, fresh)}
+			violf("%s: baseline is an array, fresh is %T", path, fresh)
+			return
 		}
 		if len(b) != len(f) {
-			return []string{fmt.Sprintf("%s: length %d != baseline %d", path, len(f), len(b))}
+			violf("%s: length %d != baseline %d", path, len(f), len(b))
+			return
 		}
-		var out []string
 		for i := range b {
-			out = append(out, Compare(fmt.Sprintf("%s[%d]", path, i), b[i], f[i], rel, abs)...)
+			compare(d, fmt.Sprintf("%s[%d]", path, i), b[i], f[i], rel, abs, advisory)
 		}
-		return out
 	case float64:
 		f, ok := fresh.(float64)
 		if !ok {
-			return []string{fmt.Sprintf("%s: baseline is a number, fresh is %T", path, fresh)}
+			violf("%s: baseline is a number, fresh is %T", path, fresh)
+			return
 		}
 		tol := abs + rel*math.Max(math.Abs(b), math.Abs(f))
 		if math.Abs(f-b) > tol {
@@ -72,14 +101,17 @@ func Compare(path string, base, fresh any, rel, abs float64) []string {
 			if b != 0 {
 				delta = 100 * (f - b) / math.Abs(b)
 			}
-			return []string{fmt.Sprintf("%s: %g vs baseline %g (%+.1f%%, tolerance ±%g)",
-				path, f, b, delta, tol)}
+			msg := fmt.Sprintf("%s: %g vs baseline %g (%+.1f%%, tolerance ±%g)",
+				path, f, b, delta, tol)
+			if advisory {
+				d.Advisories = append(d.Advisories, msg)
+			} else {
+				d.Violations = append(d.Violations, msg)
+			}
 		}
-		return nil
 	default:
 		if base != fresh {
-			return []string{fmt.Sprintf("%s: %v != baseline %v", path, fresh, base)}
+			violf("%s: %v != baseline %v", path, fresh, base)
 		}
-		return nil
 	}
 }

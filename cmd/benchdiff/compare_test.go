@@ -26,8 +26,8 @@ const baseFig = `{
 }`
 
 func TestCompareIdentical(t *testing.T) {
-	if v := Compare("f", parse(t, baseFig), parse(t, baseFig), defaultRel, defaultAbs); len(v) != 0 {
-		t.Fatalf("identical trees produced violations: %v", v)
+	if d := Compare("f", parse(t, baseFig), parse(t, baseFig), defaultRel, defaultAbs); len(d.Violations) != 0 {
+		t.Fatalf("identical trees produced violations: %v", d.Violations)
 	}
 }
 
@@ -42,8 +42,8 @@ func TestCompareWithinTolerance(t *testing.T) {
     ]
   }]
 }`
-	if v := Compare("f", parse(t, baseFig), parse(t, fresh), defaultRel, defaultAbs); len(v) != 0 {
-		t.Fatalf("in-tolerance drift flagged: %v", v)
+	if d := Compare("f", parse(t, baseFig), parse(t, fresh), defaultRel, defaultAbs); len(d.Violations) != 0 {
+		t.Fatalf("in-tolerance drift flagged: %v", d.Violations)
 	}
 }
 
@@ -60,15 +60,15 @@ func TestCompareDetectsRegression(t *testing.T) {
     ]
   }]
 }`
-	v := Compare("f", parse(t, baseFig), parse(t, fresh), defaultRel, defaultAbs)
-	if len(v) != 2 {
-		t.Fatalf("want 2 violations (utilization + efficiency), got %v", v)
+	d := Compare("f", parse(t, baseFig), parse(t, fresh), defaultRel, defaultAbs)
+	if len(d.Violations) != 2 {
+		t.Fatalf("want 2 violations (utilization + efficiency), got %v", d.Violations)
 	}
 }
 
 func TestCompareStructuralMismatch(t *testing.T) {
 	missing := `{"name": "Figure 7", "series": []}`
-	if v := Compare("f", parse(t, baseFig), parse(t, missing), defaultRel, defaultAbs); len(v) == 0 {
+	if d := Compare("f", parse(t, baseFig), parse(t, missing), defaultRel, defaultAbs); len(d.Violations) == 0 {
 		t.Fatal("dropped series not flagged")
 	}
 	extra := `{"name": "Figure 7", "extra": 1, "series": [{
@@ -78,7 +78,7 @@ func TestCompareStructuralMismatch(t *testing.T) {
       {"rwsize_bytes": 262144, "utilization": 0.27, "efficiency_mbps": 485.2}
     ]
   }]}`
-	if v := Compare("f", parse(t, baseFig), parse(t, extra), defaultRel, defaultAbs); len(v) == 0 {
+	if d := Compare("f", parse(t, baseFig), parse(t, extra), defaultRel, defaultAbs); len(d.Violations) == 0 {
 		t.Fatal("unexpected new key not flagged")
 	}
 	renamed := `{"name": "Figure 8", "series": [{
@@ -88,7 +88,63 @@ func TestCompareStructuralMismatch(t *testing.T) {
       {"rwsize_bytes": 262144, "utilization": 0.27, "efficiency_mbps": 485.2}
     ]
   }]}`
-	if v := Compare("f", parse(t, baseFig), parse(t, renamed), defaultRel, defaultAbs); len(v) == 0 {
+	if d := Compare("f", parse(t, baseFig), parse(t, renamed), defaultRel, defaultAbs); len(d.Violations) == 0 {
 		t.Fatal("string change not flagged")
+	}
+}
+
+const baseSim = `{
+  "workloads": [{
+    "name": "fig5-xfer",
+    "deterministic": {"events_total": 100, "queue_depth_hw": 12},
+    "advisory": {"wall_ns": 1000000, "events_per_sec": 100000, "allocs_per_event": 3.5}
+  }]
+}`
+
+// TestCompareAdvisoryClass: drift in advisory wall-clock fields is
+// reported but never a violation, even at zero tolerance (the simbench
+// exact-diff mode); drift in the deterministic section still fails.
+func TestCompareAdvisoryClass(t *testing.T) {
+	fresh := `{
+  "workloads": [{
+    "name": "fig5-xfer",
+    "deterministic": {"events_total": 100, "queue_depth_hw": 12},
+    "advisory": {"wall_ns": 1500000, "events_per_sec": 66666, "allocs_per_event": 4.1}
+  }]
+}`
+	d := Compare("f", parse(t, baseSim), parse(t, fresh), 0, 0)
+	if len(d.Violations) != 0 {
+		t.Fatalf("advisory drift became violations: %v", d.Violations)
+	}
+	if len(d.Advisories) != 3 {
+		t.Fatalf("want 3 advisory drifts, got %v", d.Advisories)
+	}
+
+	det := `{
+  "workloads": [{
+    "name": "fig5-xfer",
+    "deterministic": {"events_total": 101, "queue_depth_hw": 12},
+    "advisory": {"wall_ns": 1000000, "events_per_sec": 100000, "allocs_per_event": 3.5}
+  }]
+}`
+	d = Compare("f", parse(t, baseSim), parse(t, det), 0, 0)
+	if len(d.Violations) != 1 {
+		t.Fatalf("deterministic drift not flagged exactly once: %v", d.Violations)
+	}
+}
+
+// TestCompareAdvisoryStructural: an advisory field disappearing is a real
+// violation — the class exempts values, not presence.
+func TestCompareAdvisoryStructural(t *testing.T) {
+	gone := `{
+  "workloads": [{
+    "name": "fig5-xfer",
+    "deterministic": {"events_total": 100, "queue_depth_hw": 12},
+    "advisory": {"wall_ns": 1000000, "events_per_sec": 100000}
+  }]
+}`
+	d := Compare("f", parse(t, baseSim), parse(t, gone), 0, 0)
+	if len(d.Violations) == 0 {
+		t.Fatal("missing advisory field not flagged")
 	}
 }

@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	experiments -exp fig5|fig6|fig7|fig8|fig9|table1|table2|analysis|hol|window|lazy|threshold|chaos|load|all
+//	experiments -exp fig5|fig6|fig7|fig8|fig9|table1|table2|analysis|hol|window|lazy|threshold|chaos|load|simbench|all
 //	experiments -exp fig5 -quick   # fewer sizes, faster
 //	experiments -exp bench         # regenerate every BENCH_fig*.json baseline
+//	experiments -exp simbench -cpuprofile cpu.pprof   # profile the simulator itself
 package main
 
 import (
@@ -13,6 +14,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/analysis"
 	"repro/internal/exp"
@@ -21,12 +24,47 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: fig5..fig9, table1, table2, analysis, hol, window, lazy, threshold, chaos, touches, load, bench, all")
+	which := flag.String("exp", "all", "experiment: fig5..fig9, table1, table2, analysis, hol, window, lazy, threshold, chaos, touches, load, simbench, bench, all")
 	quick := flag.Bool("quick", false, "use a reduced size sweep for the figures")
 	csv := flag.Bool("csv", false, "emit figures as CSV instead of tables")
 	metricsOut := flag.String("metrics", "", "write a telemetry snapshot of one instrumented transfer to this JSON file")
 	benchDir := flag.String("benchdir", ".", "directory for the BENCH_fig5.json / BENCH_fig6.json perf-trajectory files")
+	cpuProf := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+	memProf := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *cpuProf)
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *memProf)
+		}()
+	}
 
 	sizes := exp.DefaultSizes()
 	if *quick {
@@ -110,6 +148,20 @@ func main() {
 				os.Exit(1)
 			}
 			writeBench("BENCH_load.json", lb.JSON())
+			sb, err := exp.RunSimBench(false)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			writeBench("BENCH_sim.json", sb.JSON())
+		case "simbench":
+			sb, err := exp.RunSimBench(*quick)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(sb.Format())
+			writeBench("BENCH_sim.json", sb.JSON())
 		case "load":
 			lb, err := exp.RunLoadBench()
 			if err != nil {

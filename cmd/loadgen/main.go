@@ -12,16 +12,27 @@
 // Two invocations with the same flags are byte-identical (the report
 // carries an order digest over every delivery event), so loadgen output
 // can be diffed to check determinism across code changes.
+//
+// -engobs prints the simulator's own meta-profile (events dispatched per
+// kind, queue high-waters, advisory events/sec and allocs/event) after
+// the run, and -cpuprofile/-memprofile capture pprof profiles of the
+// simulator process — the tools for making big runs cheaper:
+//
+//	loadgen -flows 1024 -openloop -rate 2000 -arb -engobs -cpuprofile cpu.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 	"time"
 
 	"repro/internal/cab"
 	"repro/internal/load"
+	"repro/internal/obs/engine"
 	"repro/internal/socket"
 	"repro/internal/units"
 )
@@ -54,8 +65,45 @@ func main() {
 		arb   = flag.Bool("arb", false, "install the per-flow netmem arbiter on every host")
 
 		jsonOut = flag.Bool("json", false, "emit the full report as JSON")
+
+		engObs  = flag.Bool("engobs", false, "print the simulator meta-profile (engine event counters) after the run")
+		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *cpuProf)
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *memProf)
+		}()
+	}
 
 	s := load.Scenario{
 		Name:           *name,
@@ -98,6 +146,11 @@ func main() {
 		s.Arbiter = &cab.ArbConfig{}
 	}
 
+	var o *engine.Observer
+	if *engObs {
+		o = engine.New()
+		s.EngObs = o
+	}
 	rep, err := load.Run(s)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
@@ -120,6 +173,17 @@ func main() {
 				rep.ArbWaits, rep.ArbBorrows, rep.ArbReclaims)
 		}
 		fmt.Printf("  order_digest=%s\n", rep.OrderDigest)
+	}
+	if o != nil {
+		// With -json the report owns stdout; keep it machine-parseable.
+		out := os.Stdout
+		if *jsonOut {
+			out = os.Stderr
+		}
+		fmt.Fprintln(out, "engine meta-profile:")
+		for _, line := range strings.Split(strings.TrimRight(o.Snapshot().Format(), "\n"), "\n") {
+			fmt.Fprintf(out, "  %s\n", line)
+		}
 	}
 	if rep.Errors != 0 {
 		fmt.Fprintf(os.Stderr, "loadgen: %d flow errors (first: %s)\n", rep.Errors, rep.FirstError)

@@ -353,7 +353,7 @@ func (a *Arbiter) armReclaim() {
 		return
 	}
 	a.reclaimArmed = true
-	a.c.eng.After(a.cfg.IdleExpiry, a.reclaimTick)
+	a.c.eng.AfterKind(a.cfg.IdleExpiry, sim.KindTimer, a.reclaimTick)
 }
 
 // reclaimTick deactivates flows idle for at least IdleExpiry, returning

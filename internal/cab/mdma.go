@@ -134,7 +134,7 @@ func (c *CAB) rxFrame(f hippi.Frame) {
 	c.rxHold = append(c.rxHold, heldRx{f: f})
 	if !c.rxHoldArmed {
 		c.rxHoldArmed = true
-		c.eng.After(rxRetryDelay, c.rxHoldPump)
+		c.eng.AfterKind(rxRetryDelay, sim.KindTimer, c.rxHoldPump)
 	}
 }
 
@@ -155,7 +155,7 @@ func (c *CAB) rxFrameArb(f hippi.Frame) {
 	c.rxHoldQ[key] = append(q, heldRx{f: f})
 	if !c.rxHoldArmed {
 		c.rxHoldArmed = true
-		c.eng.After(rxRetryDelay, c.rxHoldPump)
+		c.eng.AfterKind(rxRetryDelay, sim.KindTimer, c.rxHoldPump)
 	}
 }
 
@@ -181,7 +181,7 @@ func (c *CAB) rxHoldPump() {
 			c.rxHold = c.rxHold[1:]
 			continue
 		}
-		c.eng.After(rxRetryDelay, c.rxHoldPump)
+		c.eng.AfterKind(rxRetryDelay, sim.KindTimer, c.rxHoldPump)
 		return
 	}
 	c.rxHoldArmed = false
@@ -231,7 +231,7 @@ func (c *CAB) rxHoldPumpArb() {
 		}
 	}
 	if len(c.rxHoldFlows) > 0 {
-		c.eng.After(rxRetryDelay, c.rxHoldPump)
+		c.eng.AfterKind(rxRetryDelay, sim.KindTimer, c.rxHoldPump)
 		return
 	}
 	c.rxHoldArmed = false
@@ -320,7 +320,7 @@ func (c *CAB) rxDeliverDirect(f hippi.Frame) {
 	c.Stats.RxHdrDeliveries++
 	span := f.Span
 	prov := f.Prov
-	c.eng.After(c.Mach.DMATime(n), func() {
+	c.eng.AfterKind(c.Mach.DMATime(n), sim.KindDMA, func() {
 		c.Led.TouchP(prov, 0, n, ledger.SDMAToHost, "sdma", ledger.FlagAutoDMA)
 		if c.OnRx == nil {
 			return

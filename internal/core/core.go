@@ -19,6 +19,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/netif"
 	"repro/internal/obs"
+	"repro/internal/obs/engine"
 	"repro/internal/obs/ledger"
 	"repro/internal/obs/prof"
 	"repro/internal/sim"
@@ -92,6 +93,9 @@ type Testbed struct {
 	// Led is the data-touch ledger; nil unless EnableLedger was called
 	// before hosts were added.
 	Led *ledger.Ledger
+	// EngObs is the simulator meta-observer (wall-clock engine counters);
+	// nil unless EnableEngineObs was called before hosts were added.
+	EngObs *engine.Observer
 
 	seriesStop bool
 }
@@ -213,6 +217,27 @@ func orNull(b []byte) []byte {
 	return b
 }
 
+// EnableEngineObs turns on the simulator meta-observer: the engine counts
+// its own real work (events dispatched per kind, queue and timer
+// high-waters, advisory wall-clock/allocation attribution) and every host
+// kernel added afterwards counts its charges. Unlike the other obs
+// layers, this one measures the simulator in wall-clock time; it still
+// never touches virtual time, so enabling it cannot change results. Pass
+// nil to create a fresh observer, or an existing one to accumulate one
+// observatory across several testbeds (the simbench soak matrix). Must
+// run before AddHost so kernels get their hooks.
+func (tb *Testbed) EnableEngineObs(o *engine.Observer) *engine.Observer {
+	if len(tb.Hosts) > 0 {
+		panic("core: EnableEngineObs must be called before AddHost")
+	}
+	if o == nil {
+		o = engine.New()
+	}
+	tb.EngObs = o
+	o.Attach(tb.Eng)
+	return o
+}
+
 // EnableFaults installs a fault injector on every fabric and every host
 // added afterwards: the wire surfaces immediately, the CAB and kernel
 // surfaces as each host is assembled. Add the plan's rules to inj before
@@ -247,6 +272,7 @@ func (tb *Testbed) AddHost(cfg HostConfig) *Host {
 	if tb.Led != nil {
 		h.K.Led = tb.Led.Hook(cfg.Name)
 	}
+	h.K.EngObs = tb.EngObs
 	h.VM = kern.NewVM(h.K)
 	h.VM.LazyUnpin = cfg.LazyUnpin
 	h.Stk = tcpip.NewStack(h.K, cfg.Addr)

@@ -1,0 +1,212 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/cab"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/fault/soak"
+	"repro/internal/load"
+	"repro/internal/obs/engine"
+	"repro/internal/socket"
+	"repro/internal/ttcp"
+	"repro/internal/units"
+)
+
+// SimBench is the simulator self-observatory baseline (BENCH_sim.json): a
+// fixed seeded workload matrix run under the engine meta-observer. Each
+// workload's "deterministic" section is a pure function of the virtual
+// event sequence and is exact-diffed by the simbench CI gate; the
+// "advisory" section (wall-clock ns/event, events/sec, allocations) is
+// machine- and Go-version-dependent, so benchdiff reports its drift but
+// never fails on it. Together they are the wall-clock "before" picture
+// for simulator-speed work: any change to how much real work the engine
+// does per unit of simulated traffic shows up here first.
+type SimBench struct {
+	Workloads []SimWorkload `json:"workloads"`
+}
+
+// SimWorkload is one workload's engine meta-profile.
+type SimWorkload struct {
+	Name string `json:"name"`
+	// Cases is the number of seeded testbeds folded into this entry (1
+	// except for the soak matrix).
+	Cases int `json:"cases"`
+	// VirtualNs is the total simulated time covered.
+	VirtualNs int64                `json:"virtual_ns"`
+	Det       engine.Deterministic `json:"deterministic"`
+	Adv       engine.Advisory      `json:"advisory"`
+}
+
+// simFig5 runs the Figure-5 single-copy transfer cell (64 KB read/write,
+// 16 MB total) under the observer.
+func simFig5(o *engine.Observer) (units.Time, error) {
+	rw := 64 * units.KB
+	tb := core.NewTestbed(1)
+	tb.EnableEngineObs(o)
+	a := tb.AddHost(core.HostConfig{Name: "A", Addr: addrA, Mach: cost.Alpha400(),
+		Mode: socket.ModeSingleCopy, CABNode: 1})
+	b := tb.AddHost(core.HostConfig{Name: "B", Addr: addrB, Mach: cost.Alpha400(),
+		Mode: socket.ModeSingleCopy, CABNode: 2})
+	tb.RouteCAB(a, b)
+	ttcp.Run(tb, a, b, ttcp.Params{
+		Total: totalFor(rw), RWSize: rw,
+		WithUtil: true, WithBackground: true,
+	})
+	return tb.Eng.Now(), nil
+}
+
+// simSoak runs the full 22-case recovery soak matrix through one
+// observer, so the entry profiles the engine under faults, retransmission
+// timers, and 64-flow contention. Any soak invariant violation fails the
+// bench: a broken simulation's engine profile is meaningless.
+func simSoak(o *engine.Observer) (units.Time, int, error) {
+	var vtime units.Time
+	cases := soak.Matrix()
+	for i := range cases {
+		cases[i].EngObs = o
+		out := soak.Run(cases[i])
+		if len(out.Failures) > 0 {
+			return 0, 0, fmt.Errorf("soak %s: %s", cases[i].Name, out.Failures[0])
+		}
+		vtime += out.A.K.Eng.Now()
+	}
+	return vtime, len(cases), nil
+}
+
+// simLoadScenario is the simbench many-flow shape at the given scale:
+// the mixed open-loop scenario of BENCH_load.json at 256 flows, and the
+// TestLoad1024 scale-acceptance shape at 1024.
+func simLoadScenario(flows int) load.Scenario {
+	if flows == 1024 {
+		return load.Scenario{
+			Name:     "sim-1024",
+			Seed:     9,
+			Clients:  8,
+			Servers:  4,
+			Flows:    1024,
+			UDPFrac:  0.25,
+			Mode:     socket.ModeSingleCopy,
+			Requests: 2,
+			OpenLoop: true,
+			Rate:     2000,
+			Stagger:  units.Millisecond,
+			Arbiter:  &cab.ArbConfig{},
+		}
+	}
+	s := loadBenchMixed()
+	s.Name = "sim-256"
+	return s
+}
+
+// simLoad runs one many-flow scenario under the observer.
+func simLoad(flows int, o *engine.Observer) (units.Time, error) {
+	s := simLoadScenario(flows)
+	s.EngObs = o
+	rep, err := load.Run(s)
+	if err != nil {
+		return 0, err
+	}
+	if rep.Errors != 0 {
+		return 0, fmt.Errorf("load %s: %d errors (%s)", rep.Name, rep.Errors, rep.FirstError)
+	}
+	return units.Time(rep.VTimeSec * 1e9), nil
+}
+
+// RunSimBench executes the simbench workload matrix. With quick set it
+// runs only the cheap workloads (the Figure-5 cell and the 256-flow load
+// run) — the shape the determinism test uses under -short.
+func RunSimBench(quick bool) (SimBench, error) {
+	var b SimBench
+	add := func(name string, cases int, vtime units.Time, o *engine.Observer) {
+		snap := o.Snapshot()
+		b.Workloads = append(b.Workloads, SimWorkload{
+			Name:      name,
+			Cases:     cases,
+			VirtualNs: int64(vtime),
+			Det:       snap.Det,
+			Adv:       snap.Adv,
+		})
+	}
+
+	o := engine.New()
+	vtime, err := simFig5(o)
+	if err != nil {
+		return b, err
+	}
+	add("fig5-xfer", 1, vtime, o)
+
+	if !quick {
+		o = engine.New()
+		vtime, n, err := simSoak(o)
+		if err != nil {
+			return b, err
+		}
+		add("soak-matrix", n, vtime, o)
+	}
+
+	o = engine.New()
+	if vtime, err = simLoad(256, o); err != nil {
+		return b, err
+	}
+	add("load-256", 1, vtime, o)
+
+	if !quick {
+		o = engine.New()
+		if vtime, err = simLoad(1024, o); err != nil {
+			return b, err
+		}
+		add("load-1024", 1, vtime, o)
+	}
+	return b, nil
+}
+
+// JSON renders the baseline file.
+func (b SimBench) JSON() []byte {
+	out, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	return append(out, '\n')
+}
+
+// simWorkloadDet is a workload stripped to its exact-diffable fields.
+type simWorkloadDet struct {
+	Name      string               `json:"name"`
+	Cases     int                  `json:"cases"`
+	VirtualNs int64                `json:"virtual_ns"`
+	Det       engine.Deterministic `json:"deterministic"`
+}
+
+// DeterministicJSON renders only the deterministic sections — the bytes
+// the engine-counter determinism oracle compares across same-seed runs.
+func (b SimBench) DeterministicJSON() []byte {
+	var ws []simWorkloadDet
+	for _, w := range b.Workloads {
+		ws = append(ws, simWorkloadDet{Name: w.Name, Cases: w.Cases, VirtualNs: w.VirtualNs, Det: w.Det})
+	}
+	out, err := json.MarshalIndent(ws, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	return append(out, '\n')
+}
+
+// Format renders a human summary.
+func (b SimBench) Format() string {
+	var sb strings.Builder
+	sb.WriteString("Simulator self-observatory (wall-clock meta-profile):\n")
+	for _, w := range b.Workloads {
+		fmt.Fprintf(&sb, "  %-12s cases=%-2d vtime=%8.3fs  events=%9d  queue hw %5d  timer hw %4d  kern charges %8d\n",
+			w.Name, w.Cases, float64(w.VirtualNs)/1e9, w.Det.EventsTotal,
+			w.Det.QueueDepthHW, w.Det.PendingHW.Timer, w.Det.KernCharges)
+		fmt.Fprintf(&sb, "  %-12s   by kind: proc %d, timer %d, wire %d, dma %d, generic %d\n",
+			"", w.Det.Events.Proc, w.Det.Events.Timer, w.Det.Events.Wire, w.Det.Events.DMA, w.Det.Events.Generic)
+		fmt.Fprintf(&sb, "  %-12s   advisory: %.1f ms wall, %.0f events/sec, %.1f ns/event, %.2f allocs/event\n",
+			"", float64(w.Adv.WallNs)/1e6, w.Adv.EventsPerSec, w.Adv.NsPerEvent, w.Adv.AllocsPerEv)
+	}
+	return sb.String()
+}

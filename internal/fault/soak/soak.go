@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/kern"
+	"repro/internal/obs/engine"
 	"repro/internal/obs/ledger"
 	"repro/internal/sim"
 	"repro/internal/socket"
@@ -50,6 +51,9 @@ type Case struct {
 	Flows int
 	// Arbiter installs the per-flow netmem arbiter on both hosts.
 	Arbiter bool
+	// EngObs, when set, attaches the simulator meta-observer to the
+	// case's engine (simbench runs the whole matrix through one observer).
+	EngObs *engine.Observer
 }
 
 // Outcome is a finished soak case. Failures lists every violated
@@ -98,6 +102,9 @@ func Run(c Case) Outcome {
 	o := Outcome{Case: c}
 
 	tb := core.NewTestbed(c.Seed)
+	if c.EngObs != nil {
+		tb.EnableEngineObs(c.EngObs)
+	}
 	tb.EnableTelemetry()
 	led := tb.EnableLedger()
 	inj := fault.New(tb.Eng, c.Seed)

@@ -145,7 +145,7 @@ func (n *Network) SendFrame(f Frame, sent func()) {
 	n.Sent++
 	n.BytesSent += units.Size(len(f.Data))
 
-	n.eng.At(end, func() {
+	n.eng.AtKind(end, sim.KindWire, func() {
 		if sent != nil {
 			sent()
 		}
@@ -174,7 +174,7 @@ func (n *Network) SendFrame(f Frame, sent func()) {
 				}
 				dp.rxBusyUntil = arriveStart + txTime
 			}
-			n.eng.At(arriveStart+txTime, func() {
+			n.eng.AtKind(arriveStart+txTime, sim.KindWire, func() {
 				n.Delivered++
 				n.Led.TouchP(f.Prov, 0, units.Size(len(f.Data)), ledger.WireTransit, "wire", 0)
 				dp.recv(f)

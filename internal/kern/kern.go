@@ -16,6 +16,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/mem"
 	"repro/internal/obs"
+	"repro/internal/obs/engine"
 	"repro/internal/obs/ledger"
 	"repro/internal/obs/prof"
 	"repro/internal/sim"
@@ -110,6 +111,12 @@ type Kernel struct {
 	// data primitives record through it; stream coordinates come from
 	// Ctx.OnStream/OnStreamProv.
 	Led *ledger.Hook
+
+	// EngObs is the simulator meta-observer (nil when disabled: each hook
+	// is a single nil check). It counts the real work the kernel model
+	// generates — charges and quantum slices — beside the engine's own
+	// event-dispatch counters.
+	EngObs *engine.Observer
 
 	intrPosts *obs.Counter
 
@@ -226,6 +233,7 @@ func (k *Kernel) chargeSlices(p *sim.Proc, prio int, d units.Time, cat Category,
 		if slice > k.Quantum {
 			slice = k.Quantum
 		}
+		k.EngObs.KernSlice()
 		k.cpu.Acquire(p, prio)
 		p.Sleep(slice)
 		k.byCat[cat] += slice
@@ -265,6 +273,7 @@ func (k *Kernel) workAt(p *sim.Proc, t *Task, d units.Time, cat Category, sys bo
 	if node == nil {
 		node = k.taskNode(t)
 	}
+	k.EngObs.KernCharge()
 	node.Add(int(cat), flow, int64(d))
 	k.chargeSlices(p, t.Prio, d, cat, func(slice units.Time) {
 		k.cur = t
@@ -285,6 +294,7 @@ func (k *Kernel) intrWorkAt(p *sim.Proc, d units.Time, cat Category, node *prof.
 	if node == nil {
 		node = k.intrNode()
 	}
+	k.EngObs.KernCharge()
 	node.Add(int(cat), flow, int64(d))
 	k.chargeSlices(p, PrioIntr, d, cat, k.curSys)
 }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/hippi"
 	"repro/internal/kern"
 	"repro/internal/obs"
+	"repro/internal/obs/engine"
 	"repro/internal/socket"
 	"repro/internal/tcpip"
 	"repro/internal/units"
@@ -96,6 +97,9 @@ type Scenario struct {
 	Weights []int
 	// Ledger enables the data-touch ledger (used by audit-mode runs).
 	Ledger bool
+	// EngObs, when set, attaches the simulator meta-observer to the run's
+	// engine (simbench measures engine work under many-flow load with it).
+	EngObs *engine.Observer
 }
 
 // normalized fills defaults and validates.
@@ -236,6 +240,9 @@ func (r *runner) build() {
 	r.tb = core.NewTestbed(s.Seed)
 	if s.Ledger {
 		r.tb.EnableLedger()
+	}
+	if s.EngObs != nil {
+		r.tb.EnableEngineObs(s.EngObs)
 	}
 	node := hippi.NodeID(1)
 	addHost := func(name string, addr wire.Addr) *host {

@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// runWorkload drives one small deterministic simulation through an
+// observer: a proc that sleeps twice, a timer, a wire delivery, a DMA
+// completion, and a generic event.
+func runWorkload(o *Observer) {
+	eng := sim.NewEngine(1)
+	o.Attach(eng)
+	eng.AtKind(5*units.Microsecond, sim.KindWire, func() {})
+	eng.AtKind(6*units.Microsecond, sim.KindDMA, func() {})
+	eng.AfterKind(7*units.Microsecond, sim.KindTimer, func() {})
+	eng.At(8*units.Microsecond, func() {}) // generic
+	eng.Go("worker", func(p *sim.Proc) {
+		p.Sleep(units.Microsecond)
+		o.KernCharge()
+		o.KernSlice()
+		o.KernSlice()
+		p.Sleep(units.Microsecond)
+	})
+	eng.Run()
+}
+
+func TestObserverCounts(t *testing.T) {
+	o := New()
+	runWorkload(o)
+	s := o.Snapshot()
+	d := s.Det
+
+	// The proc contributes: initial Go event + 2 sleep wakeups = 3.
+	if d.Events.Proc != 3 {
+		t.Fatalf("proc events = %d, want 3", d.Events.Proc)
+	}
+	if d.Events.Wire != 1 || d.Events.DMA != 1 || d.Events.Timer != 1 || d.Events.Generic != 1 {
+		t.Fatalf("kind counts = %+v, want wire/dma/timer/generic all 1", d.Events)
+	}
+	if d.EventsTotal != d.Events.Total() || d.EventsTotal != 7 {
+		t.Fatalf("events_total = %d, want 7", d.EventsTotal)
+	}
+	if d.KernCharges != 1 || d.KernSlices != 2 {
+		t.Fatalf("kern charges/slices = %d/%d, want 1/2", d.KernCharges, d.KernSlices)
+	}
+	// Five events are pending at once before any dispatch (wire, dma,
+	// timer, generic, proc start), so the queue high-water sees them all.
+	if d.QueueDepthHW < 5 {
+		t.Fatalf("queue_depth_hw = %d, want >= 5", d.QueueDepthHW)
+	}
+	if d.PendingHW.Timer != 1 {
+		t.Fatalf("timer pending hw = %d, want 1", d.PendingHW.Timer)
+	}
+	if s.Adv.WallNs <= 0 {
+		t.Fatalf("advisory wall_ns = %d, want > 0", s.Adv.WallNs)
+	}
+}
+
+// TestObserverDeterministicSections runs the same seeded workload through
+// two observers: the deterministic section must match exactly even though
+// the advisory sections (wall clock) will differ.
+func TestObserverDeterministicSections(t *testing.T) {
+	a, b := New(), New()
+	runWorkload(a)
+	runWorkload(b)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if sa.Det != sb.Det {
+		t.Fatalf("deterministic sections differ:\n%+v\n%+v", sa.Det, sb.Det)
+	}
+}
+
+// TestObserverAccumulates pins that one observer watching several engines
+// in sequence (the soak workload pattern) sums rather than resets.
+func TestObserverAccumulates(t *testing.T) {
+	o := New()
+	runWorkload(o)
+	runWorkload(o)
+	d := o.Snapshot().Det
+	if d.EventsTotal != 14 {
+		t.Fatalf("events_total after two runs = %d, want 14", d.EventsTotal)
+	}
+	if d.KernCharges != 2 || d.KernSlices != 4 {
+		t.Fatalf("kern charges/slices = %d/%d, want 2/4", d.KernCharges, d.KernSlices)
+	}
+}
+
+// TestNilObserverZeroAlloc is the disabled-path contract: with no observer
+// installed every hook must be a nil check and nothing else — zero
+// allocations, no panics. This is what makes benchcheck/audit byte-identical
+// with the layer compiled in.
+func TestNilObserverZeroAlloc(t *testing.T) {
+	var o *Observer
+	if n := testing.AllocsPerRun(100, func() {
+		o.Scheduled(sim.KindProc, 3)
+		o.Dispatched(sim.KindProc, 2)
+		o.KernCharge()
+		o.KernSlice()
+		o.Attach(nil)
+		_ = o.Snapshot()
+	}); n != 0 {
+		t.Fatalf("disabled path allocates %.1f per run, want 0", n)
+	}
+}
+
+// TestEnabledHotPathZeroAlloc pins that the enabled inner-loop callbacks
+// allocate nothing either (sampling happens only at slice boundaries, and
+// the MemStats buffer is part of the observer).
+func TestEnabledHotPathZeroAlloc(t *testing.T) {
+	o := New()
+	if n := testing.AllocsPerRun(100, func() {
+		o.Scheduled(sim.KindWire, 7)
+		o.Dispatched(sim.KindWire, 6)
+		o.KernCharge()
+		o.KernSlice()
+	}); n != 0 {
+		t.Fatalf("enabled hot path allocates %.1f per run, want 0", n)
+	}
+}
+
+// TestEngineWithoutMonitor pins that an engine with no monitor behaves
+// exactly as before the observatory existed.
+func TestEngineWithoutMonitor(t *testing.T) {
+	eng := sim.NewEngine(1)
+	ran := 0
+	eng.AtKind(units.Microsecond, sim.KindWire, func() { ran++ })
+	eng.After(2*units.Microsecond, func() { ran++ })
+	eng.Run()
+	if ran != 2 {
+		t.Fatalf("ran %d events, want 2", ran)
+	}
+	if eng.Now() != 2*units.Microsecond {
+		t.Fatalf("clock = %v, want 2µs", eng.Now())
+	}
+}
+
+func TestSnapshotJSONShape(t *testing.T) {
+	o := New()
+	runWorkload(o)
+	j := o.Snapshot().JSON()
+	for _, key := range []string{`"deterministic"`, `"advisory"`, `"events_by_kind"`, `"queue_depth_hw"`, `"kern_charges"`, `"wall_ns"`, `"allocs_per_event"`} {
+		if !bytes.Contains(j, []byte(key)) {
+			t.Fatalf("snapshot JSON missing %s:\n%s", key, j)
+		}
+	}
+	// The deterministic section must precede the advisory one so humans
+	// diffing the file see the exact-diffed half first.
+	if bytes.Index(j, []byte(`"deterministic"`)) > bytes.Index(j, []byte(`"advisory"`)) {
+		t.Fatal("deterministic section should come before advisory")
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"math/bits"
 
 	"repro/internal/units"
@@ -72,9 +73,10 @@ func (h *Histogram) Count() int64 {
 // Quantile returns an upper bound on the p-quantile (0 ≤ p ≤ 1) of the
 // observed durations: the inclusive upper bound of the first bucket whose
 // cumulative count reaches ⌈p·count⌉, clamped to the observed [min, max].
-// Deterministic integer arithmetic throughout; 0 for nil or empty.
+// Deterministic integer arithmetic throughout; 0 (never a panic or a
+// garbage conversion) for a nil or empty histogram or a NaN p.
 func (h *Histogram) Quantile(p float64) units.Time {
-	if h == nil || h.count == 0 {
+	if h == nil || h.count == 0 || math.IsNaN(p) {
 		return 0
 	}
 	if p <= 0 {

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 
@@ -173,6 +174,32 @@ func TestHistogramQuantile(t *testing.T) {
 	var nilh *Histogram
 	if nilh.Quantile(0.5) != 0 {
 		t.Fatal("nil histogram has a quantile")
+	}
+}
+
+// Quantile on an empty or nil histogram, or with a NaN p, must return 0 —
+// never panic, never produce a garbage conversion. Locked in because
+// observers snapshot histograms unconditionally, including ones no event
+// ever reached.
+func TestHistogramQuantileEmpty(t *testing.T) {
+	var h Histogram
+	for _, p := range []float64{math.NaN(), -1, 0, 0.5, 1, 2, math.Inf(1)} {
+		if q := h.Quantile(p); q != 0 {
+			t.Fatalf("empty histogram Quantile(%v) = %v, want 0", p, q)
+		}
+	}
+	var nilh *Histogram
+	for _, p := range []float64{math.NaN(), 0.5} {
+		if q := nilh.Quantile(p); q != 0 {
+			t.Fatalf("nil histogram Quantile(%v) = %v, want 0", p, q)
+		}
+	}
+	h.Observe(3 * units.Microsecond)
+	if q := h.Quantile(math.NaN()); q != 0 {
+		t.Fatalf("Quantile(NaN) = %v, want 0", q)
+	}
+	if q := h.Quantile(math.Inf(1)); q != 3*units.Microsecond {
+		t.Fatalf("Quantile(+Inf) = %v, want max", q)
 	}
 }
 

@@ -20,6 +20,44 @@ import (
 	"repro/internal/units"
 )
 
+// Kind classifies scheduled events for the engine meta-observer
+// (internal/obs/engine): it answers "what species of real work is the
+// simulator doing" without touching virtual-time semantics. Untagged
+// events are KindGeneric.
+type Kind uint8
+
+// Event kinds. The order is part of the exported counter layout.
+const (
+	KindGeneric Kind = iota // untagged events
+	KindProc                // process wakeups (Sleep, Yield, handoffs)
+	KindTimer               // protocol timers and retry pumps
+	KindWire                // network propagation and arrival
+	KindDMA                 // adaptor DMA completions
+	NumKinds
+)
+
+var kindNames = [NumKinds]string{"generic", "proc", "timer", "wire", "dma"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Monitor observes the engine's real (wall-clock) work: it is called from
+// the scheduling and dispatch inner loops, so implementations must be
+// cheap (integer arithmetic; no allocation). When no monitor is set the
+// engine pays exactly one nil check per event.
+type Monitor interface {
+	// Scheduled runs after an event is pushed; pending is the heap size
+	// including the new event.
+	Scheduled(kind Kind, pending int)
+	// Dispatched runs after an event's callback returns; pending is the
+	// heap size at that instant.
+	Dispatched(kind Kind, pending int)
+}
+
 // Engine is a discrete-event simulator instance.
 type Engine struct {
 	now     units.Time
@@ -29,12 +67,14 @@ type Engine struct {
 	stopped bool
 	live    map[*Proc]struct{}
 	rng     *rand.Rand
+	mon     Monitor
 }
 
 type event struct {
-	at  units.Time
-	seq int64
-	fn  func()
+	at   units.Time
+	seq  int64
+	kind Kind
+	fn   func()
 }
 
 type eventHeap []*event
@@ -72,22 +112,41 @@ func (e *Engine) Now() units.Time { return e.now }
 // Rand returns the engine's deterministic random source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
+// SetMonitor installs (or, with nil, removes) the engine meta-observer.
+// Install it before the simulation schedules work so the monitor's
+// pending-event accounting sees every push.
+func (e *Engine) SetMonitor(m Monitor) { e.mon = m }
+
 // At schedules fn to run at virtual time t. Scheduling in the past panics:
 // it would silently corrupt causality.
 func (e *Engine) At(t units.Time, fn func()) {
+	e.AtKind(t, KindGeneric, fn)
+}
+
+// AtKind is At with an explicit event kind for the meta-observer. The
+// kind has no effect on scheduling: it only labels the dispatch counters.
+func (e *Engine) AtKind(t units.Time, kind Kind, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	heap.Push(&e.events, &event{at: t, seq: e.seq, kind: kind, fn: fn})
+	if e.mon != nil {
+		e.mon.Scheduled(kind, len(e.events))
+	}
 }
 
 // After schedules fn to run d after the current time.
 func (e *Engine) After(d units.Time, fn func()) {
+	e.AfterKind(d, KindGeneric, fn)
+}
+
+// AfterKind is After with an explicit event kind for the meta-observer.
+func (e *Engine) AfterKind(d units.Time, kind Kind, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	e.At(e.now+d, fn)
+	e.AtKind(e.now+d, kind, fn)
 }
 
 // Step executes the next pending event, advancing the clock to its time.
@@ -99,6 +158,9 @@ func (e *Engine) Step() bool {
 	ev := heap.Pop(&e.events).(*event)
 	e.now = ev.at
 	ev.fn()
+	if e.mon != nil {
+		e.mon.Dispatched(ev.kind, len(e.events))
+	}
 	return true
 }
 

@@ -60,7 +60,7 @@ func (e *Engine) Go(name string, fn func(*Proc)) *Proc {
 		}
 		fn(p)
 	}()
-	e.At(e.now, func() { e.deliver(p, procMsg{}) })
+	e.AtKind(e.now, KindProc, func() { e.deliver(p, procMsg{}) })
 	return p
 }
 
@@ -104,7 +104,7 @@ func (p *Proc) park() {
 
 // wake schedules the engine to resume p at the current time.
 func (p *Proc) wake() {
-	p.eng.At(p.eng.now, func() { p.eng.deliver(p, procMsg{}) })
+	p.eng.AtKind(p.eng.now, KindProc, func() { p.eng.deliver(p, procMsg{}) })
 }
 
 // Sleep blocks the process for d of virtual time.
@@ -112,7 +112,7 @@ func (p *Proc) Sleep(d units.Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative sleep %v in %s", d, p.name))
 	}
-	p.eng.After(d, func() { p.eng.deliver(p, procMsg{}) })
+	p.eng.AfterKind(d, KindProc, func() { p.eng.deliver(p, procMsg{}) })
 	p.park()
 }
 

@@ -30,7 +30,7 @@ func (s *Signal) Wait(p *Proc) {
 func (s *Signal) WaitTimeout(p *Proc, d units.Time) bool {
 	t := &waitToken{p: p}
 	s.waiters = append(s.waiters, t)
-	s.eng.After(d, func() {
+	s.eng.AfterKind(d, KindTimer, func() {
 		if t.done {
 			return
 		}

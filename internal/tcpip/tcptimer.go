@@ -17,7 +17,7 @@ func (c *TCPConn) armRtx() {
 	c.rtxGen++
 	gen := c.rtxGen
 	c.rtxArmed = true
-	c.stk.K.Eng.After(c.rto, func() {
+	c.stk.K.Eng.AfterKind(c.rto, sim.KindTimer, func() {
 		if gen != c.rtxGen || c.state == StateClosed {
 			return
 		}
@@ -78,7 +78,7 @@ func (c *TCPConn) armPersist() {
 	c.persistOn = true
 	c.persistGen++
 	gen := c.persistGen
-	c.stk.K.Eng.After(persistInterval, func() {
+	c.stk.K.Eng.AfterKind(persistInterval, sim.KindTimer, func() {
 		if gen != c.persistGen {
 			return
 		}
@@ -126,7 +126,7 @@ func (c *TCPConn) persistProbe(ctx kern.Ctx) {
 func (c *TCPConn) armDelAck() {
 	c.delAckGen++
 	gen := c.delAckGen
-	c.stk.K.Eng.After(delAckTimeout, func() {
+	c.stk.K.Eng.AfterKind(delAckTimeout, sim.KindTimer, func() {
 		if gen != c.delAckGen {
 			return
 		}
