@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench benchcheck simbench soak audit obs-race load load-race ci
+.PHONY: all build vet test race bench-smoke bench benchcheck simbench critpath soak audit obs-race load load-race ci
 
 all: build
 
@@ -46,6 +46,17 @@ simbench:
 	$(GO) run ./cmd/experiments -exp simbench -benchdir .simfresh
 	$(GO) run ./cmd/benchdiff -baseline . -fresh .simfresh BENCH_sim.json
 
+# The causal critical-path gate: rebuild the happens-before graphs over
+# the Figure 5 sweep (both stack modes) plus the 64-flow incast, reduce
+# each to its per-cause latency attribution, and exact-diff against the
+# committed BENCH_critpath.json. The per-cause nanoseconds are pure
+# functions of the virtual event sequence; only the advisory analysis
+# wall time may drift.
+critpath:
+	rm -rf .critfresh && mkdir -p .critfresh
+	$(GO) run ./cmd/experiments -exp critpath -benchdir .critfresh
+	$(GO) run ./cmd/benchdiff -baseline . -fresh .critfresh BENCH_critpath.json
+
 # The adversarial soak suite: seeded fault plans against full transfers,
 # under the race detector, plus the determinism and recovery-corner tests.
 soak:
@@ -74,4 +85,4 @@ load:
 load-race:
 	$(GO) test -race -count 1 ./internal/load/...
 
-ci: vet build race bench-smoke soak obs-race load load-race audit simbench benchcheck
+ci: vet build race bench-smoke soak obs-race load load-race audit simbench critpath benchcheck

@@ -9,10 +9,41 @@ import (
 
 // Diff is the outcome of comparing one baseline file: Violations fail the
 // gate; Advisories are drift in advisory-class fields — reported so the
-// trend is visible, never a failure.
+// trend is visible, never a failure. The three counters record coverage —
+// how many leaves were actually compared under each class — so a gate that
+// silently compares nothing is visible in the output.
 type Diff struct {
 	Violations []string
 	Advisories []string
+	// Exact counts leaves compared with zero tolerance (strings, booleans,
+	// and numbers in exact-class files); Tolerant counts numeric leaves
+	// compared under the rel/abs tolerance; Advisory counts leaves under an
+	// advisory-class key, whose drift never fails the gate.
+	Exact    int
+	Tolerant int
+	Advisory int
+}
+
+// Coverage renders the per-file comparison summary, one line's worth:
+// how many leaves each class contributed. The format is pinned by test.
+func (d Diff) Coverage() string {
+	return fmt.Sprintf("%d exact / %d tolerant / %d advisory fields compared",
+		d.Exact, d.Tolerant, d.Advisory)
+}
+
+// Summary is the one-line per-file verdict the gate prints: ok/FAIL, the
+// file, the coverage counts, and any advisory-drift or violation tally.
+// The format is pinned by test.
+func (d Diff) Summary(file string) string {
+	cov := d.Coverage()
+	switch {
+	case len(d.Violations) > 0:
+		return fmt.Sprintf("FAIL %s (%s; %d violations)", file, cov, len(d.Violations))
+	case len(d.Advisories) > 0:
+		return fmt.Sprintf("ok   %s (%s; %d advisory drifts)", file, cov, len(d.Advisories))
+	default:
+		return fmt.Sprintf("ok   %s (%s)", file, cov)
+	}
 }
 
 // advisoryKey reports whether a JSON object key opens an advisory-class
@@ -95,6 +126,14 @@ func compare(d *Diff, path string, base, fresh any, rel, abs float64, advisory b
 			violf("%s: baseline is a number, fresh is %T", path, fresh)
 			return
 		}
+		switch {
+		case advisory:
+			d.Advisory++
+		case rel == 0 && abs == 0:
+			d.Exact++
+		default:
+			d.Tolerant++
+		}
 		tol := abs + rel*math.Max(math.Abs(b), math.Abs(f))
 		if math.Abs(f-b) > tol {
 			delta := 0.0
@@ -110,6 +149,13 @@ func compare(d *Diff, path string, base, fresh any, rel, abs float64, advisory b
 			}
 		}
 	default:
+		// Non-numeric leaves (strings, booleans, null) are always compared
+		// exactly, whatever the tolerances.
+		if advisory {
+			d.Advisory++
+		} else {
+			d.Exact++
+		}
 		if base != fresh {
 			violf("%s: %v != baseline %v", path, fresh, base)
 		}

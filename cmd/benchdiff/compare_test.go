@@ -148,3 +148,70 @@ func TestCompareAdvisoryStructural(t *testing.T) {
 		t.Fatal("missing advisory field not flagged")
 	}
 }
+
+// TestCoverageCounts pins how compared leaves are classified: numeric
+// leaves are tolerant (or exact under zero tolerance), strings and
+// booleans are always exact, and anything under an advisory key counts
+// as advisory.
+func TestCoverageCounts(t *testing.T) {
+	base := parse(t, `{
+		"name": "fig5",
+		"ok": true,
+		"mbps": 700.5,
+		"cells": [1, 2, 3],
+		"advisory": {"wall_ns": 123, "note": "x"},
+		"advisory_allocs": 7
+	}`)
+
+	d := Compare("f", base, base, defaultRel, defaultAbs)
+	if len(d.Violations) != 0 || len(d.Advisories) != 0 {
+		t.Fatalf("self-compare produced diffs: %+v", d)
+	}
+	// name + ok exact; mbps + 3 cells tolerant; wall_ns + note + allocs
+	// advisory.
+	if d.Exact != 2 || d.Tolerant != 4 || d.Advisory != 3 {
+		t.Fatalf("coverage = %d exact / %d tolerant / %d advisory, want 2/4/3",
+			d.Exact, d.Tolerant, d.Advisory)
+	}
+
+	// Zero tolerance (the exact-file mode) reclassifies the non-advisory
+	// numeric leaves as exact.
+	d = Compare("f", base, base, 0, 0)
+	if d.Exact != 6 || d.Tolerant != 0 || d.Advisory != 3 {
+		t.Fatalf("zero-tolerance coverage = %d/%d/%d, want 6/0/3",
+			d.Exact, d.Tolerant, d.Advisory)
+	}
+}
+
+// TestSummaryFormat pins the one-line per-file verdict the gate prints.
+func TestSummaryFormat(t *testing.T) {
+	base := parse(t, `{"a": 1, "s": "x", "advisory": {"w": 10}}`)
+
+	d := Compare("f", base, base, defaultRel, defaultAbs)
+	if got, want := d.Summary("BENCH_fig5.json"),
+		"ok   BENCH_fig5.json (1 exact / 1 tolerant / 1 advisory fields compared)"; got != want {
+		t.Errorf("clean summary:\n got %q\nwant %q", got, want)
+	}
+
+	// Advisory drift: tallied on the line, verdict stays ok.
+	fresh := parse(t, `{"a": 1, "s": "x", "advisory": {"w": 99}}`)
+	d = Compare("f", base, fresh, defaultRel, defaultAbs)
+	if len(d.Violations) != 0 || len(d.Advisories) != 1 {
+		t.Fatalf("unexpected diff classes: %+v", d)
+	}
+	if got, want := d.Summary("BENCH_sim.json"),
+		"ok   BENCH_sim.json (1 exact / 1 tolerant / 1 advisory fields compared; 1 advisory drifts)"; got != want {
+		t.Errorf("advisory summary:\n got %q\nwant %q", got, want)
+	}
+
+	// A real violation flips the verdict.
+	fresh = parse(t, `{"a": 2, "s": "y", "advisory": {"w": 10}}`)
+	d = Compare("f", base, fresh, defaultRel, defaultAbs)
+	if len(d.Violations) != 2 {
+		t.Fatalf("want 2 violations, got %+v", d.Violations)
+	}
+	if got, want := d.Summary("BENCH_touches.json"),
+		"FAIL BENCH_touches.json (1 exact / 1 tolerant / 1 advisory fields compared; 2 violations)"; got != want {
+		t.Errorf("failing summary:\n got %q\nwant %q", got, want)
+	}
+}

@@ -9,13 +9,19 @@
 //	benchdiff -baseline . -fresh /tmp/bench [-rel 0.05] [-abs 1e-6] [files...]
 //
 // With no file arguments it checks BENCH_fig5.json through BENCH_fig9.json
-// plus BENCH_touches.json, BENCH_load.json, and BENCH_sim.json.
-// Touch-count files hold exact integer counts (copies, checksums, DMA
-// crossings per byte), so they get zero tolerance: any drift in a
-// data-touch count is a real behavior change, never noise. The load
-// file's throughput and latency leaves get the relative tolerance; its
-// structure, flow counts, and order digests (strings) are compared
-// exactly, so the gate still pins event-ordering determinism.
+// plus BENCH_touches.json, BENCH_load.json, BENCH_sim.json, and
+// BENCH_critpath.json. Touch-count files hold exact integer counts
+// (copies, checksums, DMA crossings per byte), so they get zero
+// tolerance: any drift in a data-touch count is a real behavior change,
+// never noise; the critical-path file's per-cause nanoseconds are pure
+// functions of the virtual event sequence and get the same treatment.
+// The load file's throughput and latency leaves get the relative
+// tolerance; its structure, flow counts, and order digests (strings) are
+// compared exactly, so the gate still pins event-ordering determinism.
+//
+// Every file's verdict line carries its comparison coverage —
+// "N exact / N tolerant / N advisory fields compared" — so a gate that
+// quietly stops comparing anything is visible at a glance.
 //
 // Fields under a JSON key named "advisory" (or prefixed "advisory_") form
 // a separate class: wall-clock and allocation measurements whose values
@@ -56,6 +62,7 @@ var defaultFiles = []string{
 	"BENCH_touches.json",
 	"BENCH_load.json",
 	"BENCH_sim.json",
+	"BENCH_critpath.json",
 }
 
 // exactFiles are baselines of exact integer counts: compared with zero
@@ -64,8 +71,9 @@ var defaultFiles = []string{
 // drift is a real change in how much work the simulator does; its
 // advisory sections are exempted by class, not by tolerance.
 var exactFiles = map[string]bool{
-	"BENCH_touches.json": true,
-	"BENCH_sim.json":     true,
+	"BENCH_touches.json":  true,
+	"BENCH_sim.json":      true,
+	"BENCH_critpath.json": true,
 }
 
 func main() {
@@ -115,14 +123,9 @@ func main() {
 			fileRel, fileAbs = 0, 0
 		}
 		diff := Compare(f, base, fresh, fileRel, fileAbs)
-		switch {
-		case len(diff.Violations) == 0 && len(diff.Advisories) == 0:
-			fmt.Printf("ok   %s\n", f)
-		case len(diff.Violations) == 0:
-			fmt.Printf("ok   %s (%d advisory drifts)\n", f, len(diff.Advisories))
-		default:
+		fmt.Println(diff.Summary(f))
+		if len(diff.Violations) > 0 {
 			failed = true
-			fmt.Printf("FAIL %s (%d violations)\n", f, len(diff.Violations))
 			for _, v := range diff.Violations {
 				fmt.Printf("  %s\n", v)
 			}

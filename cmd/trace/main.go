@@ -7,6 +7,7 @@
 //
 //	trace [-n 40] [-host A|B|both] [-dir in|out|both] [-json]
 //	      [-flow <port>] [-chrome out.json]
+//	      [-critpath] [-critpath-chrome out.json]
 //
 // -json emits one JSON object per event (machine-readable) instead of the
 // tcpdump-style line. -flow keeps only the segments of one flow (the data
@@ -14,6 +15,13 @@
 // writes the data-path spans as Chrome trace-event JSON — filtered to
 // -flow when given — with flow-binding ("s"/"f") events so one byte
 // range's journey renders as cross-host arrows in Perfetto.
+//
+// -critpath records happens-before graphs for the transfer and prints
+// every completed read's critical-path waterfall: each row is one
+// lifecycle event with the cause class and duration of the stall edge
+// that delivered it, and the per-cause sums reconstruct the end-to-end
+// latency exactly. -critpath-chrome writes the same paths as Chrome
+// trace-event JSON (one track per cause class, loadable in Perfetto).
 package main
 
 import (
@@ -23,6 +31,8 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/obs/critpath"
 	"repro/internal/sim"
 	"repro/internal/socket"
 	"repro/internal/tcpip"
@@ -37,6 +47,8 @@ func main() {
 	jsonF := flag.Bool("json", false, "emit events as JSON lines")
 	flowF := flag.Int("flow", 0, "only trace segments of this flow (the data sender's port; 0 = all)")
 	chromeOut := flag.String("chrome", "", "write data-path spans as Chrome trace-event JSON to this path")
+	critFlag := flag.Bool("critpath", false, "print every completed read's critical-path waterfall with stall attribution")
+	critChrome := flag.String("critpath-chrome", "", "write the critical paths as Chrome trace-event JSON to this path")
 	flag.Parse()
 
 	if *dirF != "in" && *dirF != "out" && *dirF != "both" {
@@ -47,6 +59,10 @@ func main() {
 	tb := core.NewTestbed(5)
 	if *chromeOut != "" {
 		tb.EnableTelemetry()
+	}
+	var critRec *obs.CritRec
+	if *critFlag || *critChrome != "" {
+		critRec = tb.EnableCritPath()
 	}
 	a := tb.AddHost(core.HostConfig{Name: "A", Addr: wire.Addr(0x0a000001),
 		Mode: socket.ModeSingleCopy, CABNode: 1})
@@ -139,5 +155,18 @@ func main() {
 		// Keep stdout machine-readable under -json: the truncation note
 		// is commentary, not an event.
 		fmt.Fprintf(os.Stderr, "... (%d more events)\n", lines-*n)
+	}
+	if critRec != nil {
+		rep := critpath.Analyze(critRec)
+		if *critFlag {
+			fmt.Println()
+			rep.WriteText(os.Stdout, true)
+		}
+		if *critChrome != "" {
+			if err := os.WriteFile(*critChrome, rep.ChromeJSON(), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "trace:", err)
+				os.Exit(1)
+			}
+		}
 	}
 }

@@ -11,6 +11,7 @@
 //	     [-series out.json] [-series-csv out.csv] [-series-interval-us 100]
 //	     [-fault 'drop:every=13,min=1000;corrupt:p=0.01'] [-fault-seed 1]
 //	     [-audit] [-ledger out.json] [-flightrec out.json]
+//	     [-critpath] [-critpath-chrome out.json]
 //
 // -audit enables the data-touch ledger and prints the per-flow audit
 // table (one row per host × touch kind with per-byte min/max); for TCP it
@@ -24,6 +25,12 @@
 // ParsePlan) on the wire, the adaptor, and the kernel; the run then also
 // reports which faults fired. The same plan and -fault-seed replay the
 // exact same faults.
+//
+// -critpath records a happens-before graph of every lifecycle event in the
+// transfer, extracts the critical path of each completed read, and prints
+// the per-cause latency attribution (the last path's full waterfall plus
+// the summary table); -critpath-chrome writes all critical paths as a
+// Chrome trace-event file, one track per cause class.
 //
 // -stats prints the telemetry counter table and the per-packet virtual-time
 // latency histogram with its per-stage breakdown; -trace writes a Chrome
@@ -52,6 +59,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/obs/critpath"
 	"repro/internal/obs/ledger"
 	"repro/internal/socket"
 	"repro/internal/ttcp"
@@ -97,6 +106,8 @@ func main() {
 	auditFlag := flag.Bool("audit", false, "enable the data-touch ledger and print the per-flow audit table; fails if the stack's copy-count oracle does not hold")
 	ledgerOut := flag.String("ledger", "", "with -audit, also write the full ledger JSON to this path")
 	flightRec := flag.String("flightrec", "", "write the flight-recorder image (recent ledger + trace events) to this path")
+	critFlag := flag.Bool("critpath", false, "record per-transfer happens-before graphs and print the critical-path latency attribution")
+	critChrome := flag.String("critpath-chrome", "", "with -critpath, also write the critical paths as a Chrome trace-event file to this path")
 	flag.Parse()
 
 	size, err := parseSize(*sizeS)
@@ -114,6 +125,10 @@ func main() {
 	tb := core.NewTestbed(1)
 	if *stats || *traceOut != "" || *metricsOut != "" || *flightRec != "" {
 		tb.EnableTelemetry()
+	}
+	var critRec *obs.CritRec
+	if *critFlag || *critChrome != "" {
+		critRec = tb.EnableCritPath()
 	}
 	if *auditFlag || *ledgerOut != "" || *flightRec != "" {
 		tb.EnableLedger()
@@ -173,6 +188,16 @@ func main() {
 		}
 		if inj != nil {
 			fmt.Fprintf(report, "  %s\n", inj.Report())
+		}
+		if critRec != nil {
+			rep := critpath.Analyze(critRec)
+			if *critFlag {
+				fmt.Fprint(report, "\n")
+				rep.WriteText(report, false)
+			}
+			if *critChrome != "" {
+				die(os.WriteFile(*critChrome, rep.ChromeJSON(), 0o644))
+			}
 		}
 		if tb.Prof != nil {
 			if *profile {

@@ -63,6 +63,7 @@ func (c *CAB) mdmaTxProc(p *sim.Proc) {
 			// the request sat on its channel; drop the frame.
 			continue
 		}
+		e.span.CritEv(obs.CauseQueue, "mdma_start")
 		// The MDMA engine reads the packet out of network memory as the
 		// frame serializes; copy the bytes so the host may overlay a new
 		// header (retransmit) without racing the in-flight frame.
@@ -73,6 +74,7 @@ func (c *CAB) mdmaTxProc(p *sim.Proc) {
 		c.net.SendFrame(hippi.Frame{Src: c.nodeID, Dst: e.dst, Data: data, Span: e.span, Prov: e.prov, Flow: e.pkt.flow},
 			func() { sent.Broadcast() })
 		sent.Wait(p)
+		e.span.CritEv(obs.CauseWire, "mdma_xmit")
 		c.Stats.TxPackets++
 		if e.done != nil {
 			e.done()
@@ -122,6 +124,7 @@ type heldRx struct {
 // and the host is notified (Section 2.2).
 func (c *CAB) rxFrame(f hippi.Frame) {
 	f.Span.EnterOn(obs.StageMDMA, c.Host)
+	f.Span.CritEv(obs.CauseWire, "wire_rx")
 	c.Led.TouchP(f.Prov, 0, units.Size(len(f.Data)), ledger.MDMARx, "mdma", 0)
 	if c.Arb != nil {
 		c.rxFrameArb(f)
@@ -168,6 +171,8 @@ func (c *CAB) rxHoldPump() {
 	for len(c.rxHold) > 0 {
 		h := &c.rxHold[0]
 		if c.tryRx(h.f) {
+			// The frame was held on the link waiting for adaptor memory.
+			h.f.Span.CritEv(obs.CauseNetmem, "rx_admit")
 			c.rxHold = c.rxHold[1:]
 			continue
 		}
@@ -205,7 +210,9 @@ func (c *CAB) rxHoldPumpArb() {
 				continue
 			}
 			h := &q[0]
-			if !c.tryRx(h.f) {
+			if c.tryRx(h.f) {
+				h.f.Span.CritEv(obs.CauseNetmem, "rx_admit")
+			} else {
 				c.Stats.RxRetries++
 				if h.attempts++; h.attempts < rxRetryLimit {
 					continue
@@ -289,6 +296,7 @@ func (c *CAB) tryRx(f hippi.Frame) bool {
 		Scatter: [][]byte{buf[:l]},
 		Prov:    prov,
 		AutoDMA: true,
+		Span:    span,
 		Done: func(*SDMAReq) {
 			if c.OnRx == nil {
 				pk.Free()
@@ -322,6 +330,7 @@ func (c *CAB) rxDeliverDirect(f hippi.Frame) {
 	prov := f.Prov
 	c.eng.AfterKind(c.Mach.DMATime(n), sim.KindDMA, func() {
 		c.Led.TouchP(prov, 0, n, ledger.SDMAToHost, "sdma", ledger.FlagAutoDMA)
+		span.CritEv(obs.CauseDMA, "auto_dma")
 		if c.OnRx == nil {
 			return
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/checksum"
+	"repro/internal/obs"
 	"repro/internal/obs/ledger"
 	"repro/internal/sim"
 	"repro/internal/units"
@@ -60,6 +61,10 @@ type SDMAReq struct {
 	Prov    *ledger.Prov
 	AutoDMA bool
 
+	// Span, when set, receives the transfer's critical-path events
+	// (engine-queue wait, then DMA occupancy) on the packet's causal chain.
+	Span *obs.Span
+
 	// retries counts consecutive failed attempts under fault injection.
 	retries int
 }
@@ -96,6 +101,7 @@ func (c *CAB) SDMA(req *SDMAReq) {
 func (c *CAB) sdmaProc(p *sim.Proc) {
 	for {
 		req := c.sdmaQ.Get(p)
+		req.Span.CritEv(obs.CauseQueue, "sdma_start")
 		n := req.bytes()
 		p.Sleep(c.Mach.DMATime(n))
 		if c.FaultSDMA != nil && c.FaultSDMA() {
@@ -131,6 +137,7 @@ func (c *CAB) sdmaProc(p *sim.Proc) {
 			}
 			c.Led.TouchP(req.Prov, req.PktOff, n, ledger.SDMAToHost, "sdma", fl)
 		}
+		req.Span.CritEv(obs.CauseDMA, "sdma_done")
 		if req.Done != nil {
 			req.Done(req)
 		}

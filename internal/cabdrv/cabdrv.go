@@ -178,6 +178,7 @@ func (d *Driver) Output(ctx kern.Ctx, m *mbuf.Mbuf, dst netif.LinkAddr) {
 		d.Stats.Converted++
 		m = netif.ConvertForLegacy(ctx, m)
 	}
+	m.Span().CritEv(obs.CauseCPU, "txq_put")
 	d.txQ.Put(&txJob{m: m, dst: dst})
 }
 
@@ -187,6 +188,7 @@ func (d *Driver) Output(ctx kern.Ctx, m *mbuf.Mbuf, dst netif.LinkAddr) {
 func (d *Driver) txd(p *sim.Proc) {
 	for {
 		job := d.txQ.Get(p)
+		job.m.Span().CritEv(obs.CauseQueue, "txq_get")
 		if d.SingleCopy {
 			d.sendSingleCopy(p, job)
 		} else {
@@ -211,7 +213,12 @@ func (d *Driver) sendSingleCopy(p *sim.Proc, job *txJob) {
 
 	ipLen := mbuf.ChainLen(m)
 	pktLen := wire.LinkHdrLen + ipLen
+	t0 := d.K.Eng.Now()
 	pk := d.C.AllocPacketWaitFlow(p, pktLen, hdrFlow(hdrH))
+	if d.K.Eng.Now() > t0 {
+		// The allocation blocked on network memory (or its arbiter).
+		m.Span().CritEv(obs.CauseNetmem, "netmem_tx")
+	}
 	// The allocation may have blocked; the connection can tear down and
 	// release the descriptors' pages in the meantime.
 	if txAbandoned(m) {
@@ -252,7 +259,7 @@ func (d *Driver) sendSingleCopy(p *sim.Proc, job *txJob) {
 		pkOff += cur.Len()
 	}
 
-	req := &cab.SDMAReq{Dir: cab.ToCAB, Pkt: pk, Gather: gather, Prov: m.Prov()}
+	req := &cab.SDMAReq{Dir: cab.ToCAB, Pkt: pk, Gather: gather, Prov: m.Prov(), Span: m.Span()}
 	if hdrH != nil && hdrH.NeedCsum {
 		req.Csum = true
 		req.CsumOff = wire.LinkHdrLen + wire.IPHdrLen + hdrH.CsumOff
@@ -359,6 +366,7 @@ func (d *Driver) sendOverlay(job *txJob, op *outPkt, prefixLen units.Size) {
 		Gather:     [][]byte{lh, hb},
 		HeaderOnly: true,
 		Prov:       m.Prov(),
+		Span:       m.Span(),
 	}
 	if hdrH != nil && hdrH.NeedCsum {
 		req.Csum = true
@@ -415,7 +423,11 @@ func (d *Driver) sendLegacy(p *sim.Proc, job *txJob) {
 	m := job.m
 	ipLen := mbuf.ChainLen(m)
 	pktLen := wire.LinkHdrLen + ipLen
+	t0 := d.K.Eng.Now()
 	pk := d.C.AllocPacketWaitFlow(p, pktLen, hdrFlow(m.Hdr()))
+	if d.K.Eng.Now() > t0 {
+		m.Span().CritEv(obs.CauseNetmem, "netmem_tx")
+	}
 
 	lh := make([]byte, wire.LinkHdrLen)
 	wire.LinkHdr{
@@ -429,7 +441,7 @@ func (d *Driver) sendLegacy(p *sim.Proc, job *txJob) {
 	d.pendingTxSDMA++
 	m.Span().Enter(obs.StageSDMA)
 	d.C.SDMA(&cab.SDMAReq{
-		Dir: cab.ToCAB, Pkt: pk, Gather: gather, Prov: m.Prov(),
+		Dir: cab.ToCAB, Pkt: pk, Gather: gather, Prov: m.Prov(), Span: m.Span(),
 		Done: func(*cab.SDMAReq) {
 			d.Stats.TxPackets++
 			sp := m.Span()

@@ -27,6 +27,7 @@ func (d *Driver) rxIntr(ctx kern.Ctx, ev *cab.RxEvent) {
 	ctx.Charge(d.K.Mach.DriverPerPacket, kern.CatDriver)
 	d.Stats.RxPackets++
 	ev.Span.Enter(obs.StageDeliver)
+	ev.Span.CritEv(obs.CauseIntr, "rx_intr")
 
 	lh, err := wire.ParseLinkHdr(ev.Buf[:wire.LinkHdrLen])
 	if err != nil || lh.Type != wire.EtherTypeIP {
@@ -124,6 +125,7 @@ func (d *Driver) rxLegacy(ctx kern.Ctx, ev *cab.RxEvent, pktLen units.Size) {
 		PktOff:  ev.HdrLen,
 		Scatter: scatter,
 		Prov:    ev.Prov,
+		Span:    ev.Span,
 		Done: func(*cab.SDMAReq) {
 			pk.Free()
 			d.K.PostIntr("cab-rx-dma", func(p *sim.Proc) {

@@ -130,6 +130,20 @@ func (tb *Testbed) EnableTelemetry() *obs.Telemetry {
 	return tb.Tel
 }
 
+// EnableCritPath turns on the causal critical-path recorder: data-path
+// spans of every host added afterwards record happens-before events
+// (writer enqueue, tcp_output, SDMA, wire, interrupt, read wakeup) with
+// stall-cause edges, for the internal/obs/critpath analyzer. Implies
+// EnableTelemetry; must run before AddHost.
+func (tb *Testbed) EnableCritPath() *obs.CritRec {
+	if len(tb.Hosts) > 0 {
+		panic("core: EnableCritPath must be called before AddHost")
+	}
+	tb.EnableTelemetry()
+	tb.Tel.EnableCritPath()
+	return tb.Tel.Crit()
+}
+
 // EnableProfiling turns on the virtual-time CPU profiler for every host
 // added afterwards: all kernel CPU charges are attributed to a
 // (host, layer-stack, category, flow) node, exactly — no sampling. It

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/obs/ledger"
+	"repro/internal/sim"
+	"repro/internal/socket"
+	"repro/internal/units"
+)
+
+// flightImage mirrors the FlightDump JSON shape for decoding in tests.
+type flightImage struct {
+	Ledger *struct {
+		NS    int64 `json:"ns"`
+		Hosts []struct {
+			Host    string           `json:"host"`
+			Records []map[string]any `json:"records"`
+		} `json:"hosts"`
+	} `json:"ledger"`
+	Trace *struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	} `json:"trace"`
+}
+
+// runAuditFailure runs a small transfer on the unmodified stack and
+// asserts the single-copy oracle against it — a deterministic audit
+// failure (the unmodified stack CPU-copies every byte). It returns the
+// testbed for post-failure dumping, mirroring how the soak suite reaches
+// FlightDump when an oracle fires.
+func runAuditFailure(t *testing.T, telemetry bool) *Testbed {
+	t.Helper()
+	tb := NewTestbed(9)
+	tb.EnableLedger()
+	if telemetry {
+		tb.EnableTelemetry()
+	}
+	a := tb.AddHost(HostConfig{Name: "A", Addr: addrA, Mode: socket.ModeUnmodified, CABNode: 1})
+	b := tb.AddHost(HostConfig{Name: "B", Addr: addrB, Mode: socket.ModeUnmodified, CABNode: 2})
+	tb.RouteCAB(a, b)
+	const total = 256 * units.KB
+	const ws = 64 * units.KB
+
+	lis := b.Stk.Listen(port)
+	rt := b.NewUserTask("rcv", 0)
+	tb.Eng.Go("rcv", func(p *sim.Proc) {
+		s := b.Accept(p, rt, lis)
+		buf := rt.Space.Alloc(ws, 8)
+		for {
+			if _, err := s.Read(p, buf); err != nil {
+				return
+			}
+		}
+	})
+	st := a.NewUserTask("snd", 0)
+	tb.Eng.Go("snd", func(p *sim.Proc) {
+		s, err := a.Dial(p, st, addrB, port)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		buf := st.Space.Alloc(ws, 8)
+		for sent := units.Size(0); sent < total; sent += ws {
+			if err := s.WriteAll(p, buf); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+		}
+		s.Close(p)
+	})
+	tb.Eng.Run()
+	tb.Eng.KillAll()
+
+	err := tb.Led.AssertSingleCopy(ledger.AuditConfig{
+		Flow: tb.Led.MainFlow(), Total: total,
+		SndHost: "A", RcvHost: "B", Strict: true,
+	})
+	if err == nil {
+		t.Fatal("vacuous: single-copy oracle passed on the unmodified stack")
+	}
+	return tb
+}
+
+// TestFlightDumpOnAuditFailure pins the flight-recorder image taken when
+// an audit oracle fires: valid JSON whose ledger section carries each
+// host's recent records (including the CPU copies that failed the oracle)
+// and whose trace section carries the telemetry tail.
+func TestFlightDumpOnAuditFailure(t *testing.T) {
+	tb := runAuditFailure(t, true)
+	dump := tb.FlightDump()
+
+	var img flightImage
+	if err := json.Unmarshal(dump, &img); err != nil {
+		t.Fatalf("flight dump is not valid JSON: %v\n%s", err, dump)
+	}
+	if img.Ledger == nil {
+		t.Fatal("flight dump has no ledger section despite the ledger being enabled")
+	}
+	if img.Ledger.NS <= 0 {
+		t.Fatalf("flight dump stamped at ns=%d, want the end-of-run virtual time", img.Ledger.NS)
+	}
+	hosts := map[string]int{}
+	sawCopy := false
+	for _, h := range img.Ledger.Hosts {
+		hosts[h.Host] = len(h.Records)
+		for _, r := range h.Records {
+			if h.Host == "A" && r["kind"] == "cpu_copy" {
+				sawCopy = true
+			}
+		}
+	}
+	for _, h := range []string{"A", "B", "wire"} {
+		if hosts[h] == 0 {
+			t.Errorf("flight dump has no recent records for host %q: %v", h, hosts)
+		}
+	}
+	if !sawCopy {
+		t.Error("flight dump's sender window does not show the cpu_copy touches the oracle failed on")
+	}
+	if img.Trace == nil || len(img.Trace.TraceEvents) == 0 {
+		t.Error("flight dump has no trace tail despite telemetry being enabled")
+	}
+
+	// Determinism: the image is a pure function of the run.
+	if string(dump) != string(tb.FlightDump()) {
+		t.Error("two dumps of the same run differ")
+	}
+}
+
+// TestFlightDumpWithoutTelemetry pins the degraded image: with only the
+// ledger enabled the trace section is null, and with nothing enabled both
+// sections are null — the dump never fabricates data.
+func TestFlightDumpWithoutTelemetry(t *testing.T) {
+	tb := runAuditFailure(t, false)
+	var img flightImage
+	if err := json.Unmarshal(tb.FlightDump(), &img); err != nil {
+		t.Fatalf("flight dump is not valid JSON: %v", err)
+	}
+	if img.Ledger == nil {
+		t.Fatal("ledger section missing")
+	}
+	if img.Trace != nil {
+		t.Fatal("trace section should be null without telemetry")
+	}
+
+	bare := NewTestbed(1)
+	if err := json.Unmarshal(bare.FlightDump(), &img); err != nil {
+		t.Fatalf("bare flight dump is not valid JSON: %v", err)
+	}
+}

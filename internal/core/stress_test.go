@@ -8,6 +8,7 @@ import (
 	"repro/internal/cab"
 	"repro/internal/fault"
 	"repro/internal/kern"
+	"repro/internal/obs/ledger"
 	"repro/internal/sim"
 	"repro/internal/socket"
 	"repro/internal/units"
@@ -74,6 +75,88 @@ func TestTinyNetworkMemoryRecovers(t *testing.T) {
 	}
 	if b.CAB.FreePages() != b.CAB.TotalPages() {
 		t.Fatal("pages leaked under memory pressure")
+	}
+}
+
+// TestRxHoldRetryPreservesProvenance pins the ledger attribution of the
+// CAB's hold-and-retry receive path: a frame held on the link under memory
+// pressure carries its *Prov by value in heldRx, and the SDMA touches
+// recorded after the retry finally admits it must still map to stream
+// bytes. A regression that drops the provenance in the hold queue turns
+// every retried frame's delivery into unattributed bytes, which shows up
+// as zero-count gaps in the receiver's per-byte coverage.
+func TestRxHoldRetryPreservesProvenance(t *testing.T) {
+	tb := NewTestbed(50)
+	tb.EnableLedger()
+	small := cab.DefaultConfig()
+	small.MemSize = 256 * units.KB // 32 pages: less than one window
+	a := tb.AddHost(HostConfig{Name: "A", Addr: addrA, Mode: socket.ModeSingleCopy, CABNode: 1})
+	b := tb.AddHost(HostConfig{Name: "B", Addr: addrB, Mode: socket.ModeSingleCopy, CABNode: 2,
+		CABConfig: &small})
+	tb.RouteCAB(a, b)
+	total, ws := units.Size(1*units.MB), units.Size(64*units.KB)
+
+	lis := b.Stk.Listen(port)
+	var got units.Size
+	rt := b.NewUserTask("rcv", 0)
+	tb.Eng.Go("receiver", func(p *sim.Proc) {
+		s := b.Accept(p, rt, lis)
+		buf := rt.Space.Alloc(ws, 8)
+		for {
+			n, err := s.Read(p, buf)
+			got += n
+			if err != nil {
+				return
+			}
+			p.Sleep(5 * units.Millisecond)
+		}
+	})
+	st := a.NewUserTask("snd", 0)
+	tb.Eng.Go("sender", func(p *sim.Proc) {
+		s, err := a.Dial(p, st, addrB, port)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		buf := st.Space.Alloc(ws, 8)
+		for sent := units.Size(0); sent < total; sent += ws {
+			if err := s.WriteAll(p, buf); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+		}
+		s.Close(p)
+	})
+	tb.Eng.Run()
+	tb.Eng.KillAll()
+
+	if got != total {
+		t.Fatalf("delivered %v of %v", got, total)
+	}
+	if b.CAB.Stats.RxRetries == 0 {
+		t.Fatal("vacuous: no frame was ever held and retried")
+	}
+	led := tb.Led
+	flow := led.MainFlow()
+	// Delivery conservation with attribution: every stream byte reached
+	// host B via a *flow-attributed* DMA (or the documented recovery
+	// copy-out). Lost provenance in heldRx would leave the retried frames'
+	// byte ranges uncovered.
+	audit := led.Audit(flow, total)
+	for _, tc := range audit.PerByte(func(r ledger.Record) bool {
+		return r.Host == "B" && (r.Kind == ledger.SDMAToHost || r.Kind == ledger.CPUCopy)
+	}) {
+		if tc.N == 0 {
+			t.Fatalf("bytes [%d,%d) were delivered with no attributed record: provenance lost across the rx-hold retry",
+				int64(tc.Off), int64(tc.Off+tc.Len))
+		}
+	}
+	// The full single-copy oracle must still certify the run (loose mode:
+	// memory-pressure drops force retransmissions).
+	if err := led.AssertSingleCopy(ledger.AuditConfig{
+		Flow: flow, Total: total, SndHost: "A", RcvHost: "B",
+	}); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -100,6 +100,9 @@ type Scenario struct {
 	// EngObs, when set, attaches the simulator meta-observer to the run's
 	// engine (simbench measures engine work under many-flow load with it).
 	EngObs *engine.Observer
+	// CritPath enables the causal critical-path recorder on the run's
+	// testbed; it comes back as Report.Crit for the critpath analyzer.
+	CritPath bool
 }
 
 // normalized fills defaults and validates.
@@ -243,6 +246,9 @@ func (r *runner) build() {
 	}
 	if s.EngObs != nil {
 		r.tb.EnableEngineObs(s.EngObs)
+	}
+	if s.CritPath {
+		r.tb.EnableCritPath()
 	}
 	node := hippi.NodeID(1)
 	addHost := func(name string, addr wire.Addr) *host {

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/socket"
 	"repro/internal/units"
 )
@@ -70,6 +71,11 @@ type Report struct {
 	GoodputMaxMbps  float64 `json:"goodput_max_mbps"`
 	LatP50Us        float64 `json:"lat_p50_us"`
 	LatP99Us        float64 `json:"lat_p99_us"`
+	LatP999Us       float64 `json:"lat_p999_us"`
+	// LatHist is the full aggregate latency histogram (bucket upper bounds
+	// in ns with cumulative-ready counts), so report consumers can compute
+	// any quantile instead of the three precomputed ones.
+	LatHist *obs.HistSnapshot `json:"lat_hist,omitempty"`
 
 	Jain    float64 `json:"jain"`
 	Starved int     `json:"starved"`
@@ -86,6 +92,10 @@ type Report struct {
 	OrderDigest string `json:"order_digest"`
 
 	PerFlow []FlowReport `json:"per_flow,omitempty"`
+
+	// Crit is the causal recorder when Scenario.CritPath was set (never
+	// marshaled; the critpath analyzer consumes it directly).
+	Crit *obs.CritRec `json:"-"`
 }
 
 // JSON renders the report with stable formatting.
@@ -208,6 +218,9 @@ func (r *runner) report() *Report {
 	if r.aggLat.Count() > 0 {
 		rep.LatP50Us = round(float64(r.aggLat.Quantile(0.50))/float64(units.Microsecond), 2)
 		rep.LatP99Us = round(float64(r.aggLat.Quantile(0.99))/float64(units.Microsecond), 2)
+		rep.LatP999Us = round(float64(r.aggLat.Quantile(0.999))/float64(units.Microsecond), 2)
+		snap := r.aggLat.Snapshot()
+		rep.LatHist = &snap
 	}
 
 	// Fairness over TCP flows when present (the arbiter's subjects);
@@ -228,6 +241,9 @@ func (r *runner) report() *Report {
 	}
 	rep.Errors += r.frameErrs
 	rep.OrderDigest = r.digest.hex()
+	if s.CritPath {
+		rep.Crit = r.tb.Tel.Crit()
+	}
 
 	if len(r.flows) <= perFlowLimit {
 		for _, f := range r.flows {

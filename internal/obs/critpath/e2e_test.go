@@ -1,0 +1,104 @@
+package critpath_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/obs"
+	"repro/internal/obs/critpath"
+	"repro/internal/socket"
+	"repro/internal/ttcp"
+	"repro/internal/units"
+)
+
+// critRun performs one fig5-style transfer with the causal recorder on and
+// returns the recorder.
+func critRun(mode socket.Mode, seed int64) *obs.CritRec {
+	tb := core.NewTestbed(seed)
+	rec := tb.EnableCritPath()
+	a := tb.AddHost(core.HostConfig{Name: "A", Addr: 0x0a000001, Mach: cost.Alpha400(),
+		Mode: mode, CABNode: 1})
+	b := tb.AddHost(core.HostConfig{Name: "B", Addr: 0x0a000002, Mach: cost.Alpha400(),
+		Mode: mode, CABNode: 2})
+	tb.RouteCAB(a, b)
+	ttcp.Run(tb, a, b, ttcp.Params{Total: 512 * units.KB, RWSize: 64 * units.KB})
+	return rec
+}
+
+// TestExactAttribution is the acceptance check: on a clean transfer, every
+// completed read's cause-class attribution sums exactly (±0 ns) to its
+// end-to-end latency, in both stack modes; and the single-copy sender's
+// critical path carries zero cpu-copy and cpu-csum edges.
+func TestExactAttribution(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mode socket.Mode
+	}{
+		{"unmodified", socket.ModeUnmodified},
+		{"single_copy", socket.ModeSingleCopy},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := critpath.Analyze(critRun(tc.mode, 42))
+			if len(rep.Paths) == 0 {
+				t.Fatal("no completed transfers recorded")
+			}
+			sawWrite := false
+			for i := range rep.Paths {
+				p := &rep.Paths[i]
+				if p.Kind != "read_done" {
+					t.Fatalf("path %d completes at %q, want read_done", i, p.Kind)
+				}
+				var sum units.Time
+				for c := obs.Cause(0); c < obs.NumCauses; c++ {
+					sum += p.ByCause[c]
+				}
+				if sum != p.Total() {
+					t.Fatalf("path %d: cause sum %v != end-to-end %v (residue %v)",
+						i, sum, p.Total(), p.Total()-sum)
+				}
+				for _, s := range p.Steps {
+					if s.Kind == "write_start" {
+						sawWrite = true
+					}
+					if s.Dur < 0 {
+						t.Fatalf("path %d: negative edge %v into %s", i, s.Dur, s.Kind)
+					}
+				}
+				if tc.mode == socket.ModeSingleCopy {
+					if c := p.CauseOn("A", obs.CauseCPUCopy); c != 0 {
+						t.Errorf("path %d: single-copy sender has %v of cpu-copy on the critical path", i, c)
+					}
+					if c := p.CauseOn("A", obs.CauseCPUCsum); c != 0 {
+						t.Errorf("path %d: single-copy sender has %v of cpu-csum on the critical path", i, c)
+					}
+				}
+			}
+			if !sawWrite {
+				t.Error("no critical path reaches back to the sender's write_start")
+			}
+			if tc.mode == socket.ModeUnmodified {
+				if rep.ByCause[obs.CauseCPUCopy] == 0 {
+					t.Error("unmodified stack shows no cpu-copy time on any critical path")
+				}
+			}
+		})
+	}
+}
+
+// TestDeterministic pins that the same seed yields byte-identical analysis
+// output (text and Chrome export), so committed baselines are exact-diffable.
+func TestDeterministic(t *testing.T) {
+	r1 := critpath.Analyze(critRun(socket.ModeSingleCopy, 7))
+	r2 := critpath.Analyze(critRun(socket.ModeSingleCopy, 7))
+	var t1, t2 bytes.Buffer
+	r1.WriteText(&t1, true)
+	r2.WriteText(&t2, true)
+	if !bytes.Equal(t1.Bytes(), t2.Bytes()) {
+		t.Fatal("same-seed runs produced different waterfall text")
+	}
+	if !bytes.Equal(r1.ChromeJSON(), r2.ChromeJSON()) {
+		t.Fatal("same-seed runs produced different Chrome exports")
+	}
+}

@@ -49,6 +49,24 @@ type Trace struct {
 	latency   Histogram
 	stageTime [numStages]units.Time
 	stageN    [numStages]int64
+	crit      *CritRec
+}
+
+// EnableCrit attaches a causal critical-path recorder to the trace. Spans
+// started afterwards carry it, so their CritEv calls record happens-before
+// events; with it unset (the default) every crit hook is a nil no-op.
+func (t *Trace) EnableCrit() {
+	if t != nil && t.crit == nil {
+		t.crit = NewCritRec(t.now)
+	}
+}
+
+// Crit returns the trace's causal recorder (nil when not enabled).
+func (t *Trace) Crit() *CritRec {
+	if t == nil {
+		return nil
+	}
+	return t.crit
 }
 
 // NewTrace returns a trace clocked by now.
@@ -119,9 +137,12 @@ type Span struct {
 	open     bool
 	rtx      bool
 	done     bool
+	silent   bool
 	flow     int
 	desc     int64
 	off, len int64
+	crit     *CritRec
+	critCur  int32
 }
 
 // StartSpan opens a span originating on host, beginning now.
@@ -139,7 +160,21 @@ func (t *Trace) StartSpanAt(host string, at units.Time) *Span {
 		return nil
 	}
 	t.nextID++
-	return &Span{tr: t, id: t.nextID, host: host, start: at}
+	return &Span{tr: t, id: t.nextID, host: host, start: at, crit: t.crit}
+}
+
+// StartCarrier opens a causal carrier span on host: a silent span that
+// rides a packet which carries no traced payload (a pure ACK) solely so
+// its critical-path events cross the wire with it. It emits no Chrome
+// events and counts toward no stage or latency statistics — baselines stay
+// byte-identical — and exists only when the causal recorder is enabled.
+func (t *Trace) StartCarrier(host string) *Span {
+	if t == nil || t.crit == nil {
+		return nil
+	}
+	sp := t.StartSpanAt(host, t.now())
+	sp.silent = true
+	return sp
 }
 
 // MarkRetransmit tags the span as a retransmission (carried into its trace
@@ -203,17 +238,21 @@ func (s *Span) EnterOn(stage Stage, host string) {
 	}
 	at := s.tr.now()
 	if host != "" && host != s.host {
-		s.closeStage(at)
-		ts := micros(at)
-		s.tr.emit(chromeEvent{
-			Name: "xfer", Ph: "s", Cat: "dataflow", ID: s.id, TS: ts,
-			PID: s.host, TID: stageNames[s.cur], Args: s.args(),
-		})
-		s.host = host
-		s.tr.emit(chromeEvent{
-			Name: "xfer", Ph: "f", Cat: "dataflow", ID: s.id, BP: "e", TS: ts,
-			PID: s.host, TID: stageNames[stage], Args: s.args(),
-		})
+		if s.silent {
+			s.host = host
+		} else {
+			s.closeStage(at)
+			ts := micros(at)
+			s.tr.emit(chromeEvent{
+				Name: "xfer", Ph: "s", Cat: "dataflow", ID: s.id, TS: ts,
+				PID: s.host, TID: stageNames[s.cur], Args: s.args(),
+			})
+			s.host = host
+			s.tr.emit(chromeEvent{
+				Name: "xfer", Ph: "f", Cat: "dataflow", ID: s.id, BP: "e", TS: ts,
+				PID: s.host, TID: stageNames[stage], Args: s.args(),
+			})
+		}
 	}
 	s.EnterAt(stage, at)
 }
@@ -224,6 +263,10 @@ func (s *Span) args() evArgs {
 
 func (s *Span) closeStage(end units.Time) {
 	if !s.open {
+		return
+	}
+	if s.silent {
+		s.open = false
 		return
 	}
 	d := end - s.curStart
@@ -250,8 +293,63 @@ func (s *Span) End() {
 	end := s.tr.now()
 	s.closeStage(end)
 	s.done = true
+	if s.silent {
+		return
+	}
 	s.tr.spans++
 	s.tr.latency.Observe(end - s.start)
+}
+
+// CritEv records a critical-path event on the span's causal chain: its
+// binding parent is the span's current chain cursor (the previous event
+// recorded on this span, or whatever SetCritCur seeded) and the returned
+// id becomes the new cursor. Valid after End — receive-side processing
+// continues a packet's chain after the data-path span has closed. A nil
+// span, or one whose trace has no recorder, is a free no-op.
+func (s *Span) CritEv(cause Cause, kind string) int32 {
+	if s == nil || s.crit == nil {
+		return 0
+	}
+	s.critCur = s.crit.Ev(s.critCur, cause, kind, s.host, s.flow, s.off, s.len)
+	return s.critCur
+}
+
+// CritEvJoin is CritEv with a second dependency: the event waited for both
+// the span's chain cursor (under cause c1) and event p2 (under cause c2).
+// The later-finishing parent binds; the other is kept as a slack edge.
+func (s *Span) CritEvJoin(c1 Cause, p2 int32, c2 Cause, kind string) int32 {
+	if s == nil || s.crit == nil {
+		return 0
+	}
+	s.critCur = s.crit.EvJoin(s.critCur, c1, p2, c2, kind, s.host, s.flow, s.off, s.len)
+	return s.critCur
+}
+
+// CritCur returns the span's causal chain cursor (0 when no event has been
+// recorded).
+func (s *Span) CritCur() int32 {
+	if s == nil {
+		return 0
+	}
+	return s.critCur
+}
+
+// SetCritCur seeds the span's causal chain cursor with an event recorded
+// outside the span (e.g. the socket writer's enqueue event), so the span's
+// first CritEv hangs off it.
+func (s *Span) SetCritCur(id int32) {
+	if s != nil {
+		s.critCur = id
+	}
+}
+
+// CritHost returns the host label the span currently runs on, for causal
+// events recorded off-span.
+func (s *Span) CritHost() string {
+	if s == nil {
+		return ""
+	}
+	return s.host
 }
 
 // StageStat is one stage's exported aggregate.

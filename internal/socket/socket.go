@@ -84,6 +84,14 @@ type Socket struct {
 	ctrUIOWrites, ctrCopyWrites   *obs.Counter
 	ctrUIOReads, ctrCopyReads     *obs.Counter
 	ctrAlignedWrites, ctrDMAWaits *obs.Counter
+
+	// Causal critical-path recorder (nil unless enabled) and the writer and
+	// reader happens-before chain cursors: each recorded event's binding
+	// parent is the previous event on its chain, so the gap between them is
+	// attributed to the edge's cause class.
+	crit       *obs.CritRec
+	critHost   string
+	wCur, rCur int32
 }
 
 // NewSocket wraps an established connection.
@@ -99,8 +107,47 @@ func NewSocket(k *kern.Kernel, vm *kern.VM, task *kern.Task, conn *tcpip.TCPConn
 		s.ctrCopyReads = r.Counter("socket.copy_reads")
 		s.ctrAlignedWrites = r.Counter("socket.aligned_writes")
 		s.ctrDMAWaits = r.Counter("socket.dma_wait_wakeups")
+		s.crit = r.TraceSink().Crit()
+		s.critHost = r.Host()
 	}
 	return s
+}
+
+// critEv appends one event to the writer or reader causal chain.
+func (s *Socket) critEv(parent int32, cause obs.Cause, kind string, flow int, off, n units.Size) int32 {
+	return s.crit.Ev(parent, cause, kind, s.critHost, flow, int64(off), int64(n))
+}
+
+// critNow samples virtual time for stall detection (0 when the recorder is
+// off, so disabled runs skip the clock reads entirely).
+func (s *Socket) critNow() units.Time {
+	if s.crit == nil {
+		return 0
+	}
+	return s.K.Eng.Now()
+}
+
+// critSndWake records the writer's wakeup from a send-space stall entered
+// at t0 (no event when the wait never blocked). Send-buffer space frees on
+// acknowledgement, so the stall binds to the peer's ACK clock; the writer's
+// own chain survives as a slack edge.
+func (s *Socket) critSndWake(t0 units.Time) {
+	if s.crit == nil || s.K.Eng.Now() <= t0 {
+		return
+	}
+	c := s.Conn
+	s.wCur = s.crit.EvJoin(s.wCur, obs.CauseApp, c.CritAckEv(), obs.CauseAckClock,
+		"snd_wake", s.critHost, int(c.LocalPort()), int64(c.AppendStreamOff()), 0)
+}
+
+// critSndAdmit records a netmem-arbiter admission stall entered at t0.
+func (s *Socket) critSndAdmit(t0 units.Time, chunk units.Size) {
+	if s.crit == nil || s.K.Eng.Now() <= t0 {
+		return
+	}
+	c := s.Conn
+	s.wCur = s.critEv(s.wCur, obs.CauseNetmem, "snd_admit",
+		int(c.LocalPort()), c.AppendStreamOff(), chunk)
 }
 
 // tracker is the outstanding-DMA (UIO) counter that synchronizes
@@ -146,6 +193,12 @@ func (s *Socket) chunkSize() units.Size {
 func (s *Socket) Write(p *sim.Proc, buf mem.Buf) (units.Size, error) {
 	ctx := s.K.TaskCtx(p, s.Task).In("socket").WithFlow(int(s.Conn.LocalPort()))
 	ctx.Charge(s.K.Mach.SyscallCost, kern.CatSyscall)
+	if s.crit != nil {
+		// The gap since the writer's previous event is the application's
+		// own time (or, for the first write, the chain root).
+		s.wCur = s.critEv(s.wCur, obs.CauseApp, "write_start",
+			int(s.Conn.LocalPort()), s.Conn.AppendStreamOff(), buf.Len)
+	}
 
 	u := mem.NewUIO(buf)
 	aligned := u.AlignedTo(0, buf.Len, 4) // word alignment (Section 4.5)
@@ -201,9 +254,11 @@ func (s *Socket) writeCopy(ctx kern.Ctx, u *mem.UIO, buf mem.Buf) (units.Size, e
 	ctx = ctx.OnStream(int(c.LocalPort()), c.AppendStreamOff())
 	boundary := true
 	for sent := units.Size(0); sent < total; {
+		t0 := s.critNow()
 		if err := c.WaitSndSpace(ctx.P); err != nil {
 			return sent, err
 		}
+		s.critSndWake(t0)
 		chunk := total - sent
 		if avail := c.SndAvail(); chunk > avail {
 			chunk = avail
@@ -214,7 +269,9 @@ func (s *Socket) writeCopy(ctx kern.Ctx, u *mem.UIO, buf mem.Buf) (units.Size, e
 		// Per-flow netmem admission (no-op without an arbiter): throttle
 		// here, above the shared transmit daemon, so an over-share flow
 		// blocks only its own writer.
+		t0 = s.critNow()
 		c.AdmitSnd(ctx.P, chunk)
+		s.critSndAdmit(t0, chunk)
 		ctx.Charge(s.K.Mach.SocketPerPacket, kern.CatProto)
 		var head, tail *mbuf.Mbuf
 		for off := units.Size(0); off < chunk; off += mbuf.MCLBYTES {
@@ -233,8 +290,19 @@ func (s *Socket) writeCopy(ctx kern.Ctx, u *mem.UIO, buf mem.Buf) (units.Size, e
 			}
 			tail = cl
 		}
+		if s.crit != nil {
+			// The chunk's bytes became sendable when the CPU finished
+			// copying them into kernel clusters: a data-touching CPU edge.
+			s.wCur = s.critEv(s.wCur, obs.CauseCPUCopy, "sock_copy",
+				int(c.LocalPort()), c.AppendStreamOff(), chunk)
+			head.SetCritEv(s.wCur)
+		}
 		if err := c.Append(ctx, head, chunk, boundary); err != nil {
 			return sent, err
+		}
+		if s.crit != nil {
+			s.wCur = s.critEv(s.wCur, obs.CauseCPU, "sock_append",
+				int(c.LocalPort()), c.AppendStreamOff(), chunk)
 		}
 		boundary = false
 		sent += chunk
@@ -252,10 +320,12 @@ func (s *Socket) writeUIO(ctx kern.Ctx, u *mem.UIO, buf mem.Buf) (units.Size, er
 	var pinned []mem.Iovec
 	boundary := true
 	for sent := units.Size(0); sent < total; {
+		t0 := s.critNow()
 		if err := c.WaitSndSpace(ctx.P); err != nil {
 			s.unpinAll(ctx, u, pinned)
 			return sent, err
 		}
+		s.critSndWake(t0)
 		chunk := total - sent
 		if avail := c.SndAvail(); chunk > avail {
 			chunk = avail
@@ -265,7 +335,9 @@ func (s *Socket) writeUIO(ctx kern.Ctx, u *mem.UIO, buf mem.Buf) (units.Size, er
 		}
 		// Per-flow netmem admission before committing the chunk (see
 		// writeCopy).
+		t0 = s.critNow()
 		c.AdmitSnd(ctx.P, chunk)
+		s.critSndAdmit(t0, chunk)
 		// The socket layer, which has the application context OSF/1
 		// drivers lack, maps the chunk into kernel space and pins it for
 		// DMA (Section 4.4.1).
@@ -275,11 +347,22 @@ func (s *Socket) writeUIO(ctx kern.Ctx, u *mem.UIO, buf mem.Buf) (units.Size, er
 		pinned = append(pinned, mem.Iovec{Addr: sent, Len: chunk})
 		trk.add(chunk)
 		ctx.Charge(s.K.Mach.SocketPerPacket, kern.CatProto)
-		m := mbuf.NewUIO(u, sent, chunk, &mbuf.Hdr{Owner: trk, DescID: s.K.Led.NextDesc()})
+		if s.crit != nil {
+			// Map+pin is CPU work, but it never touches the payload bytes:
+			// a plain cpu edge, not cpu-copy — the sender-side difference
+			// the single-copy critical path exists to show.
+			s.wCur = s.critEv(s.wCur, obs.CauseCPU, "sock_pin",
+				int(c.LocalPort()), c.AppendStreamOff(), chunk)
+		}
+		m := mbuf.NewUIO(u, sent, chunk, &mbuf.Hdr{Owner: trk, DescID: s.K.Led.NextDesc(), CritEv: s.wCur})
 		if err := c.Append(ctx, m, chunk, boundary); err != nil {
 			trk.DMADone(chunk) // never issued
 			s.unpinAll(ctx, u, pinned)
 			return sent, err
+		}
+		if s.crit != nil {
+			s.wCur = s.critEv(s.wCur, obs.CauseCPU, "sock_append",
+				int(c.LocalPort()), c.AppendStreamOff(), chunk)
 		}
 		boundary = false
 		sent += chunk
@@ -290,6 +373,12 @@ func (s *Socket) writeUIO(ctx kern.Ctx, u *mem.UIO, buf mem.Buf) (units.Size, er
 		s.ctrDMAWaits.Inc()
 	}
 	trk.wait(ctx.P)
+	if s.crit != nil {
+		// The write returned once the last outstanding SDMA secured the
+		// data outboard: the blocked span is DMA time.
+		s.wCur = s.critEv(s.wCur, obs.CauseDMA, "write_ret",
+			int(c.LocalPort()), c.AppendStreamOff(), total)
+	}
 	s.unpinAll(ctx, u, pinned)
 	return total, nil
 }
@@ -310,11 +399,23 @@ func (s *Socket) Read(p *sim.Proc, buf mem.Buf) (units.Size, error) {
 	ctx := s.K.TaskCtx(p, s.Task).In("socket").WithFlow(int(s.Conn.LocalPort()))
 	ctx.Charge(s.K.Mach.SyscallCost, kern.CatSyscall)
 	c := s.Conn
+	if s.crit != nil {
+		s.rCur = s.critEv(s.rCur, obs.CauseApp, "read_start",
+			int(c.RemotePort()), c.RcvDequeued(), buf.Len)
+	}
 	if !c.WaitRcvData(p) {
 		if c.Err != nil {
 			return 0, c.Err
 		}
 		return 0, ErrEOF
+	}
+	if s.crit != nil {
+		// The reader proceeds once data is queued: if it slept, the wakeup
+		// binds to the segment-arrival event that signaled it (a scheduling
+		// edge); if data was already waiting, the arrival survives as the
+		// slack edge and the reader's own chain binds.
+		s.rCur = s.crit.EvJoin(s.rCur, obs.CauseApp, c.CritRcvEv(), obs.CauseSched,
+			"rcv_wake", s.critHost, int(c.RemotePort()), int64(c.RcvDequeued()), 0)
 	}
 	// Ledger attribution: the dequeued chain starts at the stream offset of
 	// the bytes consumed so far; flows are keyed by the data sender's local
@@ -327,6 +428,14 @@ func (s *Socket) Read(p *sim.Proc, buf mem.Buf) (units.Size, error) {
 	u := mem.NewUIO(buf)
 	s.copyOut(ctx.OnStream(int(c.RemotePort()), base), u, chain, n)
 	mbuf.FreeChain(chain)
+	if s.crit != nil {
+		// The message is in the application's buffer: a completion point
+		// the critical-path analyzer back-walks from.
+		s.rCur = s.critEv(s.rCur, obs.CauseCPU, "read_done",
+			int(c.RemotePort()), base, n)
+		s.crit.MarkDone(s.rCur)
+		c.SetCritRdEv(s.rCur)
+	}
 	c.WindowUpdate(ctx)
 	return n, nil
 }
@@ -340,10 +449,12 @@ func (s *Socket) copyOut(ctx kern.Ctx, u *mem.UIO, chain *mbuf.Mbuf, n units.Siz
 	var pinned []mem.Iovec
 	off := units.Size(0)
 	sawDMA := false
+	didCopy := false
 	for m := chain; m != nil; m = m.Next() {
 		ln := m.Len()
 		switch m.Type() {
 		case mbuf.TData, mbuf.TCluster:
+			didCopy = true
 			ctx.CopyToUIO(u, off, m.Bytes(), n)
 		case mbuf.TWCAB:
 			w := m.WCABRef()
@@ -364,12 +475,17 @@ func (s *Socket) copyOut(ctx kern.Ctx, u *mem.UIO, chain *mbuf.Mbuf, n units.Siz
 				// Fallback: read outboard data with the CPU.
 				s.CopyReads++
 				s.ctrCopyReads.Inc()
+				didCopy = true
 				ctx.CopyToUIO(u, off, w.ReadFn(m.Off(), ln), n)
 			}
 		case mbuf.TUIO:
 			panic("socket: M_UIO mbuf in receive buffer")
 		}
 		off += ln
+	}
+	if didCopy && s.crit != nil {
+		s.rCur = s.critEv(s.rCur, obs.CauseCPUCopy, "read_copy",
+			int(s.Conn.RemotePort()), 0, n)
 	}
 	if sawDMA {
 		// The last SDMA is flagged to interrupt so the process can be
@@ -379,6 +495,11 @@ func (s *Socket) copyOut(ctx kern.Ctx, u *mem.UIO, chain *mbuf.Mbuf, n units.Siz
 			s.ctrDMAWaits.Inc()
 		}
 		trk.wait(ctx.P)
+		if s.crit != nil {
+			// The read's outboard ranges landed in the user buffer by SDMA.
+			s.rCur = s.critEv(s.rCur, obs.CauseDMA, "read_dma",
+				int(s.Conn.RemotePort()), 0, n)
+		}
 		for _, r := range pinned {
 			s.VM.UnpinUIO(ctx, u, r.Addr, r.Len)
 		}

@@ -3,6 +3,7 @@ package tcpip
 import (
 	"repro/internal/kern"
 	"repro/internal/mbuf"
+	"repro/internal/obs"
 	"repro/internal/units"
 	"repro/internal/wire"
 )
@@ -136,6 +137,16 @@ func (c *TCPConn) segInput(ctx kern.Ctx, hdr wire.TCPHdr, payload *mbuf.Mbuf, se
 		return
 	}
 
+	if crit := c.stk.crit; crit != nil && hdr.Flags&wire.FlagACK != 0 &&
+		seqGT(hdr.Ack, c.sndUna) && seqLEQ(hdr.Ack, c.sndMax) {
+		if sp := payload.Span(); sp != nil {
+			// A new-data acknowledgement arrived: the sender's ACK clock
+			// ticks. Segments (and writer wakeups) it releases bind here.
+			c.critAck = sp.CritEv(obs.CauseCPU, "ack_in")
+			c.critTrig, c.critTrigC = c.critAck, obs.CauseAckClock
+		}
+	}
+
 	if hdr.Flags&wire.FlagACK != 0 {
 		if seglen == 0 && hdr.Flags == wire.FlagACK && hdr.Ack == c.sndUna &&
 			c.state >= StateEstablished && seqGT(c.sndMax, c.sndUna) &&
@@ -159,6 +170,11 @@ func (c *TCPConn) segInput(ctx kern.Ctx, hdr wire.TCPHdr, payload *mbuf.Mbuf, se
 	}
 
 	if c.ackNow {
+		if c.stk.crit != nil && c.critRcv != 0 {
+			// Immediate ACK generation: triggered by the data (or FIN) this
+			// segment delivered.
+			c.critTrig, c.critTrigC = c.critRcv, obs.CauseCPU
+		}
 		c.Output(ctx)
 	}
 }
@@ -221,6 +237,11 @@ func (c *TCPConn) processAck(ctx kern.Ctx, hdr wire.TCPHdr) {
 			c.cancelPersist()
 		}
 		if opened {
+			if c.stk.crit != nil {
+				// The peer's window opened: segments released here are
+				// ACK-clocked.
+				c.critTrig, c.critTrigC = c.critAck, obs.CauseAckClock
+			}
 			c.Output(ctx)
 		}
 	}
@@ -254,6 +275,13 @@ func (c *TCPConn) processData(ctx kern.Ctx, seq uint32, payload *mbuf.Mbuf, segl
 			mbuf.FreeChain(payload)
 			c.ackNow = true
 			return
+		}
+		if c.stk.crit != nil {
+			if sp := payload.Span(); sp != nil {
+				// In-order data reached the receive buffer; read wakeups
+				// and the ACK it provokes hang off this event.
+				c.critRcv = sp.CritEv(obs.CauseCPU, "rcv_enq")
+			}
 		}
 		c.enqueueRcv(payload, seglen)
 		if fin {
@@ -295,6 +323,13 @@ func (c *TCPConn) pullReassembly(ctx kern.Ctx) {
 		for i, seg := range c.reass {
 			if seg.seq == c.rcvNxt {
 				c.reass = append(c.reass[:i], c.reass[i+1:]...)
+				if c.stk.crit != nil {
+					if sp := seg.chain.Span(); sp != nil {
+						// Held out-of-order data became readable only once
+						// the gap filled: a reassembly-queue wait.
+						c.critRcv = sp.CritEv(obs.CauseQueue, "reass_pull")
+					}
+				}
 				c.enqueueRcv(seg.chain, seg.len)
 				if seg.fin {
 					c.acceptFin(ctx)

@@ -83,6 +83,7 @@ type Stack struct {
 	// Telemetry (all nil when disabled — the hot paths then skip every
 	// telemetry branch without allocating).
 	tr              *obs.Trace
+	crit            *obs.CritRec
 	ctrRtoFires     *obs.Counter
 	ctrDupAcks      *obs.Counter
 	ctrWindowStalls *obs.Counter
@@ -117,6 +118,7 @@ func NewStack(k *kern.Kernel, addr wire.Addr) *Stack {
 	}
 	if r := k.Obs; r != nil {
 		s.tr = r.TraceSink()
+		s.crit = s.tr.Crit()
 		s.gSndQ = r.Gauge("tcp.snd_q")
 		s.gRcvQ = r.Gauge("tcp.rcv_q")
 		s.gSndWnd = r.Gauge("tcp.snd_wnd")
@@ -357,6 +359,9 @@ func (s *Stack) verifyTransportCsum(ctx kern.Ctx, m *mbuf.Mbuf, iph wire.IPHdr, 
 	ps := pseudoSum(iph.Src, iph.Dst, proto, segLen)
 	if h := m.Hdr(); h != nil && h.HWRxValid {
 		s.Stats.HWCsumVerified++
+		// The hardware summed the body in flight: the host touched only
+		// the header — a plain cpu edge on the segment's causal chain.
+		m.Span().CritEv(obs.CauseCPU, "tcp_in")
 		return checksum.VerifySum(checksum.Add(ps, h.HWRxSum))
 	}
 	s.Stats.SWCsumVerified++
@@ -369,6 +374,9 @@ func (s *Stack) verifyTransportCsum(ctx kern.Ctx, m *mbuf.Mbuf, iph wire.IPHdr, 
 		ctx = ctx.OnStreamProv(pv, pv.Off-(segLen-pv.Len))
 	}
 	sum := ctx.ChecksumRead(buf, segLen)
+	// Software verification read every payload byte: the data-touching CPU
+	// time the single-copy path eliminates.
+	m.Span().CritEv(obs.CauseCPUCsum, "tcp_in")
 	return checksum.VerifySum(checksum.Add(ps, sum))
 }
 

@@ -147,6 +147,25 @@ func (c *TCPConn) sendSegmentRaw(ctx kern.Ctx, seq uint32, seglen units.Size, fl
 		span.SetDesc(firstDescID(data))
 		span.Enter(obs.StagePacketize)
 	}
+	if crit := c.stk.crit; crit != nil {
+		if span != nil {
+			// The segment could be cut once its data was enqueued (the
+			// writer's event, via the queue edge: time the bytes sat in the
+			// send buffer) AND its trigger fired (append, ACK, window open,
+			// timer); the later of the two binds.
+			span.SetCritCur(c.critEvFor(seq))
+			span.CritEvJoin(obs.CauseQueue, c.critTrig, c.critTrigC, "tcp_output")
+		} else {
+			// Data-less segment (pure ACK, control): open a silent carrier
+			// span so the ACK's causal chain rides the wire with it.
+			span = c.stk.tr.StartCarrier(c.stk.K.Name)
+			span.SetFlow(int(c.key.lport))
+			span.SetCritCur(c.critTrig)
+			span.CritEv(c.critTrigC, "ack_gen")
+		}
+		// Later segments of the same burst queue behind this one's CPU.
+		c.critTrig, c.critTrigC = span.CritCur(), obs.CauseCPU
+	}
 	singleCopy, _ := c.stk.RouteCaps(c.key.raddr)
 	segTotal := wire.TCPHdrLen + seglen
 	wnd := c.rcvSpace()
@@ -208,6 +227,9 @@ func (c *TCPConn) sendSegmentRaw(ctx kern.Ctx, seq uint32, seglen units.Size, fl
 				csCtx = ctx.OnStreamProv(prov, prov.Off)
 			}
 			sum = checksum.Combine(sum, csCtx.ChecksumRead(buf, region), int(wire.TCPHdrLen))
+			// The CPU read every payload byte to checksum it — the
+			// data-touching edge absent from the single-copy sender.
+			span.CritEv(obs.CauseCPUCsum, "tcp_csum")
 		}
 		hdr.Csum = checksum.Finish(sum)
 		hdr.Marshal(hb)

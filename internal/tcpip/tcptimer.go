@@ -2,6 +2,7 @@ package tcpip
 
 import (
 	"repro/internal/kern"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/units"
 	"repro/internal/wire"
@@ -42,6 +43,12 @@ func (c *TCPConn) cancelRtx() {
 // exponential backoff.
 func (c *TCPConn) rtxTimeout(ctx kern.Ctx) {
 	c.stk.ctrRtoFires.Inc()
+	if crit := c.stk.crit; crit != nil {
+		// The dead time since the last forward progress (the previous
+		// ACK, or connection start) is charged to the RTO.
+		ev := crit.Ev(c.critAck, obs.CauseRTO, "rto_fire", c.stk.K.Name, int(c.key.lport), 0, 0)
+		c.critTrig, c.critTrigC = ev, obs.CauseCPU
+	}
 	c.retries++
 	if c.retries > maxRetries {
 		c.teardown(ErrConnTimeout)
@@ -103,6 +110,10 @@ func (c *TCPConn) cancelPersist() {
 // persistProbe forces one byte into a zero window so a lost window update
 // cannot deadlock the connection.
 func (c *TCPConn) persistProbe(ctx kern.Ctx) {
+	if crit := c.stk.crit; crit != nil {
+		ev := crit.Ev(c.critAck, obs.CausePersist, "persist_probe", c.stk.K.Name, int(c.key.lport), 0, 0)
+		c.critTrig, c.critTrigC = ev, obs.CauseCPU
+	}
 	off := seqDiff(c.sndNxt, c.sndUna)
 	if c.finSent && off > 0 {
 		off--
@@ -137,6 +148,11 @@ func (c *TCPConn) armDelAck() {
 				return
 			}
 			c.ackNow = true
+			if c.stk.crit != nil {
+				// The ACK was withheld by the delayed-ACK policy; charge
+				// the wait since the data that earned it arrived.
+				c.critTrig, c.critTrigC = c.critRcv, obs.CauseDelAck
+			}
 			c.Output(c.stk.K.IntrCtx(p).In("tcp_timer"))
 		})
 	})
