@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench benchcheck simbench critpath soak audit obs-race load load-race ci
+.PHONY: all build vet test race bench-smoke bench benchcheck simbench critpath recover soak audit obs-race load load-race ci
 
 all: build
 
@@ -57,6 +57,18 @@ critpath:
 	$(GO) run ./cmd/experiments -exp critpath -benchdir .critfresh
 	$(GO) run ./cmd/benchdiff -baseline . -fresh .critfresh BENCH_critpath.json
 
+# The fault-domain recovery gate: run the partition/heal, adaptor-reset,
+# and peer-death matrix plus the abort state-matrix and liveness tests
+# under the race detector, then regenerate BENCH_recover.json and
+# exact-diff its deterministic fields (injection schedule, first-goodput
+# instant, per-flow fates) against the committed baseline. Recovery time
+# is virtual, so drift means the recovery machinery itself changed.
+recover:
+	$(GO) test -race -count 1 -run 'TestRecover|TestAbort|TestKeepAlive|TestUserTimeout' ./internal/fault/soak ./internal/tcpip
+	rm -rf .recoverfresh && mkdir -p .recoverfresh
+	$(GO) run ./cmd/experiments -exp recover -benchdir .recoverfresh
+	$(GO) run ./cmd/benchdiff -baseline . -fresh .recoverfresh BENCH_recover.json
+
 # The adversarial soak suite: seeded fault plans against full transfers,
 # under the race detector, plus the determinism and recovery-corner tests.
 soak:
@@ -85,4 +97,4 @@ load:
 load-race:
 	$(GO) test -race -count 1 ./internal/load/...
 
-ci: vet build race bench-smoke soak obs-race load load-race audit simbench critpath benchcheck
+ci: vet build race bench-smoke soak obs-race load load-race audit simbench critpath recover benchcheck

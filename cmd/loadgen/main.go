@@ -64,6 +64,8 @@ func main() {
 		memKB = flag.Int("netmem", 0, "per-adaptor network memory in KB (0 = adaptor default)")
 		arb   = flag.Bool("arb", false, "install the per-flow netmem arbiter on every host")
 
+		faultPlan = flag.String("fault", "", `fault-injection plan, e.g. "partition:at=5ms,dur=20ms" or "cabreset:at=8ms" (see internal/fault.ParsePlan)`)
+
 		jsonOut = flag.Bool("json", false, "emit the full report as JSON")
 
 		engObs  = flag.Bool("engobs", false, "print the simulator meta-profile (engine event counters) after the run")
@@ -123,6 +125,7 @@ func main() {
 		Window:         units.Size(*window) * units.KB,
 		UDPServerThink: units.Time(*udpthink),
 		Stagger:        units.Time(*stagger),
+		FaultPlan:      *faultPlan,
 	}
 	switch *mode {
 	case "single_copy":
@@ -171,6 +174,9 @@ func main() {
 		if rep.Arbiter {
 			fmt.Printf("  arbiter: waits=%d borrows=%d reclaims=%d\n",
 				rep.ArbWaits, rep.ArbBorrows, rep.ArbReclaims)
+		}
+		if rep.FaultReport != "" {
+			fmt.Printf("  %s\n", rep.FaultReport)
 		}
 		fmt.Printf("  order_digest=%s\n", rep.OrderDigest)
 	}

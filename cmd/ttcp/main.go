@@ -148,6 +148,10 @@ func main() {
 	params := ttcp.Params{
 		Total: total, RWSize: size, Window: window,
 		WithUtil: true, WithBackground: true,
+		// Under fault injection a connection may legitimately die
+		// (adaptor reset, partition): surface the typed error in the
+		// report instead of panicking.
+		Tolerant: inj != nil,
 	}
 	// With -profile, stdout carries only the folded stacks (pipeable into
 	// flamegraph.pl); the human report moves to stderr.
@@ -278,6 +282,9 @@ func main() {
 	fmt.Fprintf(report, "ttcp (%s stack, %s, %v writes, %v window)\n",
 		*mode, mach().Name, size, window)
 	fmt.Fprintf(report, "  transferred  %v in %v\n", res.Bytes, res.Elapsed)
+	if res.SndErr != "" || res.RcvErr != "" {
+		fmt.Fprintf(report, "  flow ended under fault: snd=%q rcv=%q\n", res.SndErr, res.RcvErr)
+	}
 	fmt.Fprintf(report, "  throughput   %.1f Mb/s\n", res.Throughput.Mbit())
 	fmt.Fprintf(report, "  sender       util %.2f (true %.2f)  efficiency %.1f Mb/s\n",
 		res.Snd.Utilization, res.Snd.TrueUtilization, res.Snd.Efficiency.Mbit())

@@ -94,6 +94,10 @@ type Stats struct {
 	DropNoBuf          int // packets dropped: no auto-DMA host buffer available
 	RetransmitOverlays int
 	SDMAFails          int // SDMA transfers failed by fault injection (each is retried)
+	Resets             int // firmware resets (fault injection)
+	SDMAKilled         int // SDMA descriptors killed by a firmware reset
+	TxKilled           int // media-transmit descriptors killed by a firmware reset
+	RxKilled           int // held rx frames lost to a firmware reset
 	RxRetries          int // rx frames held on the link and retried (memory/buffer pressure)
 	RxHdrDeliveries    int // rx frames delivered straight from the auto-DMA buffer (netmem pressure)
 	ArbWaits           int // tx admissions blocked by the netmem arbiter
@@ -141,6 +145,12 @@ type CAB struct {
 	// posting a host interrupt).
 	OnRx func(ev *RxEvent)
 
+	// OnReset is the host's firmware-reset notification (installed by the
+	// driver; runs in hardware/event context after Reset has wiped the
+	// adaptor). The driver re-arms auto-DMA buffers and tells the stack
+	// which connections lost adaptor-resident state.
+	OnReset func()
+
 	// Fault hooks (nil in production: each guard is a single nil check on
 	// the hot path). FaultSDMA, consulted once per SDMA transfer, fails
 	// the transfer when true (the engine retries it). FaultTxCsum /
@@ -187,6 +197,10 @@ func (c *CAB) SetObs(r *obs.Registry) {
 	r.Func("cab.arb_waits", func() int64 { return int64(c.Stats.ArbWaits) })
 	r.Func("cab.arb_borrows", func() int64 { return int64(c.Stats.ArbBorrows) })
 	r.Func("cab.arb_reclaims", func() int64 { return int64(c.Stats.ArbReclaims) })
+	r.Func("cab.resets", func() int64 { return int64(c.Stats.Resets) })
+	r.Func("cab.sdma_killed", func() int64 { return int64(c.Stats.SDMAKilled) })
+	r.Func("cab.tx_killed", func() int64 { return int64(c.Stats.TxKilled) })
+	r.Func("cab.rx_killed", func() int64 { return int64(c.Stats.RxKilled) })
 	r.Func("cab.arb_flows", func() int64 {
 		if c.Arb == nil {
 			return 0
@@ -244,6 +258,10 @@ type Packet struct {
 	pages int
 	flow  int
 	freed bool
+	// zapped marks a packet wiped by a firmware reset: its pages were
+	// bulk-reclaimed, so a later host-side Free is a no-op rather than a
+	// double free — the host's reference outlived the hardware state.
+	zapped bool
 
 	// BodySum is the transmit checksum engine's saved partial sum over
 	// the packet body (beyond CsumSkip); it allows retransmission with a
@@ -266,16 +284,26 @@ func (pk *Packet) Owner() *CAB { return pk.cab }
 // (0: unattributed).
 func (pk *Packet) Flow() int { return pk.flow }
 
-// Bytes returns the live network memory contents of the packet.
+// Bytes returns the live network memory contents of the packet. A zapped
+// packet (firmware reset) yields the wiped — zeroed — memory rather than
+// panicking: the host may legitimately hold a stale reference across the
+// reset, and the wiped bytes then fail checksum/verification downstream.
 func (pk *Packet) Bytes() []byte {
-	if pk.freed {
+	if pk.freed && !pk.zapped {
 		panic("cab: access to freed packet")
 	}
 	return pk.buf
 }
 
+// Zapped reports whether the packet was wiped by a firmware reset (its
+// contents are gone; Bytes panics, Free is a no-op).
+func (pk *Packet) Zapped() bool { return pk.zapped }
+
 // Free returns the packet's pages to the pool.
 func (pk *Packet) Free() {
+	if pk.zapped {
+		return
+	}
 	if pk.freed {
 		panic("cab: double free of packet")
 	}
@@ -357,6 +385,79 @@ func (c *CAB) SetReserve(n int) {
 	c.reserved = n
 	if n < old {
 		c.freeSig.Broadcast()
+	}
+}
+
+// Reset models a CAB firmware reset: network memory, in-flight SDMA and
+// MDMA descriptors, posted auto-DMA buffers, and all WCAB state (saved body
+// sums live inside the wiped packets) vanish at once. Every live packet is
+// zapped — host-side references see Freed()==true and a no-op Free — and
+// every queued descriptor is killed (its Fail hook runs instead of Done).
+// Runs in hardware/event context; finishes by notifying the driver through
+// OnReset so it can re-arm receive and sweep dead connections.
+func (c *CAB) Reset() {
+	c.Stats.Resets++
+	// Network memory: bulk-reclaim every page. Host-side holders keep their
+	// Packet references but the data is gone.
+	for _, pk := range c.live {
+		pk.freed = true
+		pk.zapped = true
+		for i := range pk.buf {
+			pk.buf[i] = 0
+		}
+		if c.Arb != nil {
+			c.Arb.freeNotify(pk.flow, pk.pages)
+		}
+	}
+	c.live = make(map[int]*Packet)
+	c.freePages = c.totalPages
+	c.pagesUsed.Set(0)
+	// SDMA engine: the descriptor queue is wiped. Each killed request's
+	// Fail hook (if any) runs so host-side waiters are unblocked; Done
+	// never fires for a killed transfer. The in-service transfer (if any)
+	// is caught by sdmaProc's zapped check when its bus time expires.
+	for {
+		req, ok := c.sdmaQ.TryGet()
+		if !ok {
+			break
+		}
+		c.killSDMA(req)
+	}
+	// MDMA transmit: logical-channel entries are wiped.
+	for _, ch := range c.channels {
+		for {
+			if _, ok := ch.TryGet(); !ok {
+				break
+			}
+			c.Stats.TxKilled++
+		}
+	}
+	// MDMA receive: frames held on the link against a live adaptor are
+	// lost; posted auto-DMA buffers are forgotten (the driver re-arms).
+	if n := len(c.rxHold); n > 0 {
+		c.Stats.RxKilled += n
+		c.rxHold = nil
+	}
+	for _, q := range c.rxHoldQ {
+		c.Stats.RxKilled += len(q)
+	}
+	if c.rxHoldQ != nil {
+		c.rxHoldQ = make(map[int][]heldRx)
+	}
+	c.rxHoldFlows = nil
+	c.rxBufs = nil
+	// Pages are free again; wake any allocator blocked on the old memory.
+	c.freeSig.Broadcast()
+	if c.OnReset != nil {
+		c.OnReset()
+	}
+}
+
+// killSDMA fails one descriptor killed by a firmware reset.
+func (c *CAB) killSDMA(req *SDMAReq) {
+	c.Stats.SDMAKilled++
+	if req.Fail != nil {
+		req.Fail(req)
 	}
 }
 

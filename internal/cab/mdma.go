@@ -26,6 +26,12 @@ type txEntry struct {
 // frame so the receiver continues the packet's data-path span; prov (nil
 // when the ledger is disabled) does the same for data-touch attribution.
 func (c *CAB) MDMATx(pk *Packet, dst hippi.NodeID, span *obs.Span, prov *ledger.Prov, done func()) {
+	if pk.zapped {
+		// Firmware reset wiped the packet between the host's decision to
+		// transmit and this posting; the frame is never sent.
+		c.Stats.TxKilled++
+		return
+	}
 	if pk.freed {
 		panic("cab: MDMATx on freed packet")
 	}

@@ -55,6 +55,11 @@ type SDMAReq struct {
 	// Done runs at completion, in hardware context.
 	Done func(*SDMAReq)
 
+	// Fail runs instead of Done, in hardware context, when a firmware
+	// reset kills the descriptor (queued, in service, or posted against an
+	// already-wiped packet). Exactly one of Done/Fail fires per request.
+	Fail func(*SDMAReq)
+
 	// Prov attributes the transfer's data touches in the ledger (nil when
 	// the ledger is off); AutoDMA marks a ToHost transfer as the adaptor's
 	// automatic head delivery rather than a host-requested copy-out.
@@ -91,8 +96,17 @@ func (r *SDMAReq) bytes() units.Size {
 // SDMA queues a system-DMA request. Requests execute in FIFO order on the
 // single SDMA engine; each occupies the IO bus for the machine's DMA time.
 func (c *CAB) SDMA(req *SDMAReq) {
-	if req.Pkt == nil || req.Pkt.freed {
-		panic("cab: SDMA on nil or freed packet")
+	if req.Pkt == nil {
+		panic("cab: SDMA on nil packet")
+	}
+	if req.Pkt.zapped {
+		// The packet was wiped by a firmware reset after the host decided
+		// to post this descriptor; fail it immediately.
+		c.killSDMA(req)
+		return
+	}
+	if req.Pkt.freed {
+		panic("cab: SDMA on freed packet")
 	}
 	c.sdmaQ.Put(req)
 }
@@ -104,6 +118,12 @@ func (c *CAB) sdmaProc(p *sim.Proc) {
 		req.Span.CritEv(obs.CauseQueue, "sdma_start")
 		n := req.bytes()
 		p.Sleep(c.Mach.DMATime(n))
+		if req.Pkt.zapped {
+			// A firmware reset wiped the packet while the transfer occupied
+			// the bus: the descriptor dies with the adaptor state.
+			c.killSDMA(req)
+			continue
+		}
 		if c.FaultSDMA != nil && c.FaultSDMA() {
 			// The transfer failed after occupying the bus; requeue it.
 			// Completion (Done) fires only on success, so owners never see

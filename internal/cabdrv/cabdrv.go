@@ -21,6 +21,7 @@
 package cabdrv
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/cab"
@@ -35,6 +36,11 @@ import (
 	"repro/internal/wire"
 )
 
+// ErrReset is the distinct failure a transfer reports when the adaptor's
+// firmware reset wiped it mid-flight: the outboard bytes are gone and the
+// operation cannot be completed or retried against the same packet.
+var ErrReset = errors.New("cabdrv: adaptor reset during transfer")
+
 // Stats counts driver activity.
 type Stats struct {
 	TxPackets       int
@@ -45,6 +51,8 @@ type Stats struct {
 	Converted       int // descriptor chains converted at the legacy entry point
 	RxSmall         int // packets delivered entirely from the auto-DMA buffer
 	RxLarge         int // packets delivered as auto-DMA head + M_WCAB body
+	Resets          int // firmware resets handled (rx re-armed, stack notified)
+	TxResetKilled   int // transmit SDMAs failed back to their owners by a reset
 }
 
 // Driver is one CAB driver instance.
@@ -54,6 +62,13 @@ type Driver struct {
 	Input      netif.InputFunc
 	SingleCopy bool
 	Stats      Stats
+
+	// ResetNotify, installed by the host plumbing (core.AddHost wires it
+	// to the stack's DeviceReset sweep), runs in interrupt context after a
+	// firmware reset once receive is re-armed: connections whose
+	// retransmit or reassembly state lived on the adaptor must be failed,
+	// everything else recovers via retransmission.
+	ResetNotify func(kern.Ctx, netif.Interface)
 
 	name string
 	mtu  units.Size
@@ -118,6 +133,7 @@ func New(name string, k *kern.Kernel, c *cab.CAB, singleCopy bool) *Driver {
 		c.ProvideRxBuf(make([]byte, c.Cfg.AutoDMALen))
 	}
 	c.OnRx = d.hwRx
+	c.OnReset = d.hwReset
 	k.Eng.Go(name+"/txd", d.txd)
 	if r := k.Obs; r != nil {
 		r.Func("cabdrv.tx_pkts", func() int64 { return int64(d.Stats.TxPackets) })
@@ -127,8 +143,29 @@ func New(name string, k *kern.Kernel, c *cab.CAB, singleCopy bool) *Driver {
 		r.Func("cabdrv.legacy_converted", func() int64 { return int64(d.Stats.Converted) })
 		r.Func("cabdrv.auto_dma_hits", func() int64 { return int64(d.Stats.RxSmall) })
 		r.Func("cabdrv.wcab_rx", func() int64 { return int64(d.Stats.RxLarge) })
+		r.Func("cabdrv.resets", func() int64 { return int64(d.Stats.Resets) })
+		r.Func("cabdrv.tx_reset_killed", func() int64 { return int64(d.Stats.TxResetKilled) })
 	}
 	return d
+}
+
+// hwReset runs in hardware context after the CAB wiped itself. Every
+// queued descriptor was already killed (their Fail hooks ran), so the
+// driver's remaining duties are re-arming the auto-DMA receive pool —
+// without it, surviving connections could never hear another segment —
+// and handing the event to the stack in interrupt context so it can fail
+// the connections whose state died with the adaptor.
+func (d *Driver) hwReset() {
+	d.Stats.Resets++
+	for i := 0; i < rxBufCount; i++ {
+		d.C.ProvideRxBuf(make([]byte, d.C.Cfg.AutoDMALen))
+	}
+	d.K.PostIntr("cab-reset", func(p *sim.Proc) {
+		ctx := d.K.IntrCtx(p).In("cabdrv_reset")
+		if d.ResetNotify != nil {
+			d.ResetNotify(ctx, d)
+		}
+	})
 }
 
 // Name implements netif.Interface.
@@ -201,7 +238,7 @@ func (d *Driver) txd(p *sim.Proc) {
 func (d *Driver) sendSingleCopy(p *sim.Proc, job *txJob) {
 	m := job.m
 	hdrH := m.Hdr()
-	if txAbandoned(m) {
+	if txAbandoned(m) || txDead(m) {
 		d.dropAbandoned(job, nil)
 		return
 	}
@@ -219,9 +256,9 @@ func (d *Driver) sendSingleCopy(p *sim.Proc, job *txJob) {
 		// The allocation blocked on network memory (or its arbiter).
 		m.Span().CritEv(obs.CauseNetmem, "netmem_tx")
 	}
-	// The allocation may have blocked; the connection can tear down and
-	// release the descriptors' pages in the meantime.
-	if txAbandoned(m) {
+	// The allocation may have blocked; the connection can tear down (or a
+	// firmware reset can wipe referenced outboard packets) in the meantime.
+	if txAbandoned(m) || txDead(m) {
 		d.dropAbandoned(job, pk)
 		return
 	}
@@ -267,6 +304,7 @@ func (d *Driver) sendSingleCopy(p *sim.Proc, job *txJob) {
 	}
 	d.pendingTxSDMA++
 	req.Done = func(*cab.SDMAReq) { d.txSDMADone(job, pk, hdrH) }
+	req.Fail = func(*cab.SDMAReq) { d.txSDMAFail(job, hdrH) }
 	m.Span().Enter(obs.StageSDMA)
 	d.C.SDMA(req)
 }
@@ -303,11 +341,38 @@ func (d *Driver) txSDMADone(job *txJob, pk *cab.Packet, hdrH *mbuf.Hdr) {
 					return pk.Bytes()[payloadOff+off : payloadOff+off+n]
 				},
 				FreeFn: func() { pk.Free() },
+				Dead:   func() bool { return pk.Zapped() },
 			}
 			hdrH.OnOutboard(w)
 		} else {
 			// No transport callback (UDP, raw): notify the displaced
 			// descriptor owners directly — their bytes are outboard.
+			for cur := m; cur != nil; cur = cur.Next() {
+				if cur.Type() == mbuf.TUIO {
+					if ch := cur.Hdr(); ch != nil && ch.Owner != nil {
+						ch.Owner.DMADone(cur.Len())
+					}
+				}
+			}
+		}
+		mbuf.FreeChain(m)
+	})
+}
+
+// txSDMAFail runs in hardware context when a firmware reset kills a
+// transmit SDMA: the packet never formed outboard and cannot be sent. For
+// sends the transport does not own (UDP, raw) the displaced descriptor
+// owners are notified so blocked writers unwedge; transport-owned sends
+// are resolved by the stack's device-reset sweep, which tears the
+// connection down and releases its send buffer (notifying here too would
+// double-release the writer's DMA tracker).
+func (d *Driver) txSDMAFail(job *txJob, hdrH *mbuf.Hdr) {
+	d.Stats.TxResetKilled++
+	transportOwns := hdrH != nil && hdrH.NeedCsum && hdrH.OnOutboard != nil &&
+		!hdrH.FreeAfterSend
+	m := job.m
+	d.completeTx(func(kern.Ctx) {
+		if !transportOwns {
 			for cur := m; cur != nil; cur = cur.Next() {
 				if cur.Type() == mbuf.TUIO {
 					if ch := cur.Hdr(); ch != nil && ch.Owner != nil {
@@ -327,6 +392,22 @@ func txAbandoned(m *mbuf.Mbuf) bool {
 	for cur := m; cur != nil; cur = cur.Next() {
 		if cur.Type() == mbuf.TUIO {
 			if h := cur.Hdr(); h != nil && h.Abandoned {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// txDead reports whether the chain references outboard data wiped by a
+// firmware reset — such a packet can never be reconstructed from the
+// descriptor (the bytes existed only in network memory), so the job is
+// dropped and the stack's device-reset sweep resolves the connection.
+func txDead(m *mbuf.Mbuf) bool {
+	for cur := m; cur != nil; cur = cur.Next() {
+		if cur.Type() == mbuf.TWCAB {
+			w := cur.WCABRef()
+			if w.Dead != nil && w.Dead() {
 				return true
 			}
 		}
@@ -379,6 +460,12 @@ func (d *Driver) sendOverlay(job *txJob, op *outPkt, prefixLen units.Size) {
 		sp := m.Span()
 		sp.Enter(obs.StageWire)
 		d.C.MDMATx(op.pk, hippi.NodeID(job.dst), sp, m.Prov(), nil)
+		d.completeTx(func(kern.Ctx) { mbuf.FreeChain(m) })
+	}
+	req.Fail = func(*cab.SDMAReq) {
+		// The reset wiped the outboard packet under the overlay; the
+		// connection owning it is resolved by the device-reset sweep.
+		d.Stats.TxResetKilled++
 		d.completeTx(func(kern.Ctx) { mbuf.FreeChain(m) })
 	}
 	m.Span().Enter(obs.StageSDMA)
@@ -447,6 +534,12 @@ func (d *Driver) sendLegacy(p *sim.Proc, job *txJob) {
 			sp := m.Span()
 			sp.Enter(obs.StageWire)
 			d.C.MDMATx(pk, hippi.NodeID(job.dst), sp, m.Prov(), func() { pk.Free() })
+			d.completeTx(func(kern.Ctx) { mbuf.FreeChain(m) })
+		},
+		Fail: func(*cab.SDMAReq) {
+			// The frame is lost with the reset; the data still lives in
+			// kernel socket buffers, so TCP recovers via retransmission.
+			d.Stats.TxResetKilled++
 			d.completeTx(func(kern.Ctx) { mbuf.FreeChain(m) })
 		},
 	})

@@ -74,14 +74,16 @@ func (d *Driver) rxIntr(ctx kern.Ctx, ev *cab.RxEvent) {
 			return pk.Bytes()[base+off : base+off+n]
 		},
 		FreeFn: func() { pk.Free() },
+		Dead:   func() bool { return pk.Zapped() },
 	}
-	w.CopyOut = func(off, n units.Size, dst [][]byte, done func()) {
+	w.CopyOut = func(off, n units.Size, dst [][]byte, done func(error)) {
 		d.C.SDMA(&cab.SDMAReq{
 			Dir: cab.ToHost, Pkt: pk,
 			PktOff:  base + off,
 			Scatter: dst,
 			Prov:    ev.Prov,
-			Done:    func(*cab.SDMAReq) { done() },
+			Done:    func(*cab.SDMAReq) { done(nil) },
+			Fail:    func(*cab.SDMAReq) { done(ErrReset) },
 		})
 	}
 

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/cab"
@@ -207,20 +208,27 @@ func (tb *Testbed) EnableLedger() *ledger.Ledger {
 	return tb.Led
 }
 
-// FlightDump serializes each host's recent ledger events plus the tail
-// of the telemetry trace into one JSON document — the flight recorder
-// image dumped when a watchdog or fault oracle fires.
+// FlightDump serializes each host's recent ledger events, the tail of the
+// telemetry trace, and the per-kind fault-injector counters into one JSON
+// document — the flight recorder image dumped when a watchdog or fault
+// oracle fires. The fault section tells a reader of a wedged-run dump
+// which injections had actually fired by the time the watchdog gave up.
 func (tb *Testbed) FlightDump() []byte {
-	var led, trace []byte
+	var led, trace, faults []byte
 	if tb.Led != nil {
 		led = tb.Led.FlightDump()
 	}
 	if tb.Tel != nil {
 		trace = tb.Tel.ChromeTail(256)
 	}
+	if tb.FaultInj != nil {
+		faults, _ = json.Marshal(tb.FaultInj.FiredMap())
+	}
 	out := append([]byte(`{"ledger":`), orNull(led)...)
 	out = append(out, `,"trace":`...)
 	out = append(out, orNull(trace)...)
+	out = append(out, `,"faults":`...)
+	out = append(out, orNull(faults)...)
 	return append(out, '}')
 }
 
@@ -309,6 +317,7 @@ func (tb *Testbed) AddHost(cfg HostConfig) *Host {
 	if !cfg.NoDriver {
 		h.Drv = cabdrv.New("cab0", h.K, h.CAB, cfg.Mode == socket.ModeSingleCopy)
 		h.Drv.Input = h.Stk.Input
+		h.Drv.ResetNotify = h.Stk.DeviceReset
 	}
 	if cfg.EthNode != 0 {
 		h.Eth = ethdev.New("en0", h.K, tb.EthNet, cfg.EthNode, 0)

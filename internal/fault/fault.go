@@ -35,17 +35,19 @@ const (
 	Dup                   // wire: deliver extra copies
 	Reorder               // wire: deliver out of order (extra delay, bypassing rx serialization)
 	Delay                 // wire: extra propagation delay
+	Partition             // wire: link partition window — drop everything, then heal
 	DMAFail               // CAB: SDMA transfer fails (the engine retries)
 	TxCsum                // CAB: transmit checksum engine miscomputes
 	RxCsum                // CAB: receive checksum engine miscomputes
 	Netmem                // CAB: network-memory pressure window
 	AllocFail             // kernel: mbuf/page allocation failure
+	CABReset              // CAB: firmware reset — netmem, descriptors, WCAB state wiped
 	numKinds
 )
 
 var kindNames = [numKinds]string{
-	"drop", "corrupt", "dup", "reorder", "delay",
-	"dmafail", "txcsum", "rxcsum", "netmem", "allocfail",
+	"drop", "corrupt", "dup", "reorder", "delay", "partition",
+	"dmafail", "txcsum", "rxcsum", "netmem", "allocfail", "cabreset",
 }
 
 func (k Kind) String() string {
@@ -55,7 +57,11 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
-func wireKind(k Kind) bool { return k <= Delay }
+func wireKind(k Kind) bool { return k <= Partition }
+
+// statefulKind reports the kinds scheduled by virtual-time window (From /
+// Dur / Until) rather than by a per-event Schedule.
+func statefulKind(k Kind) bool { return k == Partition || k == Netmem || k == CABReset }
 
 // corruptSkip is where bit-flip corruption starts: past the link and IP
 // headers, inside the transport segment, so the corruption is always
@@ -165,6 +171,18 @@ type Rule struct {
 	// (Until 0: for the rest of the run).
 	Pages       int
 	From, Until units.Time
+	// Dur is sugar for Until = From + Dur on window-scheduled kinds
+	// (Partition, Netmem); normalized by Add.
+	Dur units.Time
+
+	// Partition: drop every frame in [From, Until) — the link is down, then
+	// heals. SrcNode/DstNode (0: any) restrict the partition to one wire
+	// direction.
+	SrcNode, DstNode hippi.NodeID
+
+	// CABReset: fire the firmware reset at From on the adaptor with Node
+	// (0: every wired adaptor).
+	Node hippi.NodeID
 }
 
 // Injector owns a fault plan and implements every injection surface:
@@ -194,8 +212,11 @@ func (in *Injector) Add(r Rule) *Injector {
 	if r.Kind < 0 || r.Kind >= numKinds {
 		panic(fmt.Sprintf("fault: bad kind %d", int(r.Kind)))
 	}
-	if r.When == nil && r.Kind != Netmem {
+	if r.When == nil && !statefulKind(r.Kind) {
 		panic(fmt.Sprintf("fault: %v rule needs a schedule", r.Kind))
+	}
+	if r.Dur > 0 && r.Until == 0 {
+		r.Until = r.From + r.Dur
 	}
 	if r.When != nil {
 		r.When.seed(rand.New(rand.NewSource(in.rng.Int63())))
@@ -228,8 +249,27 @@ func (in *Injector) hit(k Kind) {
 // into the verdict.
 func (in *Injector) Frame(f *hippi.Frame) hippi.Verdict {
 	var v hippi.Verdict
+	// Partition windows first: while the link is down nothing traverses, so
+	// a partitioned frame never reaches (or advances) the per-packet rules.
 	for _, r := range in.rules {
-		if !wireKind(r.Kind) {
+		if r.Kind != Partition {
+			continue
+		}
+		if now := in.eng.Now(); now < r.From || (r.Until > 0 && now >= r.Until) {
+			continue
+		}
+		if r.SrcNode != 0 && f.Src != r.SrcNode {
+			continue
+		}
+		if r.DstNode != 0 && f.Dst != r.DstNode {
+			continue
+		}
+		in.hit(Partition)
+		v.Drop = true
+		return v
+	}
+	for _, r := range in.rules {
+		if !wireKind(r.Kind) || r.Kind == Partition {
 			continue
 		}
 		if r.MinLen > 0 && units.Size(len(f.Data)) < r.MinLen {
@@ -336,20 +376,28 @@ func (in *Injector) WireCAB(c *cab.CAB) {
 		c.FaultRxCsum = func() uint32 { return in.csumMask(RxCsum) }
 	}
 	for _, r := range in.rules {
-		if r.Kind != Netmem {
-			continue
-		}
-		pages := r.Pages
-		if pages <= 0 {
-			pages = c.TotalPages()
-		}
-		until := r.Until
-		in.eng.At(r.From, func() {
-			in.hit(Netmem)
-			c.SetReserve(pages)
-		})
-		if until > r.From {
-			in.eng.At(until, func() { c.SetReserve(0) })
+		switch r.Kind {
+		case Netmem:
+			pages := r.Pages
+			if pages <= 0 {
+				pages = c.TotalPages()
+			}
+			until := r.Until
+			in.eng.At(r.From, func() {
+				in.hit(Netmem)
+				c.SetReserve(pages)
+			})
+			if until > r.From {
+				in.eng.At(until, func() { c.SetReserve(0) })
+			}
+		case CABReset:
+			if r.Node != 0 && c.NodeID() != r.Node {
+				continue
+			}
+			in.eng.At(r.From, func() {
+				in.hit(CABReset)
+				c.Reset()
+			})
 		}
 	}
 }
@@ -372,6 +420,45 @@ func (in *Injector) SetObs(r *obs.Registry, tr *obs.Trace) {
 		}
 	}
 	in.trace = tr
+}
+
+// FiredMap returns the per-kind injected-fault counts, keyed by kind name,
+// for kinds present in the plan (fired or not). Flight dumps embed it so a
+// wedged soak case is diagnosable from the dump alone.
+func (in *Injector) FiredMap() map[string]int64 {
+	m := make(map[string]int64)
+	for k := Kind(0); k < numKinds; k++ {
+		if in.has(k) || in.Fired[k] > 0 {
+			m[kindNames[k]] = in.Fired[k]
+		}
+	}
+	return m
+}
+
+// FaultWindow is one scheduled stateful-fault window: the virtual-time
+// span a partition or netmem reservation covers, or the instant of a
+// cabreset (Until == From).
+type FaultWindow struct {
+	Kind        Kind
+	From, Until units.Time
+}
+
+// Windows lists the plan's stateful-fault windows in rule order, so
+// recovery tooling can report time-to-recover against the injection
+// schedule without re-parsing the plan.
+func (in *Injector) Windows() []FaultWindow {
+	var ws []FaultWindow
+	for _, r := range in.rules {
+		if !statefulKind(r.Kind) {
+			continue
+		}
+		w := FaultWindow{Kind: r.Kind, From: r.From, Until: r.Until}
+		if r.Kind == CABReset {
+			w.Until = r.From
+		}
+		ws = append(ws, w)
+	}
+	return ws
 }
 
 // Report summarizes what fired, for CLI output.

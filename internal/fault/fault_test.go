@@ -191,6 +191,46 @@ func TestParsePlan(t *testing.T) {
 	}
 }
 
+// TestParsePlanPositionalErrors pins the parse-error contract: a bad plan
+// names the 1-based rule it failed on, the rule's kind once that is known,
+// and the offending token — so a twelve-rule soak spec is debuggable from
+// the message alone.
+func TestParsePlanPositionalErrors(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []string // substrings the error must carry
+	}{
+		// The failing rule's index, even past healthy rules.
+		{"drop:every=13;corrupt:p=0.5;zap:at=1ms",
+			[]string{"rule 3", `unknown kind "zap"`}},
+		// Kind plus the literal offending token.
+		{"drop:every=13;partition:dur=0ms",
+			[]string{"rule 2", "partition", `dur="0ms"`}},
+		{"cabreset:node=1",
+			[]string{"rule 1", "cabreset", "at=DUR"}},
+		{"partition:at=5ms,node=2",
+			[]string{"rule 1", "partition", `"node=2"`}},
+		{"cabreset:at=8ms,dur=2ms",
+			[]string{"rule 1", "cabreset", `"dur=2ms"`}},
+		{"partition:at=9ms,dur=bogus",
+			[]string{"rule 1", "partition", `"bogus"`}},
+		{"drop:every=13;partition:at=6ms,until=5ms",
+			[]string{"rule 2", "partition", "not after"}},
+	}
+	for _, c := range cases {
+		_, err := ParsePlan(c.spec)
+		if err == nil {
+			t.Errorf("plan %q parsed without error", c.spec)
+			continue
+		}
+		for _, w := range c.want {
+			if !strings.Contains(err.Error(), w) {
+				t.Errorf("plan %q: error %q missing %q", c.spec, err, w)
+			}
+		}
+	}
+}
+
 func TestAddPlanAndReport(t *testing.T) {
 	eng := sim.NewEngine(1)
 	in := New(eng, 1)

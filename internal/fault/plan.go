@@ -5,60 +5,98 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/hippi"
 	"repro/internal/units"
 )
 
 // ParsePlan parses a fault plan spec into rules. The grammar is
 // semicolon-separated rules, each `kind` or `kind:param,param,...`:
 //
-//	kind   := drop | corrupt | dup | reorder | delay
-//	        | dmafail | txcsum | rxcsum | netmem | allocfail
+//	kind   := drop | corrupt | dup | reorder | delay | partition
+//	        | dmafail | txcsum | rxcsum | netmem | allocfail | cabreset
 //	param  := every=N        fire on every Nth eligible event
 //	        | p=F            fire with probability F (seeded)
 //	        | burst=S+L      fire on L consecutive events after the first S
-//	        | at=DUR         fire once at virtual time DUR
+//	        | at=DUR         fire once at virtual time DUR (window start for
+//	                         the stateful kinds partition/netmem/cabreset)
 //	        | window=D1+D2   fire on every event in [D1, D2)
-//	        | min=SIZE       wire rules: only frames >= SIZE
+//	        | min=SIZE       per-packet wire rules: only frames >= SIZE
 //	        | delay=DUR      delay/reorder rules: the extra delay
 //	        | dup=N          dup rules: extra copies per fire
 //	        | pages=N        netmem: pages to reserve (default: all)
-//	        | until=DUR      netmem: release time (with at=DUR as start)
+//	        | until=DUR      netmem/partition: window end (with at=DUR start)
+//	        | dur=DUR        netmem/partition: window length (until = at+dur;
+//	                         omitted: the window never closes)
+//	        | src=N          partition: only frames from HIPPI node N
+//	        | dst=N          partition: only frames to HIPPI node N
+//	        | node=N         cabreset: only the adaptor on HIPPI node N
 //	DUR    := <int>ns|us|ms|s     SIZE := <int>[K|M]
 //
-// A rule with no schedule param defaults to every=100. Examples:
+// Parameters are validated per kind: a param that does not apply to the
+// rule's kind is a positional parse error, never a silently ignored
+// zero-value schedule. A per-packet rule with no schedule param defaults
+// to every=100; cabreset requires an explicit at=. Examples:
 //
 //	drop:every=13,min=1000
 //	corrupt:p=0.01;dup:every=97
 //	netmem:at=1ms,until=6ms;dmafail:burst=50+20
+//	partition:at=5ms,dur=20ms
+//	cabreset:at=8ms,node=1
 func ParsePlan(spec string) ([]Rule, error) {
 	var rules []Rule
+	idx := 0
 	for _, part := range strings.Split(spec, ";") {
 		part = strings.TrimSpace(part)
 		if part == "" {
 			continue
 		}
+		idx++
 		name, params, _ := strings.Cut(part, ":")
 		kind, err := parseKind(strings.TrimSpace(name))
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("fault plan: rule %d: %w", idx, err)
 		}
 		r := Rule{Kind: kind}
+		sawAnchor := false
 		if params != "" {
 			for _, ps := range strings.Split(params, ",") {
-				if err := parseParam(&r, strings.TrimSpace(ps)); err != nil {
-					return nil, fmt.Errorf("%s: %w", part, err)
+				ps = strings.TrimSpace(ps)
+				if err := parseParam(&r, ps, &sawAnchor); err != nil {
+					return nil, fmt.Errorf("fault plan: rule %d (%s): %w", idx, kind, err)
 				}
 			}
 		}
-		if r.When == nil && kind != Netmem {
-			r.When = Every(100)
+		if err := finishRule(&r, sawAnchor); err != nil {
+			return nil, fmt.Errorf("fault plan: rule %d (%s): %w", idx, kind, err)
 		}
 		rules = append(rules, r)
 	}
 	if len(rules) == 0 {
-		return nil, fmt.Errorf("fault: empty plan %q", spec)
+		return nil, fmt.Errorf("fault plan: empty plan %q", spec)
 	}
 	return rules, nil
+}
+
+// finishRule applies per-kind defaults and structural checks after all
+// params are parsed.
+func finishRule(r *Rule, sawAnchor bool) error {
+	if r.Dur > 0 && r.Until == 0 {
+		r.Until = r.From + r.Dur
+	}
+	switch {
+	case statefulKind(r.Kind):
+		if r.Kind == CABReset && !sawAnchor {
+			return fmt.Errorf("needs an at=DUR reset time")
+		}
+		if r.Until != 0 && r.Until <= r.From {
+			return fmt.Errorf("window end %v not after start %v", r.Until, r.From)
+		}
+	default:
+		if r.When == nil {
+			r.When = Every(100)
+		}
+	}
+	return nil
 }
 
 // MustPlan is ParsePlan for known-good specs (tests, experiment tables).
@@ -88,13 +126,46 @@ func parseKind(s string) (Kind, error) {
 			return k, nil
 		}
 	}
-	return 0, fmt.Errorf("fault: unknown kind %q (want %s)", s, strings.Join(kindNames[:], "|"))
+	return 0, fmt.Errorf("unknown kind %q (want %s)", s, strings.Join(kindNames[:], "|"))
 }
 
-func parseParam(r *Rule, p string) error {
+// paramAllowed is the per-kind parameter matrix: a key that is not
+// meaningful for the rule's kind is rejected at parse time rather than
+// silently producing a zero-value schedule.
+func paramAllowed(k Kind, key string) bool {
+	perPacket := !statefulKind(k)
+	switch key {
+	case "every", "p", "burst":
+		return perPacket
+	case "at":
+		return true // time anchor is valid for every kind
+	case "window":
+		return k != CABReset
+	case "until", "dur":
+		return k == Netmem || k == Partition
+	case "min":
+		return k <= Delay
+	case "delay":
+		return k == Delay || k == Reorder
+	case "dup":
+		return k == Dup
+	case "pages":
+		return k == Netmem
+	case "src", "dst":
+		return k == Partition
+	case "node":
+		return k == CABReset
+	}
+	return false
+}
+
+func parseParam(r *Rule, p string, sawAnchor *bool) error {
 	key, val, ok := strings.Cut(p, "=")
 	if !ok {
 		return fmt.Errorf("bad param %q (want key=value)", p)
+	}
+	if !paramAllowed(r.Kind, key) {
+		return fmt.Errorf("param %q does not apply to kind %s", p, r.Kind)
 	}
 	switch key {
 	case "every":
@@ -122,7 +193,8 @@ func parseParam(r *Rule, p string) error {
 		if err != nil {
 			return err
 		}
-		if r.Kind == Netmem {
+		*sawAnchor = true
+		if statefulKind(r.Kind) {
 			r.From = t
 		} else {
 			r.When = At(t)
@@ -134,7 +206,8 @@ func parseParam(r *Rule, p string) error {
 		if !ok || err1 != nil || err2 != nil || to <= from {
 			return fmt.Errorf("bad window=%q (want FROM+TO)", val)
 		}
-		if r.Kind == Netmem {
+		*sawAnchor = true
+		if statefulKind(r.Kind) {
 			r.From, r.Until = from, to
 		} else {
 			r.When = Window(from, to)
@@ -145,6 +218,15 @@ func parseParam(r *Rule, p string) error {
 			return err
 		}
 		r.Until = t
+	case "dur":
+		t, err := parseDur(val)
+		if err != nil {
+			return err
+		}
+		if t == 0 {
+			return fmt.Errorf("bad dur=%q (want a positive duration)", val)
+		}
+		r.Dur = t
 	case "min":
 		n, err := parseSize(val)
 		if err != nil {
@@ -169,6 +251,19 @@ func parseParam(r *Rule, p string) error {
 			return fmt.Errorf("bad pages=%q", val)
 		}
 		r.Pages = n
+	case "src", "dst", "node":
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad %s=%q (want a HIPPI node id >= 1)", key, val)
+		}
+		switch key {
+		case "src":
+			r.SrcNode = hippi.NodeID(n)
+		case "dst":
+			r.DstNode = hippi.NodeID(n)
+		case "node":
+			r.Node = hippi.NodeID(n)
+		}
 	default:
 		return fmt.Errorf("unknown param %q", key)
 	}

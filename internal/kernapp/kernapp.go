@@ -129,7 +129,11 @@ func (kc *KConn) convert(p *sim.Proc, ctx kern.Ctx, chain *mbuf.Mbuf) *mbuf.Mbuf
 					ms = append(ms, mbuf.AdoptCluster(b, 0, sz))
 				}
 				fired := false
-				w.CopyOut(m.Off(), ln, bufs, func() {
+				w.CopyOut(m.Off(), ln, bufs, func(error) {
+					// An adaptor reset surfaces as zeroed buffers here; the
+					// UDP datagram path has no retransmission to lean on, so
+					// the wiped payload is simply delivered short of its
+					// checksum (and dropped upstream).
 					fired = true
 					done.Broadcast()
 				})

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/cab"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/hippi"
 	"repro/internal/kern"
 	"repro/internal/obs"
@@ -103,6 +104,12 @@ type Scenario struct {
 	// CritPath enables the causal critical-path recorder on the run's
 	// testbed; it comes back as Report.Crit for the critpath analyzer.
 	CritPath bool
+	// FaultPlan is an optional fault-injection plan (fault.ParsePlan
+	// grammar, e.g. "partition:at=5ms,dur=20ms" or "cabreset:at=8ms")
+	// applied to the run's shared network and every adaptor. The plan is
+	// validated up front: a malformed spec fails the scenario before any
+	// host exists.
+	FaultPlan string
 }
 
 // normalized fills defaults and validates.
@@ -127,6 +134,11 @@ func (s Scenario) normalized() (Scenario, error) {
 	}
 	if !s.Bulk && s.Requests <= 0 {
 		s.Requests = 4
+	}
+	if s.FaultPlan != "" {
+		if _, err := fault.ParsePlan(s.FaultPlan); err != nil {
+			return s, err
+		}
 	}
 	if s.OpenLoop && s.Rate <= 0 {
 		s.Rate = 1000
@@ -210,6 +222,7 @@ type runner struct {
 	flows     []*flow
 	digest    *orderDigest
 	aggLat    *obs.Histogram
+	inj       *fault.Injector
 	frameErrs int
 	// lastDelivery is the virtual time of the last verified delivery; it
 	// bounds the goodput window in request/response mode (the engine
@@ -249,6 +262,13 @@ func (r *runner) build() {
 	}
 	if s.CritPath {
 		r.tb.EnableCritPath()
+	}
+	if s.FaultPlan != "" {
+		inj := fault.New(r.tb.Eng, s.Seed)
+		if err := inj.AddPlan(s.FaultPlan); err != nil {
+			panic(err) // normalized() validated the plan already
+		}
+		r.inj = r.tb.EnableFaults(inj)
 	}
 	node := hippi.NodeID(1)
 	addHost := func(name string, addr wire.Addr) *host {

@@ -89,6 +89,9 @@ type Report struct {
 
 	Errors      int    `json:"errors"`
 	FirstError  string `json:"first_error,omitempty"`
+	// FaultReport summarizes fault-injector activity ("" when the
+	// scenario ran clean).
+	FaultReport string `json:"fault_report,omitempty"`
 	OrderDigest string `json:"order_digest"`
 
 	PerFlow []FlowReport `json:"per_flow,omitempty"`
@@ -146,6 +149,9 @@ func (r *runner) report() *Report {
 	}
 	if s.Mode == socket.ModeSingleCopy {
 		rep.Mode = "single_copy"
+	}
+	if r.inj != nil {
+		rep.FaultReport = r.inj.Report()
 	}
 	rep.VTimeSec = round(r.tb.Eng.Now().Seconds(), 9)
 	window := r.tb.Eng.Now()

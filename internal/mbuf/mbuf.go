@@ -182,9 +182,17 @@ type WCAB struct {
 	FreeFn func()
 	// CopyOut, installed by the driver, DMAs outboard bytes [off, off+n)
 	// into the host memory segments dst, invoking done in hardware
-	// context when the transfer completes. This is the driver "copy out"
-	// routine the paper's software architecture requires (Section 3).
-	CopyOut func(off, n units.Size, dst [][]byte, done func())
+	// context when the transfer finishes. done receives nil on success, or
+	// the reason the transfer could not complete (the adaptor was reset
+	// mid-transfer and the outboard data is gone) — the destination bytes
+	// are then undefined and the caller must not deliver them. This is the
+	// driver "copy out" routine the paper's software architecture requires
+	// (Section 3).
+	CopyOut func(off, n units.Size, dst [][]byte, done func(error))
+	// Dead, installed by the driver, reports that the outboard packet no
+	// longer exists (the adaptor's firmware was reset): ReadFn yields
+	// wiped bytes and CopyOut fails. nil means always live.
+	Dead func() bool
 
 	refs int
 }

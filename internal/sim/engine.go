@@ -16,6 +16,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/units"
 )
@@ -196,6 +197,19 @@ func (e *Engine) Pending() int { return len(e.events) }
 // LiveProcs returns the number of processes that have been spawned and have
 // not yet finished (they may be runnable or parked).
 func (e *Engine) LiveProcs() int { return len(e.live) }
+
+// LiveProcNames returns the (sorted) names of live processes. After a
+// drained run this is empty; after a wedge it names exactly the parked
+// procs, which is usually enough to identify the subsystem that lost a
+// wakeup.
+func (e *Engine) LiveProcNames() []string {
+	var out []string
+	for p := range e.live {
+		out = append(out, p.name)
+	}
+	sort.Strings(out)
+	return out
+}
 
 // KillAll terminates every parked process by unwinding its goroutine. It is
 // intended for teardown after a simulation completes; killed processes do

@@ -95,21 +95,31 @@ func (d *DGram) SendTo(p *sim.Proc, buf mem.Buf, dst wire.Addr, dport uint16) er
 func (d *DGram) RecvFrom(p *sim.Proc, buf mem.Buf) (units.Size, wire.Addr, uint16) {
 	ctx := d.K.TaskCtx(p, d.Task).In("socket").WithFlow(int(d.Sock.Port()))
 	ctx.Charge(d.K.Mach.SyscallCost, kern.CatSyscall)
-	dg := d.Sock.RecvFrom(p)
-	if dg == nil {
-		return 0, 0, 0
+	for {
+		dg := d.Sock.RecvFrom(p)
+		if dg == nil {
+			return 0, 0, 0
+		}
+		n := dg.Len
+		if n > buf.Len {
+			n = buf.Len
+		}
+		u := mem.NewUIO(buf)
+		take, rest := mbuf.SplitAt(dg.Chain, n)
+		s := &Socket{K: d.K, VM: d.VM, Task: d.Task, Cfg: d.Cfg}
+		err := s.copyOut(ctx, u, take, n)
+		mbuf.FreeChain(take)
+		mbuf.FreeChain(rest)
+		if err != nil {
+			// The datagram's outboard payload died (adaptor reset) between
+			// queueing and this read: the destination bytes are undefined.
+			// UDP has no way to recover it — count a clean loss and wait
+			// for the next datagram rather than deliver wiped bytes.
+			d.Sock.CountDevResetDrop()
+			continue
+		}
+		return n, dg.Src, dg.SPort
 	}
-	n := dg.Len
-	if n > buf.Len {
-		n = buf.Len
-	}
-	u := mem.NewUIO(buf)
-	take, rest := mbuf.SplitAt(dg.Chain, n)
-	s := &Socket{K: d.K, VM: d.VM, Task: d.Task, Cfg: d.Cfg}
-	s.copyOut(ctx, u, take, n)
-	mbuf.FreeChain(take)
-	mbuf.FreeChain(rest)
-	return n, dg.Src, dg.SPort
 }
 
 // Close unbinds the socket.

@@ -373,6 +373,13 @@ func (s *Socket) writeUIO(ctx kern.Ctx, u *mem.UIO, buf mem.Buf) (units.Size, er
 		s.ctrDMAWaits.Inc()
 	}
 	trk.wait(ctx.P)
+	if c.Err != nil {
+		// The connection died while DMAs were outstanding (adaptor reset,
+		// RST): the teardown released the tracker, but the data was never
+		// secured outboard. Surface the teardown error to the writer.
+		s.unpinAll(ctx, u, pinned)
+		return total, c.Err
+	}
 	if s.crit != nil {
 		// The write returned once the last outstanding SDMA secured the
 		// data outboard: the blocked span is DMA time.
@@ -426,8 +433,17 @@ func (s *Socket) Read(p *sim.Proc, buf mem.Buf) (units.Size, error) {
 		return 0, ErrEOF
 	}
 	u := mem.NewUIO(buf)
-	s.copyOut(ctx.OnStream(int(c.RemotePort()), base), u, chain, n)
+	err := s.copyOut(ctx.OnStream(int(c.RemotePort()), base), u, chain, n)
 	mbuf.FreeChain(chain)
+	if err != nil {
+		// The outboard data vanished mid-copy-out (adaptor reset); the
+		// user buffer is undefined. Surface the connection's teardown
+		// error when the stack has already swept it.
+		if c.Err != nil {
+			return 0, c.Err
+		}
+		return 0, err
+	}
 	if s.crit != nil {
 		// The message is in the application's buffer: a completion point
 		// the critical-path analyzer back-walks from.
@@ -444,12 +460,13 @@ func (s *Socket) Read(p *sim.Proc, buf mem.Buf) (units.Size, error) {
 // resident mbufs, SDMA for M_WCAB descriptors when the destination is
 // word-aligned (the paper's receive-side single-copy; unaligned reads fall
 // back to the copy path, Section 4.5).
-func (s *Socket) copyOut(ctx kern.Ctx, u *mem.UIO, chain *mbuf.Mbuf, n units.Size) {
+func (s *Socket) copyOut(ctx kern.Ctx, u *mem.UIO, chain *mbuf.Mbuf, n units.Size) error {
 	trk := newTracker(s.K.Eng)
 	var pinned []mem.Iovec
 	off := units.Size(0)
 	sawDMA := false
 	didCopy := false
+	var dmaErr error
 	for m := chain; m != nil; m = m.Next() {
 		ln := m.Len()
 		switch m.Type() {
@@ -458,6 +475,15 @@ func (s *Socket) copyOut(ctx kern.Ctx, u *mem.UIO, chain *mbuf.Mbuf, n units.Siz
 			ctx.CopyToUIO(u, off, m.Bytes(), n)
 		case mbuf.TWCAB:
 			w := m.WCABRef()
+			if w.Dead != nil && w.Dead() {
+				// The outboard packet was wiped by an adaptor reset after
+				// the data was sequenced but before this read drained it.
+				if dmaErr == nil {
+					dmaErr = tcpip.ErrDeviceReset
+				}
+				off += ln
+				continue
+			}
 			if s.Cfg.Mode == ModeSingleCopy && w.CopyOut != nil && u.AlignedTo(off, ln, 4) {
 				s.UIOReads++
 				s.ctrUIOReads.Inc()
@@ -470,7 +496,12 @@ func (s *Socket) copyOut(ctx kern.Ctx, u *mem.UIO, chain *mbuf.Mbuf, n units.Siz
 				}
 				trk.add(ln)
 				ln := ln
-				w.CopyOut(m.Off(), ln, scatter, func() { trk.DMADone(ln) })
+				w.CopyOut(m.Off(), ln, scatter, func(err error) {
+					if err != nil && dmaErr == nil {
+						dmaErr = err
+					}
+					trk.DMADone(ln)
+				})
 			} else {
 				// Fallback: read outboard data with the CPU.
 				s.CopyReads++
@@ -504,6 +535,7 @@ func (s *Socket) copyOut(ctx kern.Ctx, u *mem.UIO, chain *mbuf.Mbuf, n units.Siz
 			s.VM.UnpinUIO(ctx, u, r.Addr, r.Len)
 		}
 	}
+	return dmaErr
 }
 
 // WriteAll writes buf fully and returns an error only on connection

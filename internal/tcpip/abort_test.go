@@ -1,0 +1,215 @@
+package tcpip
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// TestAbortHalfOpenPeerReleasesBacklog pins the SYN-SENT abort contract:
+// when the active opener gives up before the handshake completes, its bare
+// RST (no ACK — we never saw the peer's SYN) must land on the peer's
+// half-open SYN-RECEIVED connection, tear it down, and release the
+// listener backlog slot it was burning. Before the fix the embryonic
+// connection kept retransmitting SYN|ACK until its retry budget expired,
+// pinning a backlog slot for seconds.
+func TestAbortHalfOpenPeerReleasesBacklog(t *testing.T) {
+	r := newRig(t, 31)
+	// B's replies all vanish: A stays SYN-SENT, B half-open in SYN-RCVD.
+	r.ib.drop = func(int, []byte) bool { return true }
+	lis := r.sb.Listen(80)
+	var connErr error
+	r.eng.Go("cli", func(p *sim.Proc) {
+		_, connErr = r.sa.Connect(r.ka.TaskCtx(p, r.ka.KernelTask), r.sb.Addr, 80)
+	})
+	r.eng.Go("abort", func(p *sim.Proc) {
+		p.Sleep(5 * units.Millisecond)
+		if lis.Backlogged() != 1 {
+			t.Errorf("backlog before abort = %d, want 1 half-open", lis.Backlogged())
+		}
+		var cli *TCPConn
+		for _, c := range r.sa.conns {
+			cli = c
+		}
+		if cli == nil {
+			t.Error("no client connection in SYN-SENT")
+			return
+		}
+		if cli.State() != StateSynSent {
+			t.Errorf("client state = %v, want SynSent", cli.State())
+		}
+		cli.Abort(r.ka.TaskCtx(p, r.ka.KernelTask))
+	})
+	r.eng.RunUntil(2 * units.Second)
+	defer r.eng.KillAll()
+	if connErr == nil {
+		t.Fatal("connect succeeded across a dead reply path")
+	}
+	if lis.Backlogged() != 0 {
+		t.Fatalf("backlog after abort = %d, want 0 (slot leaked)", lis.Backlogged())
+	}
+	if n := len(r.sb.conns); n != 0 {
+		t.Fatalf("%d embryonic connections survive on the passive side", n)
+	}
+	if n := len(r.sa.conns); n != 0 {
+		t.Fatalf("%d connections survive on the active side", n)
+	}
+	if r.sb.Stats.TCPRstsIn != 1 {
+		t.Fatalf("passive side counted %d RSTs in, want 1", r.sb.Stats.TCPRstsIn)
+	}
+}
+
+// TestAbortStateMatrix aborts a fully set-up connection from each local
+// state it can legitimately occupy and demands the same postcondition
+// everywhere: both endpoints closed, the peer holding ErrConnReset, and
+// neither stack retaining connection state.
+func TestAbortStateMatrix(t *testing.T) {
+	cases := []struct {
+		name  string
+		state TCPState
+		// arrange drives the connection pair into the target state; it
+		// runs in a proc after establishment with the client conn.
+		arrange func(p *sim.Proc, r *rig, cli, srv *TCPConn)
+	}{
+		{"established", StateEstablished,
+			func(p *sim.Proc, r *rig, cli, srv *TCPConn) {}},
+		{"finwait", StateFinWait1,
+			func(p *sim.Proc, r *rig, cli, srv *TCPConn) {
+				// Half-close with unacknowledged data in flight so the
+				// FIN cannot complete and the state holds.
+				r.ib.drop = func(int, []byte) bool { return true }
+				_ = sendAll(p, r.ka, cli, pattern(512, 5))
+				cli.Close(r.ka.TaskCtx(p, r.ka.KernelTask))
+			}},
+		{"closewait", StateCloseWait,
+			func(p *sim.Proc, r *rig, cli, srv *TCPConn) {
+				// The peer half-closes; our side consumes the FIN and
+				// holds in CLOSE-WAIT until the app closes.
+				srv.Close(r.kb.TaskCtx(p, r.kb.KernelTask))
+				p.Sleep(5 * units.Millisecond)
+			}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := newRig(t, 37)
+			lis := r.sb.Listen(80)
+			var srv, cli *TCPConn
+			r.eng.Go("srv", func(p *sim.Proc) { srv = lis.Accept(p) })
+			r.eng.Go("cli", func(p *sim.Proc) {
+				c, err := r.sa.Connect(r.ka.TaskCtx(p, r.ka.KernelTask), r.sb.Addr, 80)
+				if err != nil {
+					t.Errorf("connect: %v", err)
+					return
+				}
+				cli = c
+				for srv == nil {
+					p.Sleep(units.Millisecond) // accept lands on its own proc
+				}
+				tc.arrange(p, r, cli, srv)
+				if got := cli.State(); got != tc.state {
+					t.Errorf("arranged state = %v, want %v", got, tc.state)
+				}
+				// Abort must work from this state; reopen the pipe so the
+				// RST reaches the peer.
+				r.ib.drop = nil
+				r.ia.drop = nil
+				cli.Abort(r.ka.TaskCtx(p, r.ka.KernelTask))
+			})
+			r.eng.RunUntil(2 * units.Second)
+			defer r.eng.KillAll()
+			if cli == nil || srv == nil {
+				t.Fatal("setup incomplete")
+			}
+			if cli.State() != StateClosed {
+				t.Fatalf("aborting side state = %v", cli.State())
+			}
+			if srv.State() != StateClosed || srv.Err != ErrConnReset {
+				t.Fatalf("peer state=%v err=%v, want reset teardown", srv.State(), srv.Err)
+			}
+			if len(r.sa.conns)+len(r.sb.conns) != 0 {
+				t.Fatalf("connection state survives: A=%d B=%d", len(r.sa.conns), len(r.sb.conns))
+			}
+		})
+	}
+}
+
+// TestAbortiveTeardownFreesRcvBuf pins the teardown leak fix: a connection
+// reset with undelivered receive data must free that chain immediately —
+// the app will only ever see c.Err, so an attached rcvBuf (which on the
+// single-copy path references pinned netmem pages) would leak forever.
+// An orderly close must keep it: the app is still entitled to the data.
+func TestAbortiveTeardownFreesRcvBuf(t *testing.T) {
+	r := newRig(t, 41)
+	lis := r.sb.Listen(80)
+	var srv *TCPConn
+	payload := pattern(4096, 9)
+	r.eng.Go("srv", func(p *sim.Proc) {
+		srv = lis.Accept(p)
+		// Never read: data parks in rcvBuf.
+	})
+	r.eng.Go("cli", func(p *sim.Proc) {
+		ctx := r.ka.TaskCtx(p, r.ka.KernelTask)
+		c, err := r.sa.Connect(ctx, r.sb.Addr, 80)
+		if err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		if err := sendAll(p, r.ka, c, payload); err != nil {
+			t.Errorf("send: %v", err)
+			return
+		}
+		p.Sleep(20 * units.Millisecond) // let the data land in srv.rcvBuf
+		if srv == nil || srv.rcvLen == 0 {
+			t.Error("no undelivered data staged on the receiver")
+		}
+		c.Abort(r.ka.TaskCtx(p, r.ka.KernelTask))
+	})
+	r.eng.RunUntil(2 * units.Second)
+	defer r.eng.KillAll()
+	if srv == nil {
+		t.Fatal("no accept")
+	}
+	if srv.Err != ErrConnReset {
+		t.Fatalf("receiver err = %v, want ErrConnReset", srv.Err)
+	}
+	if srv.rcvBuf != nil || srv.rcvLen != 0 {
+		t.Fatalf("abortive teardown left %v undelivered bytes attached", srv.rcvLen)
+	}
+	if srv.sndBuf != nil || len(srv.reass) != 0 {
+		t.Fatal("teardown left send or reassembly state attached")
+	}
+}
+
+// TestOrderlyCloseKeepsRcvBuf is the counterpart guard: a clean FIN must
+// NOT discard undelivered data — draining after EOF is the sockets
+// contract.
+func TestOrderlyCloseKeepsRcvBuf(t *testing.T) {
+	r := newRig(t, 43)
+	lis := r.sb.Listen(80)
+	payload := pattern(2048, 11)
+	var got []byte
+	r.eng.Go("srv", func(p *sim.Proc) {
+		srv := lis.Accept(p)
+		p.Sleep(30 * units.Millisecond) // close lands before we read
+		got = recvAll(p, r.kb, srv)
+	})
+	r.eng.Go("cli", func(p *sim.Proc) {
+		ctx := r.ka.TaskCtx(p, r.ka.KernelTask)
+		c, err := r.sa.Connect(ctx, r.sb.Addr, 80)
+		if err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		if err := sendAll(p, r.ka, c, payload); err != nil {
+			t.Errorf("send: %v", err)
+			return
+		}
+		c.Close(ctx)
+	})
+	r.eng.Run()
+	defer r.eng.KillAll()
+	if string(got) != string(payload) {
+		t.Fatalf("drained %d bytes after close, want %d intact", len(got), len(payload))
+	}
+}

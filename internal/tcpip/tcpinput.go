@@ -87,6 +87,10 @@ func (l *TCPListener) acceptSyn(ctx kern.Ctx, key connKey, hdr wire.TCPHdr) {
 
 // segInput is the per-connection segment processor.
 func (c *TCPConn) segInput(ctx kern.Ctx, hdr wire.TCPHdr, payload *mbuf.Mbuf, seglen units.Size) {
+	// Any segment from the peer is proof of life: reset the keepalive
+	// probe ladder.
+	c.lastRcvd = c.stk.K.Eng.Now()
+	c.kaProbes = 0
 	if hdr.Flags&wire.FlagRST != 0 {
 		// Only accept a RST that is plausibly in-window (blind-reset
 		// hardening; trivial here, but the check documents itself).
@@ -147,6 +151,15 @@ func (c *TCPConn) segInput(ctx kern.Ctx, hdr wire.TCPHdr, payload *mbuf.Mbuf, se
 		}
 	}
 
+	if seglen == 0 && hdr.Flags == wire.FlagACK && hdr.Seq+1 == c.rcvNxt &&
+		c.state >= StateEstablished {
+		// A zero-length segment one sequence number below the window: a
+		// keepalive probe (RFC 1122 4.2.3.6 style). Answer with a bare ACK
+		// so the prober learns we are alive. Normal pure ACKs carry
+		// hdr.Seq == rcvNxt, so they never take this branch.
+		c.ackNow = true
+	}
+
 	if hdr.Flags&wire.FlagACK != 0 {
 		if seglen == 0 && hdr.Flags == wire.FlagACK && hdr.Ack == c.sndUna &&
 			c.state >= StateEstablished && seqGT(c.sndMax, c.sndUna) &&
@@ -183,6 +196,7 @@ func (c *TCPConn) segInput(ctx kern.Ctx, hdr wire.TCPHdr, payload *mbuf.Mbuf, se
 func (c *TCPConn) processAck(ctx kern.Ctx, hdr wire.TCPHdr) {
 	ack := hdr.Ack
 	if seqGT(ack, c.sndUna) && seqLEQ(ack, c.sndMax) {
+		c.progressAt = c.stk.K.Eng.Now() // forward progress: user-timeout clock restarts
 		c.takeRTTSample(ack)
 		advance := seqDiff(ack, c.sndUna)
 		c.onNewAck(advance)

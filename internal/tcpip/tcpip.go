@@ -43,11 +43,15 @@ type Stats struct {
 	TCPOutOfOrder         int
 	TCPDupSegs            int
 	TCPListenOverflow     int
+	TCPKaProbes           int
+	TCPLivenessDrops      int
+	TCPDeviceResets       int
 	UDPIn, UDPOut         int
 	UDPCsumErrors         int
 	UDPDropNoPort         int
 	UDPRcvFull            int
 	UDPOversize           int
+	UDPDevResetDrops      int
 	HWCsumVerified        int
 	SWCsumVerified        int
 }
@@ -134,6 +138,9 @@ func NewStack(k *kern.Kernel, addr wire.Addr) *Stack {
 		r.Func("tcp.out_of_order", func() int64 { return int64(s.Stats.TCPOutOfOrder) })
 		r.Func("tcp.dup_segs", func() int64 { return int64(s.Stats.TCPDupSegs) })
 		r.Func("tcp.listen_overflow", func() int64 { return int64(s.Stats.TCPListenOverflow) })
+		r.Func("tcp.ka_probes", func() int64 { return int64(s.Stats.TCPKaProbes) })
+		r.Func("tcp.liveness_drops", func() int64 { return int64(s.Stats.TCPLivenessDrops) })
+		r.Func("tcp.device_resets", func() int64 { return int64(s.Stats.TCPDeviceResets) })
 		r.Func("ip.in", func() int64 { return int64(s.Stats.IPIn) })
 		r.Func("ip.out", func() int64 { return int64(s.Stats.IPOut) })
 		r.Func("ip.frags_in", func() int64 { return int64(s.Stats.IPFragsIn) })
@@ -144,6 +151,7 @@ func NewStack(k *kern.Kernel, addr wire.Addr) *Stack {
 		r.Func("udp.out", func() int64 { return int64(s.Stats.UDPOut) })
 		r.Func("udp.csum_errors", func() int64 { return int64(s.Stats.UDPCsumErrors) })
 		r.Func("udp.rcv_full", func() int64 { return int64(s.Stats.UDPRcvFull) })
+		r.Func("udp.devreset_drops", func() int64 { return int64(s.Stats.UDPDevResetDrops) })
 		r.Func("csum.hw_verified", func() int64 { return int64(s.Stats.HWCsumVerified) })
 		r.Func("csum.sw_verified", func() int64 { return int64(s.Stats.SWCsumVerified) })
 	}

@@ -49,6 +49,9 @@ func (c *TCPConn) rtxTimeout(ctx kern.Ctx) {
 		ev := crit.Ev(c.critAck, obs.CauseRTO, "rto_fire", c.stk.K.Name, int(c.key.lport), 0, 0)
 		c.critTrig, c.critTrigC = ev, obs.CauseCPU
 	}
+	if c.userTimedOut() {
+		return
+	}
 	c.retries++
 	if c.retries > maxRetries {
 		c.teardown(ErrConnTimeout)
@@ -107,12 +110,32 @@ func (c *TCPConn) cancelPersist() {
 	c.persistOn = false
 }
 
+// userTimedOut applies the optional user-timeout bound: with send data
+// pending and no forward progress for userTimeout, the connection is torn
+// down with ErrTimeout. Called from the retransmission and persist timers;
+// reports true when the connection was torn down.
+func (c *TCPConn) userTimedOut() bool {
+	if c.userTimeout <= 0 {
+		return false
+	}
+	pending := c.sndLen > 0 || c.finSent || c.state == StateSynSent || c.state == StateSynRcvd
+	if !pending || c.stk.K.Eng.Now()-c.progressAt < c.userTimeout {
+		return false
+	}
+	c.stk.Stats.TCPLivenessDrops++
+	c.teardown(ErrTimeout)
+	return true
+}
+
 // persistProbe forces one byte into a zero window so a lost window update
 // cannot deadlock the connection.
 func (c *TCPConn) persistProbe(ctx kern.Ctx) {
 	if crit := c.stk.crit; crit != nil {
 		ev := crit.Ev(c.critAck, obs.CausePersist, "persist_probe", c.stk.K.Name, int(c.key.lport), 0, 0)
 		c.critTrig, c.critTrigC = ev, obs.CauseCPU
+	}
+	if c.userTimedOut() {
+		return
 	}
 	off := seqDiff(c.sndNxt, c.sndUna)
 	if c.finSent && off > 0 {
@@ -160,3 +183,62 @@ func (c *TCPConn) armDelAck() {
 
 // persistInterval is the zero-window probe period.
 const persistInterval = 500 * units.Millisecond
+
+// armKeepAlive schedules the next keepalive check: at the idle-threshold
+// expiry when no probe is outstanding, or one probe interval ahead while
+// probing. A no-op unless SetKeepAlive configured the connection.
+func (c *TCPConn) armKeepAlive() {
+	if c.kaIdle <= 0 || c.state == StateClosed {
+		return
+	}
+	c.kaGen++
+	gen := c.kaGen
+	d := c.kaIntvl
+	if c.kaProbes == 0 {
+		if idle := c.stk.K.Eng.Now() - c.lastRcvd; idle < c.kaIdle {
+			d = c.kaIdle - idle
+		}
+	}
+	c.stk.K.Eng.AfterKind(d, sim.KindTimer, func() {
+		if gen != c.kaGen || c.state == StateClosed {
+			return
+		}
+		c.stk.K.PostIntr("tcp-keepalive", func(p *sim.Proc) {
+			c.stk.Splnet(p)
+			defer c.stk.Splx()
+			if gen != c.kaGen || c.state == StateClosed {
+				return
+			}
+			c.keepAliveTimeout(c.stk.K.IntrCtx(p).In("tcp_timer"))
+		})
+	})
+}
+
+// keepAliveTimeout probes an idle peer or declares it dead. The probe is a
+// zero-length segment one sequence number below the receive window; an
+// alive peer answers it with a bare ACK (segInput's below-window reply),
+// which resets the probe count via lastRcvd.
+func (c *TCPConn) keepAliveTimeout(ctx kern.Ctx) {
+	if c.state != StateEstablished && c.state != StateCloseWait &&
+		c.state != StateFinWait1 && c.state != StateFinWait2 {
+		// Handshake and final-teardown states: the retransmission timer
+		// owns liveness there.
+		c.armKeepAlive()
+		return
+	}
+	if idle := c.stk.K.Eng.Now() - c.lastRcvd; idle < c.kaIdle {
+		// The peer spoke since the timer was armed: back to idle watch.
+		c.kaProbes = 0
+		c.armKeepAlive()
+		return
+	}
+	if c.kaProbes >= c.kaCount {
+		c.stk.Stats.TCPLivenessDrops++
+		c.teardown(ErrTimeout)
+		return
+	}
+	c.kaProbes++
+	c.stk.Stats.TCPKaProbes++
+	c.sendControl(ctx, c.sndNxt-1, wire.FlagACK)
+	c.armKeepAlive()
+}

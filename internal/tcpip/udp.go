@@ -162,6 +162,12 @@ func (u *UDPSock) RecvFrom(p *sim.Proc) *UDPDatagram {
 // Buffered returns the queued byte count.
 func (u *UDPSock) Buffered() units.Size { return u.rcvLen }
 
+// CountDevResetDrop records a datagram discarded because its outboard
+// payload was wiped by an adaptor reset after dequeue (the socket layer
+// detects this during copy-out, where the stack's DeviceReset sweep can no
+// longer see the chain).
+func (u *UDPSock) CountDevResetDrop() { u.stk.Stats.UDPDevResetDrops++ }
+
 // udpInput demultiplexes a received UDP datagram.
 func (s *Stack) udpInput(ctx kern.Ctx, m *mbuf.Mbuf, iph wire.IPHdr) {
 	if m.Len() < wire.UDPHdrLen {

@@ -48,6 +48,12 @@ type Params struct {
 	// UIOThreshold is passed to the sender's socket (0 = always
 	// single-copy, the paper's measured configuration).
 	UIOThreshold units.Size
+	// Tolerant lets the transfer end early with a typed error instead of
+	// panicking — the mode fault-injection runs use, where a connection
+	// legitimately dies (adaptor reset, liveness timeout) and the
+	// interesting output is which error surfaced. Benchmarks leave it
+	// off: an incomplete clean run is a bug.
+	Tolerant bool
 }
 
 // HostStats carries one side's measurements.
@@ -72,6 +78,9 @@ type Result struct {
 	Elapsed    units.Time
 	Throughput units.Rate
 	Snd, Rcv   HostStats
+	// SndErr / RcvErr are the errors that ended each side early ("" for
+	// a clean run; only possible with Params.Tolerant).
+	SndErr, RcvErr string
 }
 
 func (r Result) String() string {
@@ -174,9 +183,10 @@ func Run(tb *core.Testbed, snd, rcv *core.Host, pr Params) Result {
 	lis := rcv.Stk.Listen(pr.Port)
 
 	var (
-		t0, t1     units.Time
-		snd0, rcv0 taskTimes
-		received   units.Size
+		t0, t1         units.Time
+		snd0, rcv0     taskTimes
+		received       units.Size
+		sndErr, rcvErr string
 	)
 
 	// Receiver: accept and read until the FIN.
@@ -190,6 +200,10 @@ func Run(tb *core.Testbed, snd, rcv *core.Host, pr Params) Result {
 			// Trivial app-level work per read (ttcp counts bytes).
 			rcv.K.Work(p, rs.ttcpTask, 2*units.Microsecond, kern.CatApp, false)
 			if err != nil {
+				if pr.Tolerant && err != socket.ErrEOF {
+					rcvErr = err.Error()
+					s.Conn.Abort(rcv.K.TaskCtx(p, rs.ttcpTask))
+				}
 				break
 			}
 		}
@@ -204,6 +218,10 @@ func Run(tb *core.Testbed, snd, rcv *core.Host, pr Params) Result {
 		cfg.UIOThreshold = pr.UIOThreshold
 		conn, err := snd.Stk.Connect(snd.K.TaskCtx(p, ss.ttcpTask), rcv.Cfg.Addr, pr.Port)
 		if err != nil {
+			if pr.Tolerant {
+				sndErr = err.Error()
+				return
+			}
 			panic("ttcp: connect failed: " + err.Error())
 		}
 		conn.SndLimit = pr.Window
@@ -221,6 +239,14 @@ func Run(tb *core.Testbed, snd, rcv *core.Host, pr Params) Result {
 		for sent := units.Size(0); sent < pr.Total; sent += pr.RWSize {
 			snd.K.Work(p, ss.ttcpTask, 2*units.Microsecond, kern.CatApp, false)
 			if err := s.WriteAll(p, buf); err != nil {
+				if pr.Tolerant {
+					// The connection died under fault; reset it so the
+					// receiver learns promptly instead of filling a
+					// dead window, and report the typed error.
+					sndErr = err.Error()
+					s.Conn.Abort(snd.K.TaskCtx(p, ss.ttcpTask))
+					return
+				}
 				panic("ttcp: write failed: " + err.Error())
 			}
 		}
@@ -239,7 +265,7 @@ func Run(tb *core.Testbed, snd, rcv *core.Host, pr Params) Result {
 	tb.Eng.Run()
 	tb.Eng.KillAll()
 
-	if received < pr.Total {
+	if received < pr.Total && !pr.Tolerant {
 		panic(fmt.Sprintf("ttcp: transfer incomplete: %v of %v", received, pr.Total))
 	}
 	elapsed := t1 - t0
@@ -250,5 +276,6 @@ func Run(tb *core.Testbed, snd, rcv *core.Host, pr Params) Result {
 	}
 	res.Snd = ss.snapshot(elapsed, res.Throughput, snd0)
 	res.Rcv = rs.snapshot(elapsed, res.Throughput, rcv0)
+	res.SndErr, res.RcvErr = sndErr, rcvErr
 	return res
 }
