@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench benchcheck simbench critpath recover soak audit obs-race load load-race ci
+.PHONY: all build vet test race bench-smoke bench benchcheck simbench critpath recover netobs soak audit obs-race load load-race ci
 
 all: build
 
@@ -69,6 +69,18 @@ recover:
 	$(GO) run ./cmd/experiments -exp recover -benchdir .recoverfresh
 	$(GO) run ./cmd/benchdiff -baseline . -fresh .recoverfresh BENCH_recover.json
 
+# The transport-dynamics gate: run the observatory unit and machine-check
+# tests (nil-hook zero-alloc, verdict rules, same-seed byte-identity, the
+# incast postmortem acceptance pair) under the race detector, then
+# regenerate the fairness-pair postmortems and exact-diff them against
+# the committed BENCH_netobs.json. Every field is a pure function of the
+# seeded event sequence, so any drift is a congestion-behavior change.
+netobs:
+	$(GO) test -race -count 1 -run 'NetObs' ./internal/obs/netobs ./internal/tcpip ./internal/hippi ./internal/load ./internal/exp
+	rm -rf .netobsfresh && mkdir -p .netobsfresh
+	$(GO) run ./cmd/experiments -exp netobs -benchdir .netobsfresh
+	$(GO) run ./cmd/benchdiff -baseline . -fresh .netobsfresh BENCH_netobs.json
+
 # The adversarial soak suite: seeded fault plans against full transfers,
 # under the race detector, plus the determinism and recovery-corner tests.
 soak:
@@ -97,4 +109,4 @@ load:
 load-race:
 	$(GO) test -race -count 1 ./internal/load/...
 
-ci: vet build race bench-smoke soak obs-race load load-race audit simbench critpath recover benchcheck
+ci: vet build race bench-smoke soak obs-race load load-race audit simbench critpath recover netobs benchcheck

@@ -9,8 +9,8 @@
 //	benchdiff -baseline . -fresh /tmp/bench [-rel 0.05] [-abs 1e-6] [files...]
 //
 // With no file arguments it checks BENCH_fig5.json through BENCH_fig9.json
-// plus BENCH_touches.json, BENCH_load.json, BENCH_sim.json, and
-// BENCH_critpath.json. Touch-count files hold exact integer counts
+// plus BENCH_touches.json, BENCH_load.json, BENCH_sim.json,
+// BENCH_critpath.json, and BENCH_netobs.json. Touch-count files hold exact integer counts
 // (copies, checksums, DMA crossings per byte), so they get zero
 // tolerance: any drift in a data-touch count is a real behavior change,
 // never noise; the critical-path file's per-cause nanoseconds are pure
@@ -63,6 +63,7 @@ var defaultFiles = []string{
 	"BENCH_load.json",
 	"BENCH_sim.json",
 	"BENCH_critpath.json",
+	"BENCH_netobs.json",
 }
 
 // exactFiles are baselines of exact integer counts: compared with zero
@@ -78,6 +79,11 @@ var exactFiles = map[string]bool{
 	// first-goodput, flow fates) are pure functions of the seeded event
 	// sequence; only its "advisory" wall time is machine-dependent.
 	"BENCH_recover.json": true,
+	// The transport-dynamics postmortems (verdicts, retransmission
+	// taxonomy, wire busy per-mille, series digests) are deterministic
+	// functions of the seeded fairness pair; any drift is a congestion-
+	// behavior change.
+	"BENCH_netobs.json": true,
 }
 
 func main() {

@@ -19,6 +19,17 @@
 // simulator process — the tools for making big runs cheaper:
 //
 //	loadgen -flows 1024 -openloop -rate 2000 -arb -engobs -cpuprofile cpu.pprof
+//
+// -netobs enables the transport-dynamics observatory and prints the
+// per-flow congestion postmortem (verdicts like netmem-starved or
+// RTO-bound next to the retransmission taxonomy and wire-port busy
+// fractions); -netobs-json dumps the raw recorder, -netobs-chrome writes
+// Chrome-trace counter tracks. -series/-series-csv write the testbed
+// utilization time-series, sampled every -series-interval-us of virtual
+// time (the sampler stops when the last client flow finishes):
+//
+//	loadgen -flows 11 -bulk -duration 120ms -warmup 20ms -netobs
+//	loadgen -flows 11 -bulk -duration 120ms -arb -series series.json
 package main
 
 import (
@@ -67,6 +78,14 @@ func main() {
 		faultPlan = flag.String("fault", "", `fault-injection plan, e.g. "partition:at=5ms,dur=20ms" or "cabreset:at=8ms" (see internal/fault.ParsePlan)`)
 
 		jsonOut = flag.Bool("json", false, "emit the full report as JSON")
+
+		seriesOut        = flag.String("series", "", "write the utilization time-series JSON to this path")
+		seriesCSV        = flag.String("series-csv", "", "write the utilization time-series CSV to this path")
+		seriesIntervalUS = flag.Int64("series-interval-us", 100, "series sampling interval, µs of virtual time")
+
+		netobsFlag   = flag.Bool("netobs", false, "record per-flow TCP dynamics and wire-port telemetry and print the congestion postmortem")
+		netobsJSON   = flag.String("netobs-json", "", "write the full transport-dynamics recorder dump to this path")
+		netobsChrome = flag.String("netobs-chrome", "", "write the transport-dynamics series as Chrome-trace counter tracks to this path")
 
 		engObs  = flag.Bool("engobs", false, "print the simulator meta-profile (engine event counters) after the run")
 		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -148,6 +167,12 @@ func main() {
 	if *arb {
 		s.Arbiter = &cab.ArbConfig{}
 	}
+	if *seriesOut != "" || *seriesCSV != "" {
+		s.Series = units.Time(*seriesIntervalUS) * units.Microsecond
+	}
+	if *netobsFlag || *netobsJSON != "" || *netobsChrome != "" {
+		s.NetObs = true
+	}
 
 	var o *engine.Observer
 	if *engObs {
@@ -180,6 +205,30 @@ func main() {
 		}
 		fmt.Printf("  order_digest=%s\n", rep.OrderDigest)
 	}
+	if *netobsFlag && rep.NetObs != nil {
+		// With -json the report owns stdout (and already embeds the
+		// postmortem); keep the human rendering on stderr there.
+		out := os.Stdout
+		if *jsonOut {
+			out = os.Stderr
+		}
+		fmt.Fprint(out, rep.NetObs.Format())
+	}
+	if *netobsJSON != "" && rep.NetObsRec != nil {
+		die(os.WriteFile(*netobsJSON, rep.NetObsRec.Snapshot().JSON(), 0o644))
+	}
+	if *netobsChrome != "" && rep.NetObsRec != nil {
+		die(os.WriteFile(*netobsChrome, rep.NetObsRec.Chrome(), 0o644))
+	}
+	if rep.Series != nil {
+		snap := rep.Series.Snapshot()
+		if *seriesOut != "" {
+			die(os.WriteFile(*seriesOut, snap.JSON(), 0o644))
+		}
+		if *seriesCSV != "" {
+			die(os.WriteFile(*seriesCSV, []byte(snap.CSV()), 0o644))
+		}
+	}
 	if o != nil {
 		// With -json the report owns stdout; keep it machine-parseable.
 		out := os.Stdout
@@ -193,6 +242,13 @@ func main() {
 	}
 	if rep.Errors != 0 {
 		fmt.Fprintf(os.Stderr, "loadgen: %d flow errors (first: %s)\n", rep.Errors, rep.FirstError)
+		os.Exit(1)
+	}
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		os.Exit(1)
 	}
 }

@@ -12,6 +12,7 @@
 //	     [-fault 'drop:every=13,min=1000;corrupt:p=0.01'] [-fault-seed 1]
 //	     [-audit] [-ledger out.json] [-flightrec out.json]
 //	     [-critpath] [-critpath-chrome out.json]
+//	     [-netobs] [-netobs-json out.json] [-netobs-chrome out.json]
 //
 // -audit enables the data-touch ledger and prints the per-flow audit
 // table (one row per host × touch kind with per-byte min/max); for TCP it
@@ -31,6 +32,12 @@
 // the per-cause latency attribution (the last path's full waterfall plus
 // the summary table); -critpath-chrome writes all critical paths as a
 // Chrome trace-event file, one track per cause class.
+//
+// -netobs enables the transport-dynamics observatory and prints the
+// congestion postmortem: the connection's cwnd/RTT/window series verdict
+// joined with per-port wire busy/stall telemetry and adaptor-memory drops.
+// -netobs-json writes the full recorder dump (every flow sample and port
+// window); -netobs-chrome writes the series as Chrome-trace counter tracks.
 //
 // -stats prints the telemetry counter table and the per-packet virtual-time
 // latency histogram with its per-stage breakdown; -trace writes a Chrome
@@ -108,6 +115,9 @@ func main() {
 	flightRec := flag.String("flightrec", "", "write the flight-recorder image (recent ledger + trace events) to this path")
 	critFlag := flag.Bool("critpath", false, "record per-transfer happens-before graphs and print the critical-path latency attribution")
 	critChrome := flag.String("critpath-chrome", "", "with -critpath, also write the critical paths as a Chrome trace-event file to this path")
+	netobsFlag := flag.Bool("netobs", false, "record per-flow TCP dynamics and wire-port telemetry and print the congestion postmortem")
+	netobsJSON := flag.String("netobs-json", "", "write the full transport-dynamics recorder dump to this path")
+	netobsChrome := flag.String("netobs-chrome", "", "write the transport-dynamics series as Chrome-trace counter tracks to this path")
 	flag.Parse()
 
 	size, err := parseSize(*sizeS)
@@ -138,6 +148,9 @@ func main() {
 	}
 	if *seriesOut != "" || *seriesCSV != "" {
 		tb.EnableSeries(units.Time(*seriesIntervalUS) * units.Microsecond)
+	}
+	if *netobsFlag || *netobsJSON != "" || *netobsChrome != "" {
+		tb.EnableNetObs()
 	}
 	var inj *fault.Injector
 	if *faultPlan != "" {
@@ -212,6 +225,17 @@ func main() {
 			}
 			if *profileJSON != "" {
 				die(os.WriteFile(*profileJSON, tb.Prof.Snapshot().JSON(), 0o644))
+			}
+		}
+		if tb.NetObs != nil {
+			if *netobsFlag {
+				fmt.Fprint(report, "\n"+tb.NetObsPostmortem(0).Format())
+			}
+			if *netobsJSON != "" {
+				die(os.WriteFile(*netobsJSON, tb.NetObs.Snapshot().JSON(), 0o644))
+			}
+			if *netobsChrome != "" {
+				die(os.WriteFile(*netobsChrome, tb.NetObs.Chrome(), 0o644))
 			}
 		}
 		if tb.Series != nil {

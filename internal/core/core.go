@@ -22,6 +22,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/engine"
 	"repro/internal/obs/ledger"
+	"repro/internal/obs/netobs"
 	"repro/internal/obs/prof"
 	"repro/internal/sim"
 	"repro/internal/socket"
@@ -97,6 +98,9 @@ type Testbed struct {
 	// EngObs is the simulator meta-observer (wall-clock engine counters);
 	// nil unless EnableEngineObs was called before hosts were added.
 	EngObs *engine.Observer
+	// NetObs is the transport-dynamics recorder; nil unless EnableNetObs
+	// was called before hosts were added.
+	NetObs *netobs.Recorder
 
 	seriesStop bool
 }
@@ -184,6 +188,50 @@ func (tb *Testbed) EnableSeries(interval units.Time) *obs.SeriesSet {
 		})
 	}
 	return tb.Series
+}
+
+// EnableNetObs turns on the transport-dynamics observatory for every host
+// added afterwards: per-connection TCP congestion-state series sampled on
+// state change, per-port wire busy/stall telemetry with per-flow
+// bytes-on-wire attribution, and the postmortem analyzer joining the two
+// with adaptor-memory stats (see NetObsPostmortem). Purely observational:
+// it charges no simulated time and leaves run timing byte-identical. Must
+// run before AddHost.
+func (tb *Testbed) EnableNetObs() *netobs.Recorder {
+	if len(tb.Hosts) > 0 {
+		panic("core: EnableNetObs must be called before AddHost")
+	}
+	if tb.NetObs == nil {
+		tb.NetObs = netobs.New(tb.Eng.Now)
+		tb.Net.SetNetObs(tb.NetObs.Wire("hippi", 0))
+		tb.EthNet.SetNetObs(tb.NetObs.Wire("eth", 0))
+	}
+	return tb.NetObs
+}
+
+// NetObsPostmortem runs the transport-dynamics analyzer over everything the
+// recorder saw, joining each flow's series with the wire telemetry and the
+// receiving host's adaptor-memory stats. after excludes warmup events from
+// the verdict rules. Returns nil when netobs is disabled.
+func (tb *Testbed) NetObsPostmortem(after units.Time) *netobs.Postmortem {
+	if tb.NetObs == nil {
+		return nil
+	}
+	mem := make([]netobs.HostMem, 0, len(tb.Hosts))
+	for _, h := range tb.Hosts {
+		st := &h.CAB.Stats
+		mem = append(mem, netobs.HostMem{
+			Host:        h.Name,
+			Node:        int(h.Cfg.CABNode),
+			DropNoMem:   int64(st.DropNoMem),
+			DropNoBuf:   int64(st.DropNoBuf),
+			RxRetries:   int64(st.RxRetries),
+			ArbWaits:    int64(st.ArbWaits),
+			ArbBorrows:  int64(st.ArbBorrows),
+			ArbReclaims: int64(st.ArbReclaims),
+		})
+	}
+	return tb.NetObs.Analyze(mem, netobs.Options{After: after})
 }
 
 // StopSeries retires the sampler: it takes one final row at the next tick
@@ -298,6 +346,9 @@ func (tb *Testbed) AddHost(cfg HostConfig) *Host {
 	h.VM = kern.NewVM(h.K)
 	h.VM.LazyUnpin = cfg.LazyUnpin
 	h.Stk = tcpip.NewStack(h.K, cfg.Addr)
+	if tb.NetObs != nil {
+		h.Stk.SetNetObs(tb.NetObs, int(cfg.CABNode))
+	}
 
 	cabCfg := cab.DefaultConfig()
 	if cfg.CABConfig != nil {

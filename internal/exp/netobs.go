@@ -1,0 +1,101 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/load"
+	"repro/internal/obs/netobs"
+)
+
+// NetObsBench is the transport-dynamics baseline (BENCH_netobs.json): the
+// congestion postmortems of the PR-5 fairness incast pair. The baseline
+// run's starved elephants must come out netmem-starved (RTO fires against
+// a memory-dropping receiver); the arbitrated run must come out all
+// healthy. Everything inside is a deterministic function of the seeded
+// scenarios, so the benchdiff gate exact-diffs the file.
+type NetObsBench struct {
+	// Per-run one-line context, so a verdict flip is readable next to
+	// the fairness numbers it explains.
+	BaselineJain    float64 `json:"baseline_jain"`
+	BaselineStarved int     `json:"baseline_starved"`
+	ArbiterJain     float64 `json:"arbiter_jain"`
+	ArbiterStarved  int     `json:"arbiter_starved"`
+
+	Baseline *netobs.Postmortem `json:"fair_baseline"`
+	Arbiter  *netobs.Postmortem `json:"fair_arbiter"`
+}
+
+// RunNetObs executes the incast/fairness pair with the transport-dynamics
+// observatory on and returns both postmortems.
+func RunNetObs() (NetObsBench, error) {
+	var b NetObsBench
+
+	base := loadBenchFair(false)
+	base.Name = "netobs-fair"
+	base.NetObs = true
+	rb, err := load.Run(base)
+	if err != nil {
+		return b, err
+	}
+	b.Baseline = rb.NetObs
+	b.BaselineJain = rb.Jain
+	b.BaselineStarved = rb.Starved
+
+	arb := loadBenchFair(true)
+	arb.Name = "netobs-fair-arb"
+	arb.NetObs = true
+	ra, err := load.Run(arb)
+	if err != nil {
+		return b, err
+	}
+	if ra.Errors != 0 {
+		return b, fmt.Errorf("netobs bench %s: %d errors (%s)", ra.Name, ra.Errors, ra.FirstError)
+	}
+	b.Arbiter = ra.NetObs
+	b.ArbiterJain = ra.Jain
+	b.ArbiterStarved = ra.Starved
+	return b, nil
+}
+
+// JSON renders the baseline file.
+func (b NetObsBench) JSON() []byte {
+	out, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	return append(out, '\n')
+}
+
+// Format renders a human summary.
+func (b NetObsBench) Format() string {
+	var sb strings.Builder
+	sb.WriteString("Transport-dynamics postmortems (internal/obs/netobs):\n")
+	row := func(name string, jain float64, starved int, pm *netobs.Postmortem) {
+		counts := map[string]int{}
+		for i := range pm.Flows {
+			counts[pm.Flows[i].Verdict]++
+		}
+		fmt.Fprintf(&sb, "  %-16s jain=%.4f starved=%d verdicts:", name, jain, starved)
+		for _, v := range []string{netobs.VerdictHealthy, netobs.VerdictNetmemStarved,
+			netobs.VerdictRTOBound, netobs.VerdictWindowBound, netobs.VerdictPortContended} {
+			if counts[v] > 0 {
+				fmt.Fprintf(&sb, " %s=%d", v, counts[v])
+			}
+		}
+		sb.WriteByte('\n')
+		sb.WriteString(indent(pm.Format(), "  "))
+	}
+	row("netobs-fair", b.BaselineJain, b.BaselineStarved, b.Baseline)
+	row("netobs-fair-arb", b.ArbiterJain, b.ArbiterStarved, b.Arbiter)
+	return sb.String()
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

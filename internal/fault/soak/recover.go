@@ -325,6 +325,10 @@ func RunRecover(c RecoverCase) RecoverOutcome {
 		o.failf("conservation: wire dropped %d frames, drop faults %d + partition %d",
 			net.Dropped, inj.Fired[fault.Drop], inj.Fired[fault.Partition])
 	}
+	if net.DroppedInj+net.DroppedUnattached != net.Dropped {
+		o.failf("conservation: drop split inj %d + unattached %d != dropped %d",
+			net.DroppedInj, net.DroppedUnattached, net.Dropped)
+	}
 	if c.WantResets {
 		if inj.Fired[fault.CABReset] == 0 {
 			o.failf("vacuous: no cabreset fired")

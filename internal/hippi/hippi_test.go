@@ -80,6 +80,33 @@ func TestInjectorDrop(t *testing.T) {
 	}
 }
 
+func TestNetObsDropSplit(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := NewNetwork(e, LineRate, 0)
+	n.Attach(1, func(Frame) {})
+	n.Attach(2, func(Frame) {})
+	i := 0
+	n.Inj = injFn(func(*Frame) Verdict { i++; return Verdict{Drop: i <= 3} })
+	for j := 0; j < 5; j++ {
+		n.Send(1, 2, make([]byte, 100), nil) // 3 injected drops, 2 delivered
+	}
+	for j := 0; j < 2; j++ {
+		n.Send(1, 9, make([]byte, 100), nil) // unattached destination
+	}
+	e.Run()
+	if n.DroppedInj != 3 || n.DroppedUnattached != 2 {
+		t.Fatalf("drop split inj=%d unattached=%d, want 3/2", n.DroppedInj, n.DroppedUnattached)
+	}
+	if n.DroppedInj+n.DroppedUnattached != n.Dropped {
+		t.Fatalf("drop split inj=%d + unattached=%d != dropped=%d",
+			n.DroppedInj, n.DroppedUnattached, n.Dropped)
+	}
+	if n.Sent+n.Duped != n.Delivered+n.Dropped {
+		t.Fatalf("conservation: sent=%d duped=%d delivered=%d dropped=%d",
+			n.Sent, n.Duped, n.Delivered, n.Dropped)
+	}
+}
+
 func TestInjectorDup(t *testing.T) {
 	e := sim.NewEngine(1)
 	n := NewNetwork(e, LineRate, 0)

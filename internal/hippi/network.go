@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/ledger"
+	"repro/internal/obs/netobs"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -70,8 +71,11 @@ type Network struct {
 	// serialization (fault injection).
 	Inj Injector
 
-	// Counters.
+	// Counters. Dropped is the total; DroppedInj (fault-injector drops)
+	// and DroppedUnattached (frames addressed to a node with no attached
+	// port) split it by cause and always sum to it.
 	Sent, Delivered, Dropped, Duped int
+	DroppedInj, DroppedUnattached   int
 	BytesSent                       units.Size
 
 	// Telemetry (nil when disabled): port-busy stalls on transmit and
@@ -80,7 +84,15 @@ type Network struct {
 
 	// Led records wire-transit data touches (nil when the ledger is off).
 	Led *ledger.Hook
+
+	// nobs records per-port busy/stall telemetry and per-flow
+	// bytes-on-wire for the transport-dynamics observatory (nil when
+	// netobs is off; every hook is then a nil no-op).
+	nobs *netobs.WireRec
 }
+
+// SetNetObs attaches the wire-telemetry recorder.
+func (n *Network) SetNetObs(w *netobs.WireRec) { n.nobs = w }
 
 // SetObs registers the network's counters on r under prefix (e.g. "hippi",
 // "eth"). Safe to skip entirely; a nil registry is a no-op.
@@ -91,6 +103,8 @@ func (n *Network) SetObs(r *obs.Registry, prefix string) {
 	r.Func(prefix+".frames_sent", func() int64 { return int64(n.Sent) })
 	r.Func(prefix+".frames_delivered", func() int64 { return int64(n.Delivered) })
 	r.Func(prefix+".frames_dropped", func() int64 { return int64(n.Dropped) })
+	r.Func(prefix+".frames_dropped_inj", func() int64 { return int64(n.DroppedInj) })
+	r.Func(prefix+".frames_dropped_unattached", func() int64 { return int64(n.DroppedUnattached) })
 	r.Func(prefix+".frames_duped", func() int64 { return int64(n.Duped) })
 	r.Func(prefix+".bytes_sent", func() int64 { return int64(n.BytesSent) })
 	n.txStalls = r.Counter(prefix + ".tx_stalls")
@@ -144,6 +158,7 @@ func (n *Network) SendFrame(f Frame, sent func()) {
 	sp.txBusyUntil = end
 	n.Sent++
 	n.BytesSent += units.Size(len(f.Data))
+	n.nobs.Tx(int(f.Src), int(f.Dst), f.Flow, len(f.Data), start-now, start, end)
 
 	n.eng.AtKind(end, sim.KindWire, func() {
 		if sent != nil {
@@ -155,11 +170,15 @@ func (n *Network) SendFrame(f Frame, sent func()) {
 		}
 		if v.Drop {
 			n.Dropped++
+			n.DroppedInj++
+			n.nobs.Drop(true)
 			return
 		}
 		dp, ok := n.ports[f.Dst]
 		if !ok {
 			n.Dropped++
+			n.DroppedUnattached++
+			n.nobs.Drop(false)
 			return
 		}
 		for i := 0; i <= v.Dup; i++ {
@@ -167,13 +186,16 @@ func (n *Network) SendFrame(f Frame, sent func()) {
 				n.Duped++
 			}
 			arriveStart := n.eng.Now() + n.delay + v.Delay
+			var rxStall units.Time
 			if v.Delay == 0 {
 				if dp.rxBusyUntil > arriveStart {
+					rxStall = dp.rxBusyUntil - arriveStart
 					arriveStart = dp.rxBusyUntil
 					n.rxStalls.Inc()
 				}
 				dp.rxBusyUntil = arriveStart + txTime
 			}
+			n.nobs.Rx(int(f.Dst), len(f.Data), rxStall, arriveStart, arriveStart+txTime)
 			n.eng.AtKind(arriveStart+txTime, sim.KindWire, func() {
 				n.Delivered++
 				n.Led.TouchP(f.Prov, 0, units.Size(len(f.Data)), ledger.WireTransit, "wire", 0)

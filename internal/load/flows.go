@@ -156,6 +156,7 @@ func (r *runner) setWindow(sock *socket.Socket) {
 
 func (r *runner) startTCPClient(f *flow) {
 	r.tb.Eng.Go(fmt.Sprintf("flow%d-client", f.id), func(p *sim.Proc) {
+		defer r.clientDone()
 		if d := r.startDelay(f); d > 0 {
 			p.Sleep(d)
 		}
@@ -337,6 +338,7 @@ func (r *runner) startUDPFlow(f *flow) {
 		uint16(udpPortBase+f.id), sh.SocketConfig())
 	if err != nil {
 		f.fail("udp bind: %v", err)
+		r.clientDone() // the client proc will never spawn
 		return
 	}
 	maxReq, _ := r.s.maxSizes()
@@ -385,6 +387,7 @@ func (r *runner) startUDPFlow(f *flow) {
 	})
 
 	r.tb.Eng.Go(fmt.Sprintf("flow%d-udpcli", f.id), func(p *sim.Proc) {
+		defer r.clientDone()
 		ch := f.client.h
 		cli, err := socket.NewDGram(ch.K, ch.VM, f.client.task, ch.Stk, 0, ch.SocketConfig())
 		if err != nil {

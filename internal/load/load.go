@@ -104,6 +104,14 @@ type Scenario struct {
 	// CritPath enables the causal critical-path recorder on the run's
 	// testbed; it comes back as Report.Crit for the critpath analyzer.
 	CritPath bool
+	// NetObs enables the transport-dynamics observatory; the postmortem
+	// (analyzed after Warmup) comes back as Report.NetObs and the raw
+	// recorder as Report.NetObsRec.
+	NetObs bool
+	// Series, when positive, samples the utilization time-series at this
+	// interval; the sampler stops when the last client proc finishes and
+	// the set comes back as Report.Series.
+	Series units.Time
 	// FaultPlan is an optional fault-injection plan (fault.ParsePlan
 	// grammar, e.g. "partition:at=5ms,dur=20ms" or "cabreset:at=8ms")
 	// applied to the run's shared network and every adaptor. The plan is
@@ -215,15 +223,18 @@ func Run(s Scenario) (*Report, error) {
 
 // runner holds one run's mutable state.
 type runner struct {
-	s         Scenario
-	tb        *core.Testbed
-	servers   []*host
-	clients   []*host
-	flows     []*flow
-	digest    *orderDigest
-	aggLat    *obs.Histogram
-	inj       *fault.Injector
-	frameErrs int
+	s       Scenario
+	tb      *core.Testbed
+	servers []*host
+	clients []*host
+	flows   []*flow
+	digest  *orderDigest
+	aggLat  *obs.Histogram
+	// activeClients counts running client procs when the series sampler
+	// is on; the last one out stops the sampler so the engine can drain.
+	activeClients int
+	inj           *fault.Injector
+	frameErrs     int
 	// lastDelivery is the virtual time of the last verified delivery; it
 	// bounds the goodput window in request/response mode (the engine
 	// drain time includes connection-teardown timers).
@@ -262,6 +273,12 @@ func (r *runner) build() {
 	}
 	if s.CritPath {
 		r.tb.EnableCritPath()
+	}
+	if s.NetObs {
+		r.tb.EnableNetObs()
+	}
+	if s.Series > 0 {
+		r.tb.EnableSeries(s.Series)
 	}
 	if s.FaultPlan != "" {
 		inj := fault.New(r.tb.Eng, s.Seed)
@@ -344,8 +361,21 @@ func (r *runner) build() {
 	}
 }
 
+// clientDone retires one client proc; the last one out stops the series
+// sampler (which otherwise keeps an engine event pending forever).
+func (r *runner) clientDone() {
+	if r.s.Series <= 0 {
+		return
+	}
+	r.activeClients--
+	if r.activeClients == 0 {
+		r.tb.StopSeries()
+	}
+}
+
 // start spawns every flow's procs.
 func (r *runner) start() {
+	r.activeClients = len(r.flows)
 	for _, sv := range r.servers {
 		if sv.lis != nil {
 			r.startAcceptLoop(sv)

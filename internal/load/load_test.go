@@ -186,6 +186,79 @@ func TestLoad1024(t *testing.T) {
 	}
 }
 
+// TestNetObsSameSeedByteIdentical pins the transport-dynamics recorder's
+// determinism: two same-seed runs with the observatory (and the series
+// sampler) on must produce byte-identical recorder dumps, postmortems and
+// series snapshots — the property the BENCH_netobs.json exact-diff gate
+// relies on.
+func TestNetObsSameSeedByteIdentical(t *testing.T) {
+	run := func() *Report {
+		s := Scenario{
+			Name:      "netobs-det",
+			Seed:      17,
+			Clients:   3,
+			Servers:   2,
+			Flows:     8,
+			UDPFrac:   0.25,
+			Mode:      socket.ModeSingleCopy,
+			Bulk:      true,
+			Duration:  10 * units.Millisecond,
+			BulkWrite: 16 * units.KB,
+			NetObs:    true,
+			Series:    100 * units.Microsecond,
+		}
+		rep, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Errors != 0 {
+			t.Fatalf("errors: %d (%s)", rep.Errors, rep.FirstError)
+		}
+		return rep
+	}
+	r1, r2 := run(), run()
+	if r1.NetObs == nil || r1.NetObsRec == nil || r1.Series == nil {
+		t.Fatalf("netobs/series not plumbed: pm=%v rec=%v series=%v",
+			r1.NetObs != nil, r1.NetObsRec != nil, r1.Series != nil)
+	}
+	if d1, d2 := r1.NetObsRec.Snapshot().JSON(), r2.NetObsRec.Snapshot().JSON(); !bytes.Equal(d1, d2) {
+		t.Fatal("recorder dumps differ between same-seed runs")
+	}
+	if p1, p2 := r1.NetObs.JSON(), r2.NetObs.JSON(); !bytes.Equal(p1, p2) {
+		t.Fatal("postmortems differ between same-seed runs")
+	}
+	if s1, s2 := r1.Series.Snapshot().JSON(), r2.Series.Snapshot().JSON(); !bytes.Equal(s1, s2) {
+		t.Fatal("series snapshots differ between same-seed runs")
+	}
+	if len(r1.NetObs.Flows) == 0 {
+		t.Fatal("postmortem recorded no flows")
+	}
+	// The observatory must not perturb the simulation: the report of an
+	// instrumented run matches the uninstrumented baseline byte for byte.
+	plain := func() *Report {
+		s := Scenario{
+			Name:      "netobs-det",
+			Seed:      17,
+			Clients:   3,
+			Servers:   2,
+			Flows:     8,
+			UDPFrac:   0.25,
+			Mode:      socket.ModeSingleCopy,
+			Bulk:      true,
+			Duration:  10 * units.Millisecond,
+			BulkWrite: 16 * units.KB,
+		}
+		rep, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}()
+	if r1.OrderDigest != plain.OrderDigest {
+		t.Fatalf("netobs perturbed the event order: %s vs %s", r1.OrderDigest, plain.OrderDigest)
+	}
+}
+
 // fairnessScenario is a netmem-starved incast: 8 same-weight TCP bulk
 // elephants plus 3 uncontrolled UDP blasters, each on its own client
 // host, converge on one server whose adaptor has 256 KB of network

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/obs"
+	"repro/internal/obs/netobs"
 	"repro/internal/socket"
 	"repro/internal/units"
 )
@@ -87,8 +88,8 @@ type Report struct {
 	Drops           int64 `json:"drops"`
 	RxRetries       int64 `json:"rx_retries"`
 
-	Errors      int    `json:"errors"`
-	FirstError  string `json:"first_error,omitempty"`
+	Errors     int    `json:"errors"`
+	FirstError string `json:"first_error,omitempty"`
 	// FaultReport summarizes fault-injector activity ("" when the
 	// scenario ran clean).
 	FaultReport string `json:"fault_report,omitempty"`
@@ -96,9 +97,19 @@ type Report struct {
 
 	PerFlow []FlowReport `json:"per_flow,omitempty"`
 
+	// NetObs is the transport-dynamics postmortem when Scenario.NetObs
+	// was set, analyzed past the warmup cutoff.
+	NetObs *netobs.Postmortem `json:"netobs,omitempty"`
+
 	// Crit is the causal recorder when Scenario.CritPath was set (never
 	// marshaled; the critpath analyzer consumes it directly).
 	Crit *obs.CritRec `json:"-"`
+	// NetObsRec is the raw transport-dynamics recorder (never marshaled;
+	// CLI dumps and the determinism regression test consume it).
+	NetObsRec *netobs.Recorder `json:"-"`
+	// Series is the utilization series set when Scenario.Series was set
+	// (never marshaled; loadgen's -series flags consume it).
+	Series *obs.SeriesSet `json:"-"`
 }
 
 // JSON renders the report with stable formatting.
@@ -250,6 +261,11 @@ func (r *runner) report() *Report {
 	if s.CritPath {
 		rep.Crit = r.tb.Tel.Crit()
 	}
+	if s.NetObs {
+		rep.NetObs = r.tb.NetObsPostmortem(s.Warmup)
+		rep.NetObsRec = r.tb.NetObs
+	}
+	rep.Series = r.tb.Series
 
 	if len(r.flows) <= perFlowLimit {
 		for _, f := range r.flows {

@@ -1,0 +1,84 @@
+package netobs
+
+import (
+	"encoding/json"
+	"sort"
+	"strconv"
+
+	"repro/internal/units"
+)
+
+// Chrome-trace counter events.  The obs package's event struct is
+// unexported, and counter tracks ("ph":"C") need a different shape anyway:
+// one numeric arg per named counter, grouped by pid.
+type chromeCounter struct {
+	Name string     `json:"name"`
+	Ph   string     `json:"ph"`
+	TS   float64    `json:"ts"`
+	PID  string     `json:"pid"`
+	Args counterVal `json:"args"`
+}
+
+type counterVal struct {
+	V int64 `json:"v"`
+}
+
+type chromeFile struct {
+	TraceEvents []chromeCounter `json:"traceEvents"`
+}
+
+func micros(t int64) float64 { return float64(t) / float64(units.Microsecond) }
+
+// Chrome renders the recorder's series as Chrome-trace counter tracks
+// (load chrome://tracing or Perfetto).  Each flow contributes cwnd,
+// ssthresh, flight and snd_wnd tracks under its host's pid; each wire port
+// contributes tx/rx busy-fraction tracks under the wire's pid.
+func (r *Recorder) Chrome() []byte {
+	if r == nil {
+		return nil
+	}
+	f := chromeFile{TraceEvents: []chromeCounter{}}
+	add := func(pid, name string, tNs, v int64) {
+		f.TraceEvents = append(f.TraceEvents, chromeCounter{
+			Name: name, Ph: "C", TS: micros(tNs), PID: pid, Args: counterVal{V: v},
+		})
+	}
+	for _, fr := range r.flows {
+		tag := "flow " + strconv.Itoa(fr.Port) + ":" + strconv.Itoa(fr.RPort)
+		for i := range fr.samples {
+			s := &fr.samples[i]
+			add(fr.Host, tag+" cwnd", s.TNs, s.Cwnd)
+			add(fr.Host, tag+" ssthresh", s.TNs, s.Ssthresh)
+			add(fr.Host, tag+" flight", s.TNs, s.Flight)
+			add(fr.Host, tag+" snd_wnd", s.TNs, s.SndWnd)
+		}
+	}
+	for _, w := range r.wires {
+		for _, node := range sortedNodes(w) {
+			p := w.ports[node]
+			emitBusy(add, "wire "+w.Label, "node "+strconv.Itoa(node)+" tx_busy_pm", p.txBusy, w.window)
+			emitBusy(add, "wire "+w.Label, "node "+strconv.Itoa(node)+" rx_busy_pm", p.rxBusy, w.window)
+		}
+	}
+	b, err := json.Marshal(f)
+	if err != nil {
+		panic("netobs: chrome marshal: " + err.Error())
+	}
+	return b
+}
+
+func emitBusy(add func(pid, name string, tNs, v int64), pid, name string, busy []units.Time, window units.Time) {
+	for i, b := range busy {
+		pmv := int64(b) * 1000 / int64(window)
+		if pmv > 1000 {
+			pmv = 1000
+		}
+		add(pid, name, int64(window)*int64(i), pmv)
+	}
+}
+
+func sortedNodes(w *WireRec) []int {
+	nodes := append([]int(nil), w.portOrder...)
+	sort.Ints(nodes)
+	return nodes
+}

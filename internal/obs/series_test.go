@@ -88,6 +88,78 @@ func TestSeriesRingOverwrite(t *testing.T) {
 	}
 }
 
+func TestSeriesEmptySnapshotAndCSV(t *testing.T) {
+	// A set with no hosts exports an empty (but well-formed) snapshot.
+	ss := NewSeriesSet(10*units.Microsecond, 0)
+	snap := ss.Snapshot()
+	if len(snap.Hosts) != 0 || len(snap.LatencyQ) != 0 {
+		t.Fatalf("empty set snapshot = %+v", snap)
+	}
+	if csv := snap.CSV(); csv != "" {
+		t.Fatalf("empty set CSV = %q, want empty", csv)
+	}
+	// A registered host that was never sampled still exports its header
+	// and column names, with zero rows.
+	s := ss.Series("A")
+	s.Level("x", func() int64 { return 1 })
+	snap = ss.Snapshot()
+	if len(snap.Hosts) != 1 || len(snap.Hosts[0].Samples) != 0 || snap.Hosts[0].Dropped != 0 {
+		t.Fatalf("unsampled host snapshot = %+v", snap.Hosts)
+	}
+	if csv := snap.CSV(); csv != "host,t_ns,x\n" {
+		t.Fatalf("unsampled host CSV = %q, want header only", csv)
+	}
+}
+
+func TestSeriesSingleSample(t *testing.T) {
+	ss := NewSeriesSet(100*units.Microsecond, 0)
+	s := ss.Series("A")
+	v := int64(123_456)
+	s.Delta("d", func() int64 { return v })
+	s.UtilPerMille("u", func() int64 { return 50_000 })
+	ss.Sample(100 * units.Microsecond)
+	h := ss.Snapshot().Hosts[0]
+	if len(h.Samples) != 1 {
+		t.Fatalf("samples = %d, want 1", len(h.Samples))
+	}
+	// The first delta/util sample is measured against a zero baseline.
+	if r := h.Samples[0]; r.TNs != 100_000 || r.V[0] != 123_456 || r.V[1] != 500 {
+		t.Fatalf("single row = %+v", r)
+	}
+	if csv := ss.Snapshot().CSV(); csv != "host,t_ns,d,u\nA,100000,123456,500\n" {
+		t.Fatalf("single-row CSV = %q", csv)
+	}
+}
+
+func TestSeriesPeakIntervalReset(t *testing.T) {
+	// KindPeak reads the gauge's interval high-water and Resets it, so each
+	// interval reports its own peak — and the reset floor is the *current*
+	// level, not zero (a level that persists across the tick is still the
+	// peak of the next window).
+	ss := NewSeriesSet(10*units.Microsecond, 0)
+	s := ss.Series("A")
+	var g Gauge
+	s.Peak("p", &g)
+
+	g.Set(9)
+	g.Set(3)
+	ss.Sample(10 * units.Microsecond) // interval peak 9, resets floor to 3
+	ss.Sample(20 * units.Microsecond) // nothing set: floor carries as peak
+	g.Set(5)
+	g.Set(1)
+	ss.Sample(30 * units.Microsecond)
+	h := ss.Snapshot().Hosts[0]
+	want := []int64{9, 3, 5}
+	for i, w := range want {
+		if h.Samples[i].V[0] != w {
+			t.Fatalf("peak rows = %v, want %v", h.Samples, want)
+		}
+	}
+	if g.HighWater() != 9 {
+		t.Fatalf("all-time high water = %d, want 9 (Reset must not clear it)", g.HighWater())
+	}
+}
+
 func TestSeriesSnapshotDeterministicAndCSV(t *testing.T) {
 	mk := func() SeriesSnapshot {
 		ss := NewSeriesSet(10*units.Microsecond, 0)

@@ -1,0 +1,77 @@
+package tcpip
+
+import (
+	"testing"
+
+	"repro/internal/obs/netobs"
+)
+
+// TestNetObsFlowSeriesRecorded checks the stack-side instrumentation: a
+// plain transfer on an instrumented rig must yield one state series per
+// connection, sampled on change (strictly increasing timestamps, no
+// consecutive duplicate states) with live congestion values.
+func TestNetObsFlowSeriesRecorded(t *testing.T) {
+	r := newRig(t, 31)
+	rec := netobs.New(r.eng.Now)
+	r.sa.SetNetObs(rec, 1)
+	r.sb.SetNetObs(rec, 2)
+
+	data := pattern(256*1024, 3)
+	got := runTransfer(t, r, data)
+	if len(got) != len(data) {
+		t.Fatalf("transfer broke under instrumentation: %d/%d bytes", len(got), len(data))
+	}
+
+	d := rec.Snapshot()
+	if len(d.Flows) != 2 {
+		t.Fatalf("%d flow series, want 2 (client and server side)", len(d.Flows))
+	}
+	for _, f := range d.Flows {
+		if len(f.Samples) == 0 {
+			t.Fatalf("flow %s:%d-%d recorded no samples", f.Host, f.Port, f.RPort)
+		}
+		for i := 1; i < len(f.Samples); i++ {
+			if f.Samples[i].TNs <= f.Samples[i-1].TNs {
+				t.Fatalf("flow %s:%d samples not strictly ordered at %d", f.Host, f.Port, i)
+			}
+			if f.Samples[i].FlowState == f.Samples[i-1].FlowState {
+				t.Fatalf("flow %s:%d consecutive duplicate state at %d (on-change dedup broken)",
+					f.Host, f.Port, i)
+			}
+		}
+		if f.DroppedSamples != 0 {
+			t.Fatalf("flow %s:%d dropped %d samples in a short transfer", f.Host, f.Port, f.DroppedSamples)
+		}
+	}
+	// The sender's series must show the congestion window opening from its
+	// initial value.
+	var snd *netobs.FlowDump
+	for i := range d.Flows {
+		if d.Flows[i].Host == "A" {
+			snd = &d.Flows[i]
+		}
+	}
+	if snd == nil {
+		t.Fatal("no client-side series")
+	}
+	first, last := snd.Samples[0], snd.Samples[len(snd.Samples)-1]
+	if first.Cwnd <= 0 || last.Cwnd <= first.Cwnd {
+		t.Fatalf("cwnd did not open: first=%d last=%d", first.Cwnd, last.Cwnd)
+	}
+	if last.SrttNs <= 0 || last.RtoNs <= 0 {
+		t.Fatalf("no RTT estimate in final sample: %+v", last)
+	}
+}
+
+// TestNetObsDisabledHookZeroAlloc pins the cost of the instrumentation on
+// an uninstrumented stack: the per-segment noteNetObs hook must allocate
+// nothing when no recorder is attached.
+func TestNetObsDisabledHookZeroAlloc(t *testing.T) {
+	c := &TCPConn{}
+	if n := testing.AllocsPerRun(200, func() { c.noteNetObs() }); n != 0 {
+		t.Fatalf("disabled noteNetObs allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { c.nobs.Rtx(netobs.RtxRTO) }); n != 0 {
+		t.Fatalf("disabled Rtx hook allocates %.1f/op, want 0", n)
+	}
+}

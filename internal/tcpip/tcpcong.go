@@ -2,6 +2,7 @@ package tcpip
 
 import (
 	"repro/internal/kern"
+	"repro/internal/obs/netobs"
 	"repro/internal/units"
 	"repro/internal/wire"
 )
@@ -27,6 +28,7 @@ const (
 func (c *TCPConn) initCong() {
 	c.cwnd = initialCwndSegs * c.MaxSeg
 	c.ssthresh = c.SndLimit
+	c.noteNetObs()
 }
 
 // sendWindow is the effective transmit window: the peer's advertised
@@ -113,6 +115,7 @@ func (c *TCPConn) onDupAck(ctx kern.Ctx) {
 		return
 	}
 	c.stk.Stats.TCPFastRetransmits++
+	c.nobs.Rtx(netobs.RtxFast)
 	flight := seqDiff(c.sndNxt, c.sndUna)
 	half := flight / 2
 	if half < 2*c.MaxSeg {

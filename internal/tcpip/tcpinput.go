@@ -260,6 +260,7 @@ func (c *TCPConn) processAck(ctx kern.Ctx, hdr wire.TCPHdr) {
 		}
 	}
 	c.noteQueues()
+	c.noteNetObs()
 }
 
 // processData accepts in-order payload, queues out-of-order segments for

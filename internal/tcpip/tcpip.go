@@ -20,6 +20,7 @@ import (
 	"repro/internal/mbuf"
 	"repro/internal/netif"
 	"repro/internal/obs"
+	"repro/internal/obs/netobs"
 	"repro/internal/sim"
 	"repro/internal/units"
 	"repro/internal/wire"
@@ -96,6 +97,19 @@ type Stack struct {
 	// host-wide aggregates updated by every connection (last writer wins,
 	// which for the sampler's per-interval peaks is what we want).
 	gSndQ, gRcvQ, gSndWnd *obs.Gauge
+
+	// Transport-dynamics recorder (netobs). nil when disabled; per-conn
+	// FlowRecs then stay nil and every hook is a nil no-op.
+	nrec  *netobs.Recorder
+	nnode int
+}
+
+// SetNetObs attaches the transport-dynamics recorder. node is the host's
+// fabric port id, used by the postmortem analyzer to join the flow series
+// with the wire telemetry. Call before any connections are created.
+func (s *Stack) SetNetObs(rec *netobs.Recorder, node int) {
+	s.nrec = rec
+	s.nnode = node
 }
 
 type connKey struct {

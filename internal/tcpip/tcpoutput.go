@@ -20,6 +20,7 @@ func (c *TCPConn) Output(ctx kern.Ctx) {
 	if c.state == StateClosed || c.state == StateSynSent || c.state == StateSynRcvd {
 		return
 	}
+	defer c.noteNetObs()
 	for {
 		off := seqDiff(c.sndNxt, c.sndUna)
 		if c.finSent && off > 0 {

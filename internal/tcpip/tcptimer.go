@@ -3,6 +3,7 @@ package tcpip
 import (
 	"repro/internal/kern"
 	"repro/internal/obs"
+	"repro/internal/obs/netobs"
 	"repro/internal/sim"
 	"repro/internal/units"
 	"repro/internal/wire"
@@ -43,6 +44,7 @@ func (c *TCPConn) cancelRtx() {
 // exponential backoff.
 func (c *TCPConn) rtxTimeout(ctx kern.Ctx) {
 	c.stk.ctrRtoFires.Inc()
+	c.nobs.Rtx(netobs.RtxRTO)
 	if crit := c.stk.crit; crit != nil {
 		// The dead time since the last forward progress (the previous
 		// ACK, or connection start) is charged to the RTO.
@@ -77,6 +79,7 @@ func (c *TCPConn) rtxTimeout(ctx kern.Ctx) {
 		c.finSent = false
 		c.Output(ctx)
 	}
+	c.noteNetObs()
 }
 
 // armPersist starts the zero-window probe timer.
@@ -148,6 +151,7 @@ func (c *TCPConn) persistProbe(ctx kern.Ctx) {
 		return
 	}
 	probe := units.Size(1)
+	c.nobs.Rtx(netobs.RtxPersist)
 	c.sendSegment(ctx, c.sndNxt, probe, wire.FlagACK)
 	c.sndNxt += uint32(probe)
 	if seqGT(c.sndNxt, c.sndMax) {
@@ -239,6 +243,7 @@ func (c *TCPConn) keepAliveTimeout(ctx kern.Ctx) {
 	}
 	c.kaProbes++
 	c.stk.Stats.TCPKaProbes++
+	c.nobs.Rtx(netobs.RtxKeepalive)
 	c.sendControl(ctx, c.sndNxt-1, wire.FlagACK)
 	c.armKeepAlive()
 }
