@@ -81,6 +81,15 @@ netobs:
 	$(GO) run ./cmd/experiments -exp netobs -benchdir .netobsfresh
 	$(GO) run ./cmd/benchdiff -baseline . -fresh .netobsfresh BENCH_netobs.json
 
+# The multi-switch fabric: topology grammar, ECMP hashing, CE marking,
+# the congestion-control comparison (Reno RTO-bound vs DCTCP healthy on
+# the same capped trunk), and the exact-diffed fabric baseline.
+fabric:
+	$(GO) test -race -count 1 -run 'Fabric|ECMP|MarkCE|Topolog|Parse|CC|Dctcp|Ecn|ECN' ./internal/fabric ./internal/tcpip ./internal/hippi ./internal/load ./internal/exp
+	rm -rf .fabricfresh && mkdir -p .fabricfresh
+	$(GO) run ./cmd/experiments -exp fabric -benchdir .fabricfresh
+	$(GO) run ./cmd/benchdiff -baseline . -fresh .fabricfresh BENCH_fabric.json
+
 # The adversarial soak suite: seeded fault plans against full transfers,
 # under the race detector, plus the determinism and recovery-corner tests.
 soak:
@@ -109,4 +118,4 @@ load:
 load-race:
 	$(GO) test -race -count 1 ./internal/load/...
 
-ci: vet build race bench-smoke soak obs-race load load-race audit simbench critpath recover netobs benchcheck
+ci: vet build race bench-smoke soak obs-race load load-race audit simbench critpath recover netobs fabric benchcheck

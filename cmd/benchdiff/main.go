@@ -64,6 +64,7 @@ var defaultFiles = []string{
 	"BENCH_sim.json",
 	"BENCH_critpath.json",
 	"BENCH_netobs.json",
+	"BENCH_fabric.json",
 }
 
 // exactFiles are baselines of exact integer counts: compared with zero
@@ -84,6 +85,10 @@ var exactFiles = map[string]bool{
 	// functions of the seeded fairness pair; any drift is a congestion-
 	// behavior change.
 	"BENCH_netobs.json": true,
+	// The fabric baseline (topology/ECMP/congestion-control comparison)
+	// is a pure function of its seeded scenarios: byte counts, trunk
+	// shares, verdict censuses, and order digests must not drift.
+	"BENCH_fabric.json": true,
 }
 
 func main() {

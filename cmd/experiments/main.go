@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments -exp fig5|fig6|fig7|fig8|fig9|table1|table2|analysis|hol|window|lazy|threshold|chaos|load|simbench|critpath|recover|netobs|all
+//	experiments -exp fig5|fig6|fig7|fig8|fig9|table1|table2|analysis|hol|window|lazy|threshold|chaos|load|simbench|critpath|recover|netobs|fabric|all
 //	experiments -exp fig5 -quick   # fewer sizes, faster
 //	experiments -exp bench         # regenerate every BENCH_fig*.json baseline
 //	experiments -exp simbench -cpuprofile cpu.pprof   # profile the simulator itself
@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: fig5..fig9, table1, table2, analysis, hol, window, lazy, threshold, chaos, touches, load, simbench, critpath, recover, netobs, bench, all")
+	which := flag.String("exp", "all", "experiment: fig5..fig9, table1, table2, analysis, hol, window, lazy, threshold, chaos, touches, load, simbench, critpath, recover, netobs, fabric, bench, all")
 	quick := flag.Bool("quick", false, "use a reduced size sweep for the figures")
 	csv := flag.Bool("csv", false, "emit figures as CSV instead of tables")
 	metricsOut := flag.String("metrics", "", "write a telemetry snapshot of one instrumented transfer to this JSON file")
@@ -172,6 +172,20 @@ func main() {
 				os.Exit(1)
 			}
 			writeBench("BENCH_netobs.json", nb.JSON())
+			fb, err := exp.RunFabric()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			writeBench("BENCH_fabric.json", fb.JSON())
+		case "fabric":
+			fb, err := exp.RunFabric()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(fb.Format())
+			writeBench("BENCH_fabric.json", fb.JSON())
 		case "netobs":
 			nb, err := exp.RunNetObs()
 			if err != nil {

@@ -30,6 +30,14 @@
 //
 //	loadgen -flows 11 -bulk -duration 120ms -warmup 20ms -netobs
 //	loadgen -flows 11 -bulk -duration 120ms -arb -series series.json
+//
+// -topology routes the testbed through a multi-switch fabric
+// (internal/fabric) instead of the classic single switch, with seeded
+// ECMP across equal-cost uplinks; -cc selects the TCP congestion
+// control, and -queuecap/-ecnthresh set the per-port wire queue cap and
+// the fabric's CE-marking threshold:
+//
+//	loadgen -topology leafspine:4x2 -cc dctcp -queuecap 256 -flows 64 -bulk -netobs
 package main
 
 import (
@@ -74,6 +82,12 @@ func main() {
 
 		memKB = flag.Int("netmem", 0, "per-adaptor network memory in KB (0 = adaptor default)")
 		arb   = flag.Bool("arb", false, "install the per-flow netmem arbiter on every host")
+
+		topology  = flag.String("topology", "", `multi-switch fabric spec: "linear:N", "leafspine:LxS", "fattree:LxS" (empty = classic single switch)`)
+		cc        = flag.String("cc", "", "TCP congestion control: reno or dctcp (empty = reno)")
+		queuecap  = flag.Int("queuecap", 0, "per-port wire queue cap in KB; overruns tail-drop (0 = unbounded)")
+		ecnthresh = flag.Int("ecnthresh", 0, "fabric CE-marking queue threshold in KB (0 with -cc dctcp = 32)")
+		mtu       = flag.Int("mtu", 0, "network-layer MTU in bytes (0 = the 32 KB paper default)")
 
 		faultPlan = flag.String("fault", "", `fault-injection plan, e.g. "partition:at=5ms,dur=20ms" or "cabreset:at=8ms" (see internal/fault.ParsePlan)`)
 
@@ -145,6 +159,11 @@ func main() {
 		UDPServerThink: units.Time(*udpthink),
 		Stagger:        units.Time(*stagger),
 		FaultPlan:      *faultPlan,
+		Topology:       *topology,
+		CC:             *cc,
+		QueueCap:       units.Size(*queuecap) * units.KB,
+		ECNThreshold:   units.Size(*ecnthresh) * units.KB,
+		MTU:            units.Size(*mtu),
 	}
 	switch *mode {
 	case "single_copy":
@@ -202,6 +221,17 @@ func main() {
 		}
 		if rep.FaultReport != "" {
 			fmt.Printf("  %s\n", rep.FaultReport)
+		}
+		if rep.Topology != "" {
+			fmt.Printf("  fabric %s cc=%s marks=%d trunk_drops=%d\n",
+				rep.Topology, rep.CC, rep.ECNMarked, rep.TrunkDrops)
+			for _, t := range rep.Trunks {
+				fmt.Printf("    trunk %-14s ab=%-9d ba=%-9d drops=%d/%d\n",
+					t.Name, int64(t.AB), int64(t.BA), t.DropsAB, t.DropsBA)
+			}
+		}
+		if rep.Audit != "" {
+			fmt.Printf("  single_copy_audit=%s\n", rep.Audit)
 		}
 		fmt.Printf("  order_digest=%s\n", rep.OrderDigest)
 	}

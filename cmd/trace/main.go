@@ -8,6 +8,7 @@
 //	trace [-n 40] [-host A|B|both] [-dir in|out|both] [-json]
 //	      [-flow <port>] [-chrome out.json]
 //	      [-critpath] [-critpath-chrome out.json]
+//	      [-netobs dump.json -chrome out.json]
 //
 // -json emits one JSON object per event (machine-readable) instead of the
 // tcpdump-style line. -flow keeps only the segments of one flow (the data
@@ -22,6 +23,15 @@
 // that delivered it, and the per-cause sums reconstruct the end-to-end
 // latency exactly. -critpath-chrome writes the same paths as Chrome
 // trace-event JSON (one track per cause class, loadable in Perfetto).
+//
+// -netobs skips the built-in transfer entirely and instead re-renders a
+// saved transport-dynamics dump (loadgen -netobs-json) as Chrome counter
+// tracks. Multi-switch fabrics work: trunk ports carry switch-namespaced
+// synthetic ids and are labeled by trunk name ("link leaf0-spine1>"), so
+// the export can't collide on duplicate port numbers:
+//
+//	loadgen -topology leafspine:4x2 -flows 64 -bulk -netobs-json dump.json
+//	trace -netobs dump.json -chrome wire.json
 package main
 
 import (
@@ -33,6 +43,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/obs/critpath"
+	"repro/internal/obs/netobs"
 	"repro/internal/sim"
 	"repro/internal/socket"
 	"repro/internal/tcpip"
@@ -49,7 +60,32 @@ func main() {
 	chromeOut := flag.String("chrome", "", "write data-path spans as Chrome trace-event JSON to this path")
 	critFlag := flag.Bool("critpath", false, "print every completed read's critical-path waterfall with stall attribution")
 	critChrome := flag.String("critpath-chrome", "", "write the critical paths as Chrome trace-event JSON to this path")
+	netobsIn := flag.String("netobs", "", "re-render this saved transport-dynamics dump (loadgen -netobs-json) as Chrome counter tracks instead of running a transfer")
 	flag.Parse()
+
+	if *netobsIn != "" {
+		if *chromeOut == "" {
+			fmt.Fprintln(os.Stderr, "trace: -netobs needs -chrome <out.json>")
+			os.Exit(2)
+		}
+		raw, err := os.ReadFile(*netobsIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		var dump netobs.Dump
+		if err := json.Unmarshal(raw, &dump); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %s: %v\n", *netobsIn, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*chromeOut, dump.Chrome(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d flows, %d wires)\n",
+			*chromeOut, len(dump.Flows), len(dump.Wires))
+		return
+	}
 
 	if *dirF != "in" && *dirF != "out" && *dirF != "both" {
 		fmt.Fprintf(os.Stderr, "trace: bad -dir %q (want in, out, or both)\n", *dirF)

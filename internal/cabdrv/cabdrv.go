@@ -48,6 +48,7 @@ type Stats struct {
 	TxOverlays      int // header-only retransmissions
 	TxFallbackReads int // partial-WCAB retransmissions that re-read outboard data
 	TxAbandoned     int // queued packets dropped after their connection tore down
+	TxStaleAcked    int // queued retransmissions dropped: data acked (unpinned) in the meantime
 	Converted       int // descriptor chains converted at the legacy entry point
 	RxSmall         int // packets delivered entirely from the auto-DMA buffer
 	RxLarge         int // packets delivered as auto-DMA head + M_WCAB body
@@ -242,6 +243,10 @@ func (d *Driver) sendSingleCopy(p *sim.Proc, job *txJob) {
 		d.dropAbandoned(job, nil)
 		return
 	}
+	if txStale(m) {
+		d.dropStale(job, nil)
+		return
+	}
 
 	if op, prefixLen, ok := d.overlayCandidate(m); ok {
 		d.sendOverlay(job, op, prefixLen)
@@ -260,6 +265,13 @@ func (d *Driver) sendSingleCopy(p *sim.Proc, job *txJob) {
 	// firmware reset can wipe referenced outboard packets) in the meantime.
 	if txAbandoned(m) || txDead(m) {
 		d.dropAbandoned(job, pk)
+		return
+	}
+	// Likewise, an ACK can land while the job queued or the allocation
+	// blocked: a retransmission whose data was acknowledged (and unpinned)
+	// must not reach the DMA engine.
+	if txStale(m) {
+		d.dropStale(job, pk)
 		return
 	}
 
@@ -419,6 +431,35 @@ func txDead(m *mbuf.Mbuf) bool {
 // the DMA was issued; its user pages are no longer pinned.
 func (d *Driver) dropAbandoned(job *txJob, pk *cab.Packet) {
 	d.Stats.TxAbandoned++
+	if pk != nil {
+		pk.Free()
+	}
+	mbuf.FreeChain(job.m)
+}
+
+// txStale reports whether the chain references user pages that are no
+// longer pinned: the segment's data was acknowledged — and its pages
+// released — while the job sat in the transmit queue (a retransmission
+// that lost its race with the ACK, seen under fabric-scale RTTs).
+func txStale(m *mbuf.Mbuf) bool {
+	for cur := m; cur != nil; cur = cur.Next() {
+		if cur.Type() != mbuf.TUIO {
+			continue
+		}
+		u := cur.UIO()
+		for _, seg := range u.Segments(cur.Off(), cur.Len()) {
+			if !u.Space.Pinned(seg.Addr, seg.Len) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// dropStale discards a transmit job made redundant by an ACK that
+// arrived while it was queued.
+func (d *Driver) dropStale(job *txJob, pk *cab.Packet) {
+	d.Stats.TxStaleAcked++
 	if pk != nil {
 		pk.Free()
 	}

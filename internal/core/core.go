@@ -58,6 +58,14 @@ type HostConfig struct {
 	// LazyUnpin enables the pinned-buffer reuse cache (Section 4.4.1
 	// extension).
 	LazyUnpin bool
+	// CC selects the host's TCP congestion-control policy: "" or "reno"
+	// for the classic 4.3BSD-Reno behavior, "dctcp" for the ECN-reacting
+	// variant (needs a fabric with CE marking enabled to differ).
+	CC string
+	// MTU overrides the CAB interface's network-layer MTU (0: the default
+	// 32 KByte paper MTU). Fabric scenarios use a smaller MTU so DCTCP's
+	// two-segment cwnd floor sits below a fair per-flow share.
+	MTU units.Size
 }
 
 // Host is one assembled host.
@@ -319,6 +327,7 @@ func (tb *Testbed) EnableFaults(inj *fault.Injector) *fault.Injector {
 	tb.FaultInj = inj
 	inj.WireNet(tb.Net)
 	inj.WireNet(tb.EthNet)
+	tb.Net.SetLinkInjector(inj)
 	if tb.Tel != nil {
 		inj.SetObs(tb.Tel.Registry("net"), tb.Tel.Trace())
 	}
@@ -346,6 +355,7 @@ func (tb *Testbed) AddHost(cfg HostConfig) *Host {
 	h.VM = kern.NewVM(h.K)
 	h.VM.LazyUnpin = cfg.LazyUnpin
 	h.Stk = tcpip.NewStack(h.K, cfg.Addr)
+	h.Stk.CC = cfg.CC
 	if tb.NetObs != nil {
 		h.Stk.SetNetObs(tb.NetObs, int(cfg.CABNode))
 	}
@@ -369,6 +379,9 @@ func (tb *Testbed) AddHost(cfg HostConfig) *Host {
 		h.Drv = cabdrv.New("cab0", h.K, h.CAB, cfg.Mode == socket.ModeSingleCopy)
 		h.Drv.Input = h.Stk.Input
 		h.Drv.ResetNotify = h.Stk.DeviceReset
+		if cfg.MTU > 0 {
+			h.Drv.SetMTU(cfg.MTU)
+		}
 	}
 	if cfg.EthNode != 0 {
 		h.Eth = ethdev.New("en0", h.K, tb.EthNet, cfg.EthNode, 0)

@@ -179,6 +179,11 @@ type Rule struct {
 	// heals. SrcNode/DstNode (0: any) restrict the partition to one wire
 	// direction.
 	SrcNode, DstNode hippi.NodeID
+	// Link restricts a Partition to one named fabric trunk (e.g.
+	// "leaf0-spine1") instead of the host wire: the rule is consulted via
+	// the network's LinkInjector hook on every hop over that trunk, and
+	// never matches host-edge frames. Mutually exclusive with src/dst.
+	Link string
 
 	// CABReset: fire the firmware reset at From on the adaptor with Node
 	// (0: every wired adaptor).
@@ -252,7 +257,7 @@ func (in *Injector) Frame(f *hippi.Frame) hippi.Verdict {
 	// Partition windows first: while the link is down nothing traverses, so
 	// a partitioned frame never reaches (or advances) the per-packet rules.
 	for _, r := range in.rules {
-		if r.Kind != Partition {
+		if r.Kind != Partition || r.Link != "" {
 			continue
 		}
 		if now := in.eng.Now(); now < r.From || (r.Until > 0 && now >= r.Until) {
@@ -310,6 +315,25 @@ func (in *Injector) Frame(f *hippi.Frame) hippi.Verdict {
 		}
 	}
 	return v
+}
+
+// LinkDown implements hippi.LinkInjector: it reports whether a named
+// fabric trunk is inside a Partition window, counting each frame the
+// downed link eats. Rules without a Link never match here, and Link
+// rules never match in Frame, so a plan can partition host wires and
+// fabric trunks independently.
+func (in *Injector) LinkDown(name string, now units.Time) bool {
+	for _, r := range in.rules {
+		if r.Kind != Partition || r.Link != name {
+			continue
+		}
+		if now < r.From || (r.Until > 0 && now >= r.Until) {
+			continue
+		}
+		in.hit(Partition)
+		return true
+	}
+	return false
 }
 
 // Kind-default delays: a Delay rule adds modest jitter; a Reorder rule

@@ -175,6 +175,11 @@ func TestParsePlan(t *testing.T) {
 		t.Fatalf("delay rule = %+v", rs[0])
 	}
 
+	rs = MustPlan("partition:at=5ms,dur=20ms,link=leaf0-spine1")
+	if rs[0].Link != "leaf0-spine1" || rs[0].From != 5*units.Millisecond {
+		t.Fatalf("link partition rule = %+v", rs[0])
+	}
+
 	// Default schedule when none is given.
 	rs = MustPlan("drop:min=32K")
 	if _, ok := rs[0].When.(*everySched); !ok || rs[0].MinLen != 32*units.KB {
@@ -216,6 +221,14 @@ func TestParsePlanPositionalErrors(t *testing.T) {
 			[]string{"rule 1", "partition", `"bogus"`}},
 		{"drop:every=13;partition:at=6ms,until=5ms",
 			[]string{"rule 2", "partition", "not after"}},
+		// Fabric-link partitions: link= only applies to partition, needs a
+		// name, and excludes the host-wire src/dst filters.
+		{"drop:link=leaf0-spine1",
+			[]string{"rule 1", "drop", `"link=leaf0-spine1"`}},
+		{"partition:at=5ms,dur=2ms,link=",
+			[]string{"rule 1", "partition", `link=""`, "leaf0-spine1"}},
+		{"partition:at=5ms,dur=2ms,link=leaf0-spine1,src=2",
+			[]string{"rule 1", "partition", "link=leaf0-spine1", "src/dst"}},
 	}
 	for _, c := range cases {
 		_, err := ParsePlan(c.spec)

@@ -29,6 +29,8 @@ import (
 //	                         omitted: the window never closes)
 //	        | src=N          partition: only frames from HIPPI node N
 //	        | dst=N          partition: only frames to HIPPI node N
+//	        | link=NAME      partition: the named fabric trunk (e.g.
+//	                         leaf0-spine1) instead of the host wire
 //	        | node=N         cabreset: only the adaptor on HIPPI node N
 //	DUR    := <int>ns|us|ms|s     SIZE := <int>[K|M]
 //
@@ -87,6 +89,9 @@ func finishRule(r *Rule, sawAnchor bool) error {
 	case statefulKind(r.Kind):
 		if r.Kind == CABReset && !sawAnchor {
 			return fmt.Errorf("needs an at=DUR reset time")
+		}
+		if r.Link != "" && (r.SrcNode != 0 || r.DstNode != 0) {
+			return fmt.Errorf("link=%s excludes src/dst (a trunk has no host endpoints)", r.Link)
 		}
 		if r.Until != 0 && r.Until <= r.From {
 			return fmt.Errorf("window end %v not after start %v", r.Until, r.From)
@@ -151,7 +156,7 @@ func paramAllowed(k Kind, key string) bool {
 		return k == Dup
 	case "pages":
 		return k == Netmem
-	case "src", "dst":
+	case "src", "dst", "link":
 		return k == Partition
 	case "node":
 		return k == CABReset
@@ -251,6 +256,11 @@ func parseParam(r *Rule, p string, sawAnchor *bool) error {
 			return fmt.Errorf("bad pages=%q", val)
 		}
 		r.Pages = n
+	case "link":
+		if val == "" {
+			return fmt.Errorf("bad link=%q (want a fabric link name like leaf0-spine1)", val)
+		}
+		r.Link = val
 	case "src", "dst", "node":
 		n, err := strconv.Atoi(val)
 		if err != nil || n < 1 {

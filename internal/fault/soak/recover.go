@@ -325,7 +325,7 @@ func RunRecover(c RecoverCase) RecoverOutcome {
 		o.failf("conservation: wire dropped %d frames, drop faults %d + partition %d",
 			net.Dropped, inj.Fired[fault.Drop], inj.Fired[fault.Partition])
 	}
-	if net.DroppedInj+net.DroppedUnattached != net.Dropped {
+	if net.DroppedInj+net.DroppedUnattached+net.DroppedFull != net.Dropped {
 		o.failf("conservation: drop split inj %d + unattached %d != dropped %d",
 			net.DroppedInj, net.DroppedUnattached, net.Dropped)
 	}

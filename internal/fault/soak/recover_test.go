@@ -95,8 +95,8 @@ func TestRecoverPeerDeathSurfacesLiveness(t *testing.T) {
 	o := RunRecover(RecoverCase{
 		Name: "peerdeath", Plan: "partition:at=10ms", Seed: 77,
 		Mode: socket.ModeSingleCopy, KeepAlive: true, UserTimeout: 2 * units.Second,
-		AllowSnd: []error{tcpip.ErrTimeout},
-		AllowRcv: []error{tcpip.ErrTimeout, tcpip.ErrConnReset},
+		AllowSnd:      []error{tcpip.ErrTimeout},
+		AllowRcv:      []error{tcpip.ErrTimeout, tcpip.ErrConnReset},
 		WantPartition: true,
 	})
 	for _, f := range o.Failures {
@@ -130,8 +130,8 @@ func TestRecoverCabresetLeakFree(t *testing.T) {
 	o := RunRecover(RecoverCase{
 		Name: "reset-leak", Plan: "cabreset:at=8ms,node=1", Seed: 88,
 		Mode: socket.ModeSingleCopy, KeepAlive: true,
-		AllowSnd: []error{tcpip.ErrDeviceReset, tcpip.ErrConnReset, tcpip.ErrConnTimeout, tcpip.ErrTimeout},
-		AllowRcv: []error{tcpip.ErrDeviceReset, tcpip.ErrConnReset, tcpip.ErrTimeout},
+		AllowSnd:   []error{tcpip.ErrDeviceReset, tcpip.ErrConnReset, tcpip.ErrConnTimeout, tcpip.ErrTimeout},
+		AllowRcv:   []error{tcpip.ErrDeviceReset, tcpip.ErrConnReset, tcpip.ErrTimeout},
 		WantResets: true,
 	})
 	for _, f := range o.Failures {

@@ -477,7 +477,7 @@ func checkConservation(o *Outcome, tb *core.Testbed, a, b *core.Host, inj *fault
 		o.failf("conservation: wire dropped %d frames but drop faults fired %d and partition ate %d",
 			net.Dropped, inj.Fired[fault.Drop], inj.Fired[fault.Partition])
 	}
-	if net.DroppedInj+net.DroppedUnattached != net.Dropped {
+	if net.DroppedInj+net.DroppedUnattached+net.DroppedFull != net.Dropped {
 		// The drop taxonomy must partition the total: every wire drop is
 		// either injected (fault/partition) or a detached destination port.
 		o.failf("conservation: drop split inj %d + unattached %d != dropped %d",

@@ -97,7 +97,7 @@ func TestNetObsDropSplit(t *testing.T) {
 	if n.DroppedInj != 3 || n.DroppedUnattached != 2 {
 		t.Fatalf("drop split inj=%d unattached=%d, want 3/2", n.DroppedInj, n.DroppedUnattached)
 	}
-	if n.DroppedInj+n.DroppedUnattached != n.Dropped {
+	if n.DroppedInj+n.DroppedUnattached+n.DroppedFull != n.Dropped {
 		t.Fatalf("drop split inj=%d + unattached=%d != dropped=%d",
 			n.DroppedInj, n.DroppedUnattached, n.Dropped)
 	}

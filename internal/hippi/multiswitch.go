@@ -1,0 +1,267 @@
+// Multi-switch fabrics. The classic Network is one switch: every attached
+// node is a port on it and SendFrame serializes source → switch delay →
+// destination. This file removes that single-switch assumption without
+// touching the single-switch path: nodes are placed on switches, switches
+// are joined by named trunks, and a route function picks the next trunk
+// for each (frame, switch) pair. Topology assembly, ECMP hashing, and ECN
+// marking policy live in internal/fabric; this file is only the per-hop
+// mechanics (serialization, HOL coupling, telemetry, ledger charges).
+package hippi
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/obs/ledger"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// SwitchID identifies one switch in a fabric. The zero value is the
+// classic single switch: with no placement installed every node is on
+// switch 0 and no frame ever crosses a trunk.
+type SwitchID int
+
+// RouteFunc picks the trunk a frame leaves switch at on, given the frame
+// and the destination's switch. Returning "" drops the frame as
+// unrouteable (counted under DroppedUnattached).
+type RouteFunc func(f *Frame, at, dstSw SwitchID) string
+
+// LinkInjector is the fault-injection hook for fabric trunks: it is asked,
+// per frame, whether the named link is partitioned at time now. The
+// standard implementation is internal/fault's Injector (partition rules
+// with link=NAME).
+type LinkInjector interface {
+	LinkDown(name string, now units.Time) bool
+}
+
+// trunk is one bidirectional inter-switch link. Each direction serializes
+// independently at the network's line rate (a trunk is a pair of
+// unidirectional HIPPI channels, like a host port).
+type trunk struct {
+	name string
+	a, b SwitchID
+	id   int // dense index for telemetry port-id assignment
+
+	busyUntil [2]units.Time // per direction: 0 = a→b, 1 = b→a
+	bytes     [2]units.Size
+	frames    [2]int
+	drops     [2]int
+}
+
+// TrunkStat is one trunk's byte/frame counters, for reports and the ECMP
+// share tests.
+type TrunkStat struct {
+	Name     string     `json:"name"`
+	AB       units.Size `json:"ab_bytes"`
+	BA       units.Size `json:"ba_bytes"`
+	FramesAB int        `json:"ab_frames"`
+	FramesBA int        `json:"ba_frames"`
+	DropsAB  int        `json:"ab_drops,omitempty"`
+	DropsBA  int        `json:"ba_drops,omitempty"`
+}
+
+// trunkPortBase namespaces the synthetic netobs port ids assigned to trunk
+// directions, far above any host NodeID, so fabric telemetry can never
+// collide with a host port in the recorder.
+const trunkPortBase = 1 << 16
+
+// SetPlacement installs the node → switch map. A nil placement (the
+// default) keeps every node on switch 0.
+func (n *Network) SetPlacement(place func(NodeID) SwitchID) { n.placement = place }
+
+func (n *Network) switchOf(id NodeID) SwitchID {
+	if n.placement == nil {
+		return 0
+	}
+	return n.placement(id)
+}
+
+// AddTrunk joins switches a and b with a named bidirectional link.
+func (n *Network) AddTrunk(name string, a, b SwitchID) {
+	if n.trunks == nil {
+		n.trunks = make(map[string]*trunk)
+	}
+	if _, dup := n.trunks[name]; dup {
+		panic(fmt.Sprintf("hippi: duplicate trunk %q", name))
+	}
+	t := &trunk{name: name, a: a, b: b, id: len(n.trunkList)}
+	n.trunks[name] = t
+	n.trunkList = append(n.trunkList, t)
+}
+
+// SetRoute installs the per-hop routing function.
+func (n *Network) SetRoute(r RouteFunc) { n.route = r }
+
+// SetLinkInjector installs the trunk partition hook.
+func (n *Network) SetLinkInjector(li LinkInjector) { n.linkInj = li }
+
+// SetFIFO selects the queueing discipline at each switch's trunk outputs.
+// false (the default) is VOQ-like: each trunk direction serializes
+// independently, so a hot uplink never blocks a cold one. true is a single
+// shared FIFO per switch: all trunk transmissions out of one switch are
+// coupled through one busy horizon, reproducing head-of-line blocking at
+// fabric scale (the hol.go analysis, one level up).
+func (n *Network) SetFIFO(fifo bool) {
+	n.fifoHOL = fifo
+	if fifo && n.fifoUntil == nil {
+		n.fifoUntil = make(map[SwitchID]units.Time)
+	}
+}
+
+// SetECN installs queue-threshold CE marking on fabric hops: when a frame
+// queues behind threshold bytes or more of backlog (measured as stall time
+// at the hop's serializer), mark is asked to CE-mark the frame in place.
+// mark returns whether it marked (ECT frames only); internal/fabric
+// provides the standard marker, which rewrites the IP header checksum.
+func (n *Network) SetECN(threshold units.Size, mark func([]byte) bool) {
+	n.markDelay = n.rate.TimeFor(threshold)
+	n.markECN = mark
+}
+
+// SetQueueCap bounds each trunk direction's output queue to cap bytes of
+// backlog (a switch's per-port buffer). A frame arriving to a deeper
+// backlog is tail-dropped and counted under DroppedFull — the loss that
+// turns fabric congestion into retransmissions instead of unbounded
+// queueing delay. Zero (the default) keeps trunks lossless.
+func (n *Network) SetQueueCap(cap units.Size) {
+	n.capDelay = n.rate.TimeFor(cap)
+}
+
+// TrunkStats returns the per-trunk byte/frame counters, sorted by name.
+func (n *Network) TrunkStats() []TrunkStat {
+	out := make([]TrunkStat, 0, len(n.trunkList))
+	for _, t := range n.trunkList {
+		out = append(out, TrunkStat{
+			Name: t.name,
+			AB:   t.bytes[0], BA: t.bytes[1],
+			FramesAB: t.frames[0], FramesBA: t.frames[1],
+			DropsAB: t.drops[0], DropsBA: t.drops[1],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// forward carries a frame that must cross switches. Runs in event context
+// at the moment the frame has fully left the source port (where the
+// single-switch path would deliver); v is the injector's verdict, already
+// checked for Drop. Each dup copy is forwarded independently — copies
+// share f.Data, as they do on the single-switch path.
+func (n *Network) forward(f Frame, txTime units.Time, v Verdict, sw, dstSw SwitchID) {
+	for i := 0; i <= v.Dup; i++ {
+		if i > 0 {
+			n.Duped++
+		}
+		n.hop(f, txTime, sw, dstSw, v.Delay)
+	}
+}
+
+// hop moves the frame one trunk closer to dstSw: route lookup, partition
+// check, switch delay, serialization onto the trunk (with optional FIFO
+// coupling and ECN marking), then either the next hop or final delivery.
+func (n *Network) hop(f Frame, txTime units.Time, sw, dstSw SwitchID, extra units.Time) {
+	var t *trunk
+	if n.route != nil {
+		t = n.trunks[n.route(&f, sw, dstSw)]
+	}
+	if t == nil {
+		n.Dropped++
+		n.DroppedUnattached++
+		n.nobs.Drop(false)
+		return
+	}
+	now := n.eng.Now()
+	if n.linkInj != nil && n.linkInj.LinkDown(t.name, now) {
+		n.Dropped++
+		n.DroppedInj++
+		n.nobs.Drop(true)
+		return
+	}
+	dir := 0
+	next := t.b
+	if sw == t.b {
+		dir, next = 1, t.a
+	}
+	start := now + n.delay
+	if n.fifoHOL {
+		if bu := n.fifoUntil[sw]; bu > start {
+			start = bu
+		}
+	}
+	var stall units.Time
+	if t.busyUntil[dir] > start {
+		stall = t.busyUntil[dir] - start
+	}
+	if n.capDelay > 0 && stall > n.capDelay {
+		t.drops[dir]++
+		n.Dropped++
+		n.DroppedFull++
+		n.nobs.DropFull()
+		return
+	}
+	if stall > 0 {
+		start = t.busyUntil[dir]
+		n.txStalls.Inc()
+	}
+	end := start + txTime
+	t.busyUntil[dir] = end
+	if n.fifoHOL {
+		n.fifoUntil[sw] = end
+	}
+	t.bytes[dir] += units.Size(len(f.Data))
+	t.frames[dir]++
+	if n.markECN != nil && stall >= n.markDelay && n.markECN(f.Data) {
+		n.ECNMarked++
+	}
+	n.nobs.Trunk(trunkPortBase+2*t.id+dir, trunkPortName(t.name, dir),
+		len(f.Data), stall, start, end)
+	n.eng.AtKind(end, sim.KindWire, func() {
+		n.Led.TouchP(f.Prov, 0, units.Size(len(f.Data)), ledger.WireTransit, "wire", 0)
+		if next == dstSw {
+			n.deliverAt(f, txTime, extra)
+		} else {
+			n.hop(f, txTime, next, dstSw, extra)
+		}
+	})
+}
+
+// deliverAt is the last hop: the frame has reached the destination's
+// switch and now crosses to the host port, exactly as the single-switch
+// tail does (switch delay, receive-side serialization unless the injector
+// delayed the frame off the fast path, final wire-transit charge).
+func (n *Network) deliverAt(f Frame, txTime, extra units.Time) {
+	dp, ok := n.ports[f.Dst]
+	if !ok {
+		n.Dropped++
+		n.DroppedUnattached++
+		n.nobs.Drop(false)
+		return
+	}
+	arriveStart := n.eng.Now() + n.delay + extra
+	var rxStall units.Time
+	if extra == 0 {
+		if dp.rxBusyUntil > arriveStart {
+			rxStall = dp.rxBusyUntil - arriveStart
+			arriveStart = dp.rxBusyUntil
+			n.rxStalls.Inc()
+		}
+		dp.rxBusyUntil = arriveStart + txTime
+	}
+	if n.markECN != nil && rxStall >= n.markDelay && n.markECN(f.Data) {
+		n.ECNMarked++
+	}
+	n.nobs.Rx(int(f.Dst), len(f.Data), rxStall, arriveStart, arriveStart+txTime)
+	n.eng.AtKind(arriveStart+txTime, sim.KindWire, func() {
+		n.Delivered++
+		n.Led.TouchP(f.Prov, 0, units.Size(len(f.Data)), ledger.WireTransit, "wire", 0)
+		dp.recv(f)
+	})
+}
+
+func trunkPortName(name string, dir int) string {
+	if dir == 0 {
+		return name + ">"
+	}
+	return name + "<"
+}

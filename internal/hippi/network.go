@@ -71,9 +71,10 @@ type Network struct {
 	// serialization (fault injection).
 	Inj Injector
 
-	// Counters. Dropped is the total; DroppedInj (fault-injector drops)
-	// and DroppedUnattached (frames addressed to a node with no attached
-	// port) split it by cause and always sum to it.
+	// Counters. Dropped is the total; DroppedInj (fault-injector drops),
+	// DroppedUnattached (frames addressed to a node with no attached
+	// port) and DroppedFull (trunk tail drops, below) split it by cause
+	// and always sum to it.
 	Sent, Delivered, Dropped, Duped int
 	DroppedInj, DroppedUnattached   int
 	BytesSent                       units.Size
@@ -89,6 +90,27 @@ type Network struct {
 	// bytes-on-wire for the transport-dynamics observatory (nil when
 	// netobs is off; every hook is then a nil no-op).
 	nobs *netobs.WireRec
+
+	// Multi-switch fabric state (multiswitch.go). All nil/zero for the
+	// classic single-switch network, which keeps that path byte-identical:
+	// with a nil placement every node lives on switch 0 and SendFrame
+	// never takes the forwarding branch.
+	placement func(NodeID) SwitchID
+	trunks    map[string]*trunk
+	trunkList []*trunk
+	route     RouteFunc
+	linkInj   LinkInjector
+	fifoHOL   bool
+	fifoUntil map[SwitchID]units.Time
+	markECN   func([]byte) bool
+	markDelay units.Time
+	capDelay  units.Time
+
+	// ECNMarked counts frames CE-marked by the fabric's queue-threshold
+	// marker; DroppedFull counts trunk tail drops (SetQueueCap), part of
+	// the Dropped-sum invariant above.
+	ECNMarked   int
+	DroppedFull int
 }
 
 // SetNetObs attaches the wire-telemetry recorder.
@@ -172,6 +194,10 @@ func (n *Network) SendFrame(f Frame, sent func()) {
 			n.Dropped++
 			n.DroppedInj++
 			n.nobs.Drop(true)
+			return
+		}
+		if asw, bsw := n.switchOf(f.Src), n.switchOf(f.Dst); asw != bsw {
+			n.forward(f, txTime, v, asw, bsw)
 			return
 		}
 		dp, ok := n.ports[f.Dst]

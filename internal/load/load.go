@@ -20,11 +20,13 @@ import (
 
 	"repro/internal/cab"
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/fault"
 	"repro/internal/hippi"
 	"repro/internal/kern"
 	"repro/internal/obs"
 	"repro/internal/obs/engine"
+	"repro/internal/obs/ledger"
 	"repro/internal/socket"
 	"repro/internal/tcpip"
 	"repro/internal/units"
@@ -57,6 +59,28 @@ type Scenario struct {
 	// Mode selects the stack variant on every host.
 	Mode socket.Mode
 
+	// Topology selects the switch fabric joining the hosts (fabric.Parse
+	// grammar: single | linear:N | leafspine:LxS | fattree:LxS; "" is the
+	// classic single switch). Servers rack behind edge switch 0; clients
+	// spread round-robin over the remaining edge switches.
+	Topology string
+	// FabricFIFO couples each fabric switch's trunk outputs through one
+	// shared FIFO (head-of-line blocking at fabric scale) instead of the
+	// default independent per-trunk VOQ serialization.
+	FabricFIFO bool
+	// CC selects every host's TCP congestion control: "" or "reno" for
+	// the classic 4.3BSD-Reno behavior, "dctcp" for the ECN variant.
+	CC string
+	// ECNThreshold enables fabric-side CE marking: a frame queued behind
+	// this many bytes at a fabric hop is marked. Defaults to 32 KB when
+	// CC is dctcp and a fabric is installed; 0 otherwise (no marking).
+	ECNThreshold units.Size
+	// QueueCap bounds each trunk direction's output queue (a switch's
+	// per-port buffer): a frame arriving to more than this many bytes of
+	// backlog is tail-dropped. 0 keeps trunks lossless (the default, and
+	// the pre-fabric behavior).
+	QueueCap units.Size
+
 	// Bulk switches TCP flows from request/response to bulk streaming:
 	// each flow writes BulkWrite-sized chunks until Duration of virtual
 	// time has elapsed, and goodput is measured over [Warmup, Duration].
@@ -79,6 +103,10 @@ type Scenario struct {
 
 	// Window overrides the TCP socket buffer / offered window.
 	Window units.Size
+	// MTU overrides every host's network-layer MTU (0: the 32 KByte paper
+	// default). Fabric congestion scenarios use a smaller MTU so DCTCP's
+	// two-segment cwnd floor sits below a fair per-flow trunk share.
+	MTU units.Size
 	// UDPServerThink is per-datagram processing time at the UDP
 	// receivers. A slow consumer's unread datagrams pile up outboard —
 	// the monopoly scenario the netmem arbiter exists to contain (UDP has
@@ -147,6 +175,17 @@ func (s Scenario) normalized() (Scenario, error) {
 		if _, err := fault.ParsePlan(s.FaultPlan); err != nil {
 			return s, err
 		}
+	}
+	if s.Topology != "" {
+		if _, err := fabric.Parse(s.Topology); err != nil {
+			return s, fmt.Errorf("load: %w", err)
+		}
+	}
+	if !tcpip.ValidCC(s.CC) {
+		return s, fmt.Errorf("load: bad CC %q (want reno|dctcp)", s.CC)
+	}
+	if s.ECNThreshold == 0 && s.CC == tcpip.CCDctcp && s.Topology != "" {
+		s.ECNThreshold = 32 * units.KB
 	}
 	if s.OpenLoop && s.Rate <= 0 {
 		s.Rate = 1000
@@ -296,6 +335,8 @@ func (r *runner) build() {
 			CABNode:   node,
 			CABConfig: s.CABConfig,
 			Arbiter:   s.Arbiter,
+			CC:        s.CC,
+			MTU:       s.MTU,
 		}
 		node++
 		return &host{h: r.tb.AddHost(hc)}
@@ -309,6 +350,30 @@ func (r *runner) build() {
 	for _, c := range r.clients {
 		for _, sv := range r.servers {
 			r.tb.RouteCAB(c.h, sv.h)
+		}
+	}
+
+	// Fabric assembly: trunks, ECMP routing, rack placement, queueing
+	// discipline, and (when enabled) the CE marker.
+	if s.Topology != "" {
+		tp := fabric.MustParse(s.Topology) // validated by normalized
+		tp.Install(r.tb.Net, uint64(s.Seed))
+		var srvNodes, cliNodes []hippi.NodeID
+		for _, sv := range r.servers {
+			srvNodes = append(srvNodes, sv.h.Cfg.CABNode)
+		}
+		for _, c := range r.clients {
+			cliNodes = append(cliNodes, c.h.Cfg.CABNode)
+		}
+		r.tb.Net.SetPlacement(tp.PlaceRacked(srvNodes, cliNodes))
+		if s.FabricFIFO {
+			r.tb.Net.SetFIFO(true)
+		}
+		if s.ECNThreshold > 0 {
+			r.tb.Net.SetECN(s.ECNThreshold, fabric.MarkCE)
+		}
+		if s.QueueCap > 0 {
+			r.tb.Net.SetQueueCap(s.QueueCap)
 		}
 	}
 
@@ -413,4 +478,38 @@ func (r *runner) applyWeight(f *flow, port uint16) {
 	if a := f.server.h.CAB.Arb; a != nil {
 		a.SetWeight(cab.FlowKey(f.client.h.Cfg.CABNode, int(port)), f.weight)
 	}
+}
+
+// auditSingleCopy checks every TCP bulk stream against the ledger's
+// single-copy oracle: each delivered byte crossed each host bus exactly
+// once by DMA with the checksum computed in flight, and no CPU ever
+// copied or checksummed payload. Loose mode grants the documented
+// retransmission allowance — congested fabrics drop and retransmit, and
+// a retransmitted byte legitimately recrosses the sender's bus. Returns
+// "" when the ledger was off (or the run has no audited flows), "ok"
+// when every flow passed, else the first failure.
+func (r *runner) auditSingleCopy() string {
+	led := r.tb.Led
+	if led == nil || !r.s.Bulk || r.s.Mode != socket.ModeSingleCopy {
+		return ""
+	}
+	audited := false
+	for _, f := range r.flows {
+		if f.udp || f.port == 0 || f.streamed == 0 {
+			continue
+		}
+		audited = true
+		if err := led.AssertSingleCopy(ledger.AuditConfig{
+			Flow:    int(f.port),
+			Total:   hdrLen + f.streamed,
+			SndHost: f.client.h.Name,
+			RcvHost: f.server.h.Name,
+		}); err != nil {
+			return fmt.Sprintf("flow %d: %v", f.id, err)
+		}
+	}
+	if !audited {
+		return ""
+	}
+	return "ok"
 }

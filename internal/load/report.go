@@ -6,9 +6,11 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/hippi"
 	"repro/internal/obs"
 	"repro/internal/obs/netobs"
 	"repro/internal/socket"
+	"repro/internal/tcpip"
 	"repro/internal/units"
 )
 
@@ -57,6 +59,11 @@ type Report struct {
 	Mode     string `json:"mode"`
 	Bulk     bool   `json:"bulk"`
 	Arbiter  bool   `json:"arbiter"`
+	// Topology and CC identify the fabric and congestion-control variant
+	// (omitted for classic single-switch Reno runs, keeping their reports
+	// byte-identical to the pre-fabric format).
+	Topology string `json:"topology,omitempty"`
+	CC       string `json:"cc,omitempty"`
 
 	VTimeSec   float64 `json:"vtime_sec"`
 	WindowSec  float64 `json:"window_sec"` // goodput measurement window
@@ -88,8 +95,19 @@ type Report struct {
 	Drops           int64 `json:"drops"`
 	RxRetries       int64 `json:"rx_retries"`
 
+	// ECNMarked counts frames CE-marked by the fabric; TrunkDrops counts
+	// tail drops at capped trunk queues; Trunks carries the per-trunk
+	// byte/frame counters (the ECMP share evidence).
+	ECNMarked  int               `json:"ecn_marked,omitempty"`
+	TrunkDrops int               `json:"trunk_drops,omitempty"`
+	Trunks     []hippi.TrunkStat `json:"trunks,omitempty"`
+
 	Errors     int    `json:"errors"`
 	FirstError string `json:"first_error,omitempty"`
+	// Audit is the single-copy ledger verdict when Scenario.Ledger was
+	// set on a single-copy bulk run: "ok", or the first flow's oracle
+	// failure. Empty when the ledger was off.
+	Audit string `json:"audit,omitempty"`
 	// FaultReport summarizes fault-injector activity ("" when the
 	// scenario ran clean).
 	FaultReport string `json:"fault_report,omitempty"`
@@ -161,9 +179,20 @@ func (r *runner) report() *Report {
 	if s.Mode == socket.ModeSingleCopy {
 		rep.Mode = "single_copy"
 	}
+	if s.Topology != "" {
+		rep.Topology = s.Topology
+		rep.CC = s.CC
+		if rep.CC == "" {
+			rep.CC = tcpip.CCReno
+		}
+		rep.ECNMarked = r.tb.Net.ECNMarked
+		rep.TrunkDrops = r.tb.Net.DroppedFull
+		rep.Trunks = r.tb.Net.TrunkStats()
+	}
 	if r.inj != nil {
 		rep.FaultReport = r.inj.Report()
 	}
+	rep.Audit = r.auditSingleCopy()
 	rep.VTimeSec = round(r.tb.Eng.Now().Seconds(), 9)
 	window := r.tb.Eng.Now()
 	if s.Bulk {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/units"
@@ -95,17 +96,18 @@ type FlowVerdict struct {
 
 // PortSummary condenses one port's wire telemetry for the postmortem.
 type PortSummary struct {
-	Node           int   `json:"node"`
-	TxBusyPerMille int64 `json:"tx_busy_per_mille"` // post-cutoff mean
-	RxBusyPerMille int64 `json:"rx_busy_per_mille"`
-	TxFrames       int64 `json:"tx_frames"`
-	RxFrames       int64 `json:"rx_frames"`
-	TxBytes        int64 `json:"tx_bytes"`
-	RxBytes        int64 `json:"rx_bytes"`
-	TxStalls       int64 `json:"tx_stalls"`
-	RxStalls       int64 `json:"rx_stalls"`
-	TxStallP99Ns   int64 `json:"tx_stall_p99_ns"`
-	RxStallP99Ns   int64 `json:"rx_stall_p99_ns"`
+	Node           int    `json:"node"`
+	Name           string `json:"name,omitempty"`    // trunk ports only
+	TxBusyPerMille int64  `json:"tx_busy_per_mille"` // post-cutoff mean
+	RxBusyPerMille int64  `json:"rx_busy_per_mille"`
+	TxFrames       int64  `json:"tx_frames"`
+	RxFrames       int64  `json:"rx_frames"`
+	TxBytes        int64  `json:"tx_bytes"`
+	RxBytes        int64  `json:"rx_bytes"`
+	TxStalls       int64  `json:"tx_stalls"`
+	RxStalls       int64  `json:"rx_stalls"`
+	TxStallP99Ns   int64  `json:"tx_stall_p99_ns"`
+	RxStallP99Ns   int64  `json:"rx_stall_p99_ns"`
 }
 
 // WireSummary condenses one fabric for the postmortem.
@@ -114,6 +116,7 @@ type WireSummary struct {
 	Ports          []PortSummary `json:"ports"`
 	DropInj        int64         `json:"drop_inj"`
 	DropUnattached int64         `json:"drop_unattached"`
+	DropFull       int64         `json:"drop_full,omitempty"`
 }
 
 // Postmortem is the analyzer's output: one verdict per flow plus the wire
@@ -268,6 +271,7 @@ func (r *Recorder) Analyze(mem []HostMem, opt Options) *Postmortem {
 			Label:          w.Label,
 			DropInj:        w.dropInj,
 			DropUnattached: w.dropUnattached,
+			DropFull:       w.dropFull,
 		}
 		nodes := append([]int(nil), w.portOrder...)
 		sort.Ints(nodes)
@@ -275,6 +279,7 @@ func (r *Recorder) Analyze(mem []HostMem, opt Options) *Postmortem {
 			p := w.ports[node]
 			ws.Ports = append(ws.Ports, PortSummary{
 				Node:           p.node,
+				Name:           p.name,
 				TxBusyPerMille: busyOver(p.txBusy, w.window, after),
 				RxBusyPerMille: busyOver(p.rxBusy, w.window, after),
 				TxFrames:       p.txFrames,
@@ -339,13 +344,21 @@ func (p *Postmortem) Format() string {
 			f.BytesOnWire, f.TxBusyPerMille, units.Time(f.ZeroWndNs))
 	}
 	for _, w := range p.Wires {
-		if len(w.Ports) == 0 && w.DropInj == 0 && w.DropUnattached == 0 {
+		if len(w.Ports) == 0 && w.DropInj == 0 && w.DropUnattached == 0 && w.DropFull == 0 {
 			continue
 		}
-		fmt.Fprintf(&b, "  wire %s: drops inj=%d unattached=%d\n", w.Label, w.DropInj, w.DropUnattached)
+		fmt.Fprintf(&b, "  wire %s: drops inj=%d unattached=%d", w.Label, w.DropInj, w.DropUnattached)
+		if w.DropFull > 0 {
+			fmt.Fprintf(&b, " full=%d", w.DropFull)
+		}
+		b.WriteString("\n")
 		for _, pt := range w.Ports {
-			fmt.Fprintf(&b, "    node %-3d tx %4d‰ busy %8d frames %6d stalls (p99 %s)  rx %4d‰ busy %8d frames %6d stalls (p99 %s)\n",
-				pt.Node,
+			label := strconv.Itoa(pt.Node)
+			if pt.Name != "" {
+				label = pt.Name
+			}
+			fmt.Fprintf(&b, "    node %-3s tx %4d‰ busy %8d frames %6d stalls (p99 %s)  rx %4d‰ busy %8d frames %6d stalls (p99 %s)\n",
+				label,
 				pt.TxBusyPerMille, pt.TxFrames, pt.TxStalls, units.Time(pt.TxStallP99Ns),
 				pt.RxBusyPerMille, pt.RxFrames, pt.RxStalls, units.Time(pt.RxStallP99Ns))
 		}

@@ -2,7 +2,6 @@ package netobs
 
 import (
 	"encoding/json"
-	"sort"
 	"strconv"
 
 	"repro/internal/units"
@@ -37,27 +36,44 @@ func (r *Recorder) Chrome() []byte {
 	if r == nil {
 		return nil
 	}
+	return r.Snapshot().Chrome()
+}
+
+// Chrome renders a saved wire-series dump (the loadgen -netobs-json
+// format) as the same counter tracks the live recorder produces, so
+// cmd/trace can re-render a capture without re-running the simulation.
+// Multi-switch fabrics carry named trunk ports whose synthetic ids are
+// namespaced above host nodes; those tracks are labeled by trunk name so
+// ports from different switches can't collide on a port number.
+func (d *Dump) Chrome() []byte {
+	if d == nil {
+		return nil
+	}
 	f := chromeFile{TraceEvents: []chromeCounter{}}
 	add := func(pid, name string, tNs, v int64) {
 		f.TraceEvents = append(f.TraceEvents, chromeCounter{
 			Name: name, Ph: "C", TS: micros(tNs), PID: pid, Args: counterVal{V: v},
 		})
 	}
-	for _, fr := range r.flows {
+	for i := range d.Flows {
+		fr := &d.Flows[i]
 		tag := "flow " + strconv.Itoa(fr.Port) + ":" + strconv.Itoa(fr.RPort)
-		for i := range fr.samples {
-			s := &fr.samples[i]
+		for j := range fr.Samples {
+			s := &fr.Samples[j]
 			add(fr.Host, tag+" cwnd", s.TNs, s.Cwnd)
 			add(fr.Host, tag+" ssthresh", s.TNs, s.Ssthresh)
 			add(fr.Host, tag+" flight", s.TNs, s.Flight)
 			add(fr.Host, tag+" snd_wnd", s.TNs, s.SndWnd)
 		}
 	}
-	for _, w := range r.wires {
-		for _, node := range sortedNodes(w) {
-			p := w.ports[node]
-			emitBusy(add, "wire "+w.Label, "node "+strconv.Itoa(node)+" tx_busy_pm", p.txBusy, w.window)
-			emitBusy(add, "wire "+w.Label, "node "+strconv.Itoa(node)+" rx_busy_pm", p.rxBusy, w.window)
+	for _, w := range d.Wires {
+		for _, p := range w.Ports {
+			label := "node " + strconv.Itoa(p.Node)
+			if p.Name != "" {
+				label = "link " + p.Name
+			}
+			emitPerMille(add, "wire "+w.Label, label+" tx_busy_pm", p.TxBusyPerMille, w.WindowNs)
+			emitPerMille(add, "wire "+w.Label, label+" rx_busy_pm", p.RxBusyPerMille, w.WindowNs)
 		}
 	}
 	b, err := json.Marshal(f)
@@ -67,18 +83,8 @@ func (r *Recorder) Chrome() []byte {
 	return b
 }
 
-func emitBusy(add func(pid, name string, tNs, v int64), pid, name string, busy []units.Time, window units.Time) {
-	for i, b := range busy {
-		pmv := int64(b) * 1000 / int64(window)
-		if pmv > 1000 {
-			pmv = 1000
-		}
-		add(pid, name, int64(window)*int64(i), pmv)
+func emitPerMille(add func(pid, name string, tNs, v int64), pid, name string, pm []int64, windowNs int64) {
+	for i, v := range pm {
+		add(pid, name, windowNs*int64(i), v)
 	}
-}
-
-func sortedNodes(w *WireRec) []int {
-	nodes := append([]int(nil), w.portOrder...)
-	sort.Ints(nodes)
-	return nodes
 }

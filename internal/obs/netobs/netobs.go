@@ -115,6 +115,31 @@ func (s FlowSample) MarshalJSON() ([]byte, error) {
 		s.RttvarNs, s.RtoNs, s.Flight, s.SndWnd, s.RcvWnd})
 }
 
+// UnmarshalJSON is the inverse flattening, so saved dumps round-trip
+// (cmd/trace re-renders loadgen -netobs-json captures).
+func (s *FlowSample) UnmarshalJSON(b []byte) error {
+	var flat struct {
+		TNs      int64 `json:"t_ns"`
+		Cwnd     int64 `json:"cwnd"`
+		Ssthresh int64 `json:"ssthresh"`
+		SrttNs   int64 `json:"srtt_ns"`
+		RttvarNs int64 `json:"rttvar_ns"`
+		RtoNs    int64 `json:"rto_ns"`
+		Flight   int64 `json:"flight"`
+		SndWnd   int64 `json:"snd_wnd"`
+		RcvWnd   int64 `json:"rcv_wnd"`
+	}
+	if err := json.Unmarshal(b, &flat); err != nil {
+		return err
+	}
+	*s = FlowSample{TNs: flat.TNs, FlowState: FlowState{
+		Cwnd: flat.Cwnd, Ssthresh: flat.Ssthresh, SrttNs: flat.SrttNs,
+		RttvarNs: flat.RttvarNs, RtoNs: flat.RtoNs, Flight: flat.Flight,
+		SndWnd: flat.SndWnd, RcvWnd: flat.RcvWnd,
+	}}
+	return nil
+}
+
 // RtxEvent is one entry of a flow's retransmission-event log.
 type RtxEvent struct {
 	TNs  int64  `json:"t_ns"`
@@ -205,6 +230,9 @@ func (f *FlowRec) digest() string {
 // portRec accumulates one fabric port's tx/rx activity.
 type portRec struct {
 	node int
+	// name labels synthetic fabric ports (trunk directions like
+	// "leaf0-spine1>"); empty for host ports, whose node id is the label.
+	name string
 
 	txBusy []units.Time // busy ns per window
 	rxBusy []units.Time
@@ -244,6 +272,7 @@ type WireRec struct {
 
 	dropInj        int64 // frames dropped by the fault injector
 	dropUnattached int64 // frames addressed to a node with no attached port
+	dropFull       int64 // frames tail-dropped at a full trunk queue
 }
 
 func (w *WireRec) port(node int) *portRec {
@@ -307,6 +336,30 @@ func (w *WireRec) Tx(src, dst, flow, bytes int, stall, start, end units.Time) {
 	fw.frames++
 }
 
+// Trunk records one frame's transmit serialization across a fabric trunk
+// direction. portID is a synthetic port id namespaced above host nodes
+// (so multi-switch fabrics can't collide with host ports) and name labels
+// it (e.g. "leaf0-spine1>"). Unlike Tx, no per-flow bytes-on-wire
+// attribution happens here: a flow's wire bytes are counted once, at its
+// source host port, and trunk rows would double-count them.
+func (w *WireRec) Trunk(portID int, name string, bytes int, stall, start, end units.Time) {
+	if w == nil {
+		return
+	}
+	p := w.port(portID)
+	p.name = name
+	p.txFrames++
+	p.txBytes += int64(bytes)
+	p.txBusy = accBusy(p.txBusy, w.window, start, end)
+	if end > p.txLastEnd {
+		p.txLastEnd = end
+	}
+	if stall > 0 {
+		p.txStalls++
+		p.txStallHist.Observe(stall)
+	}
+}
+
 // Rx records one frame's receive serialization on the destination port.
 func (w *WireRec) Rx(dst, bytes int, stall, start, end units.Time) {
 	if w == nil {
@@ -336,6 +389,15 @@ func (w *WireRec) Drop(injected bool) {
 	} else {
 		w.dropUnattached++
 	}
+}
+
+// DropFull counts a frame tail-dropped at a trunk whose output queue was
+// over its configured cap (hippi.SetQueueCap).
+func (w *WireRec) DropFull() {
+	if w == nil {
+		return
+	}
+	w.dropFull++
 }
 
 // Recorder owns the run's flow and wire records.  The zero value of the
@@ -409,6 +471,7 @@ type FlowWireDump struct {
 // PortDump is one port's wire telemetry in a Snapshot.
 type PortDump struct {
 	Node           int              `json:"node"`
+	Name           string           `json:"name,omitempty"`    // trunk ports only
 	TxBusyPerMille []int64          `json:"tx_busy_per_mille"` // per window
 	RxBusyPerMille []int64          `json:"rx_busy_per_mille"`
 	TxFrames       int64            `json:"tx_frames"`
@@ -429,6 +492,7 @@ type WireDump struct {
 	Flows          []FlowWireDump `json:"flows"`
 	DropInj        int64          `json:"drop_inj"`
 	DropUnattached int64          `json:"drop_unattached"`
+	DropFull       int64          `json:"drop_full,omitempty"`
 }
 
 // Dump is the recorder's full state: every flow series and every wire's
@@ -484,6 +548,7 @@ func (r *Recorder) Snapshot() *Dump {
 			WindowNs:       int64(w.window),
 			DropInj:        w.dropInj,
 			DropUnattached: w.dropUnattached,
+			DropFull:       w.dropFull,
 		}
 		nodes := append([]int(nil), w.portOrder...)
 		sort.Ints(nodes)
@@ -491,6 +556,7 @@ func (r *Recorder) Snapshot() *Dump {
 			p := w.ports[node]
 			wd.Ports = append(wd.Ports, PortDump{
 				Node:           p.node,
+				Name:           p.name,
 				TxBusyPerMille: perMille(p.txBusy, w.window),
 				RxBusyPerMille: perMille(p.rxBusy, w.window),
 				TxFrames:       p.txFrames,

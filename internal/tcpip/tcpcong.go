@@ -26,8 +26,7 @@ const (
 
 // initCong sets the initial congestion state once the MSS is known.
 func (c *TCPConn) initCong() {
-	c.cwnd = initialCwndSegs * c.MaxSeg
-	c.ssthresh = c.SndLimit
+	c.cc.init(c)
 	c.noteNetObs()
 }
 
@@ -116,13 +115,7 @@ func (c *TCPConn) onDupAck(ctx kern.Ctx) {
 	}
 	c.stk.Stats.TCPFastRetransmits++
 	c.nobs.Rtx(netobs.RtxFast)
-	flight := seqDiff(c.sndNxt, c.sndUna)
-	half := flight / 2
-	if half < 2*c.MaxSeg {
-		half = 2 * c.MaxSeg
-	}
-	c.ssthresh = half
-	c.cwnd = c.ssthresh
+	c.cc.onLoss(c)
 	c.cancelRTTSample()
 	// Resend just the missing segment.
 	seglen := c.sndLen
@@ -136,23 +129,15 @@ func (c *TCPConn) onDupAck(ctx kern.Ctx) {
 	}
 }
 
-// onNewAck resets duplicate-ACK state and applies window growth.
-func (c *TCPConn) onNewAck(acked units.Size) {
+// onNewAck resets duplicate-ACK state and applies the policy's window
+// growth; ece reports whether the acknowledgement echoed a CE mark.
+func (c *TCPConn) onNewAck(acked units.Size, ece bool) {
 	c.dupAcks = 0
-	c.openCwnd(acked)
+	c.cc.onAck(c, acked, ece)
 }
 
-// onRtxTimeout applies the multiplicative decrease for a timeout: shrink
-// to one segment and slow-start again.
+// onRtxTimeout applies the policy's multiplicative decrease for a timeout.
 func (c *TCPConn) onRtxTimeout() {
-	flight := seqDiff(c.sndNxt, c.sndUna)
-	half := flight / 2
-	if half < 2*c.MaxSeg {
-		half = 2 * c.MaxSeg
-	}
-	c.ssthresh = half
-	if c.cwnd > 0 {
-		c.cwnd = c.MaxSeg
-	}
+	c.cc.onTimeout(c)
 	c.cancelRTTSample()
 }

@@ -56,6 +56,14 @@ func (s *Stack) tcpInput(ctx kern.Ctx, m *mbuf.Mbuf, iph wire.IPHdr) {
 	// Strip the TCP header; what remains is payload.
 	m.TrimFront(wire.TCPHdrLen)
 	seglen := mbuf.ChainLen(m)
+	if seglen > 0 && iph.ECN != 0 {
+		// DCTCP-style state echo: outgoing segments carry FlagECE exactly
+		// while the most recent data segment arrived congestion-experienced,
+		// so the echoed fraction of acknowledged bytes tracks the fabric's
+		// actual marking rate (a consume-once latch would dilute it under
+		// delayed ACKs).
+		c.ceSeen = iph.ECN == wire.ECNCE
+	}
 	c.segInput(ctx, hdr, m, seglen)
 }
 
@@ -151,7 +159,7 @@ func (c *TCPConn) segInput(ctx kern.Ctx, hdr wire.TCPHdr, payload *mbuf.Mbuf, se
 		}
 	}
 
-	if seglen == 0 && hdr.Flags == wire.FlagACK && hdr.Seq+1 == c.rcvNxt &&
+	if seglen == 0 && hdr.Flags&^wire.FlagECE == wire.FlagACK && hdr.Seq+1 == c.rcvNxt &&
 		c.state >= StateEstablished {
 		// A zero-length segment one sequence number below the window: a
 		// keepalive probe (RFC 1122 4.2.3.6 style). Answer with a bare ACK
@@ -161,11 +169,13 @@ func (c *TCPConn) segInput(ctx kern.Ctx, hdr wire.TCPHdr, payload *mbuf.Mbuf, se
 	}
 
 	if hdr.Flags&wire.FlagACK != 0 {
-		if seglen == 0 && hdr.Flags == wire.FlagACK && hdr.Ack == c.sndUna &&
+		if seglen == 0 && hdr.Flags&^wire.FlagECE == wire.FlagACK && hdr.Ack == c.sndUna &&
 			c.state >= StateEstablished && seqGT(c.sndMax, c.sndUna) &&
 			wire.UnscaleWindow(hdr.Wnd) == c.sndWnd {
 			// A pure duplicate acknowledgement (any state with data
-			// outstanding — the writer may already have half-closed).
+			// outstanding — the writer may already have half-closed). The
+			// ECN-echo bit is masked out: a dupack is a dupack whether or
+			// not it also echoes congestion.
 			c.onDupAck(ctx)
 		}
 		c.processAck(ctx, hdr)
@@ -199,7 +209,7 @@ func (c *TCPConn) processAck(ctx kern.Ctx, hdr wire.TCPHdr) {
 		c.progressAt = c.stk.K.Eng.Now() // forward progress: user-timeout clock restarts
 		c.takeRTTSample(ack)
 		advance := seqDiff(ack, c.sndUna)
-		c.onNewAck(advance)
+		c.onNewAck(advance, hdr.Flags&wire.FlagECE != 0)
 		// An acknowledgement past the buffered data covers the FIN's
 		// sequence slot.
 		finAcked := false

@@ -68,6 +68,12 @@ type Stack struct {
 	// (see TraceEvent).
 	Tracer func(TraceEvent)
 
+	// CC selects the congestion-control algorithm for connections created
+	// on this stack ("" or "reno" for the classic behavior, "dctcp" for
+	// the ECN-reacting variant; see ValidCC). Set before any connections
+	// are created.
+	CC string
+
 	ipID  uint16
 	conns map[connKey]*TCPConn
 	// listeners by local port.
@@ -245,6 +251,14 @@ func (s *Stack) RouteCaps(dst wire.Addr) (singleCopy bool, mtu units.Size) {
 // header (with header checksum) and hands the frame to the selected
 // interface.
 func (s *Stack) IPOutput(ctx kern.Ctx, m *mbuf.Mbuf, proto uint8, dst wire.Addr) {
+	s.IPOutputECN(ctx, m, proto, dst, 0)
+}
+
+// IPOutputECN is IPOutput with an explicit ECN codepoint (ECN-capable TCP
+// senders mark data segments ECT so fabric hops may CE them). Oversize
+// packets lose the codepoint across fragmentation — ECN senders size
+// segments to the route MTU, so the case never arises for them.
+func (s *Stack) IPOutputECN(ctx kern.Ctx, m *mbuf.Mbuf, proto uint8, dst wire.Addr, ecn uint8) {
 	ctx = ctx.In("ip_output")
 	r, err := s.Routes.Lookup(dst)
 	if err != nil {
@@ -266,6 +280,7 @@ func (s *Stack) IPOutput(ctx kern.Ctx, m *mbuf.Mbuf, proto uint8, dst wire.Addr)
 		ID:     s.ipID,
 		TTL:    30,
 		Proto:  proto,
+		ECN:    ecn,
 		Src:    s.Addr,
 		Dst:    dst,
 	}

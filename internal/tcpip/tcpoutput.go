@@ -167,6 +167,12 @@ func (c *TCPConn) sendSegmentRaw(ctx kern.Ctx, seq uint32, seglen units.Size, fl
 		// Later segments of the same burst queue behind this one's CPU.
 		c.critTrig, c.critTrigC = span.CritCur(), obs.CauseCPU
 	}
+	if c.ceSeen {
+		// Echo the current congestion-experienced state back to the sender;
+		// DCTCP's estimator works on the echoed fraction of acknowledged
+		// bytes, so the echo persists until an unmarked data segment arrives.
+		flags |= wire.FlagECE
+	}
 	singleCopy, _ := c.stk.RouteCaps(c.key.raddr)
 	segTotal := wire.TCPHdrLen + seglen
 	wnd := c.rcvSpace()
@@ -260,7 +266,11 @@ func (c *TCPConn) sendSegmentRaw(ctx kern.Ctx, seq uint32, seglen units.Size, fl
 	hm.AttachProv(prov)
 	ctx.Charge(c.stk.K.Mach.TCPPerPacket, kern.CatProto)
 	c.stk.Stats.TCPSegsOut++
-	c.stk.IPOutput(ctx, hm, wire.ProtoTCP, c.key.raddr)
+	var ecn uint8
+	if seglen > 0 && c.cc.ecnCapable() {
+		ecn = wire.ECNECT0
+	}
+	c.stk.IPOutputECN(ctx, hm, wire.ProtoTCP, c.key.raddr, ecn)
 }
 
 // onOutboard runs in interrupt context once a transmitted packet's data

@@ -48,6 +48,24 @@ const (
 	FlagRST
 	FlagPSH
 	FlagACK
+	// FlagECE echoes congestion experienced back to the sender (RFC 3168
+	// as DCTCP uses it: the receiver echoes the CE state of the segment it
+	// is acknowledging).
+	FlagECE
+)
+
+// ECN codepoints (the low two bits of the IP TOS byte).
+const (
+	// ECNECT0 marks a packet ECN-capable transport.
+	ECNECT0 uint8 = 0b10
+	// ECNCE marks congestion experienced, set by a fabric hop whose queue
+	// crossed its marking threshold.
+	ECNCE uint8 = 0b11
+
+	// ECNOff is the byte offset of the TOS/ECN field within the IP header,
+	// for in-flight CE marking (which must also rewrite the header
+	// checksum — see IPHdr.Marshal).
+	ECNOff = 1 * units.Byte
 )
 
 // WindowShift is the fixed RFC 1323 window-scale factor both ends use
@@ -107,10 +125,14 @@ type IPHdr struct {
 	ID     uint16
 	// MF is the more-fragments flag; FragOff is the fragment's payload
 	// offset in bytes (a multiple of 8, as the wire encoding requires).
-	MF       bool
-	FragOff  units.Size
-	TTL      uint8
-	Proto    uint8
+	MF      bool
+	FragOff units.Size
+	TTL     uint8
+	Proto   uint8
+	// ECN is the two-bit ECN codepoint (low bits of the TOS byte): 0 for
+	// non-ECN traffic, ECNECT0 on ECN-capable senders, ECNCE after a
+	// fabric hop marked congestion.
+	ECN      uint8
 	Src, Dst Addr
 }
 
@@ -125,7 +147,7 @@ func (h IPHdr) Marshal(b []byte) {
 		panic("wire: short IP header buffer")
 	}
 	b[0] = 0x45 // version 4, 5 words
-	b[1] = 0
+	b[1] = h.ECN & 0x3
 	binary.BigEndian.PutUint16(b[2:], uint16(h.TotLen))
 	binary.BigEndian.PutUint16(b[4:], h.ID)
 	if h.FragOff%8 != 0 {
@@ -164,6 +186,7 @@ func ParseIPHdr(b []byte) (IPHdr, error) {
 		FragOff: units.Size(frag&0x1fff) * 8,
 		TTL:     b[8],
 		Proto:   b[9],
+		ECN:     b[1] & 0x3,
 		Src:     Addr(binary.BigEndian.Uint32(b[12:])),
 		Dst:     Addr(binary.BigEndian.Uint32(b[16:])),
 	}, nil
